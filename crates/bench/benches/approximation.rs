@@ -1,0 +1,57 @@
+//! E7 — approximation quality and cost: exact vs greedy MVC, LP relaxation, and the
+//! MI strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_bench::workloads;
+use ffsm_core::measures::{MeasureConfig, MiStrategy, MvcAlgorithm, SupportMeasures};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mvc_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvc_algorithms");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let (graph, pattern) = workloads::star_overlap_workload(512);
+    let occ = workloads::enumerate(&pattern, &graph, 1_000_000);
+    let calc = SupportMeasures::new(occ, MeasureConfig::default());
+    let _ = calc.hypergraph(Default::default());
+    for (name, algo) in [
+        ("exact", MvcAlgorithm::Exact),
+        ("greedy_matching", MvcAlgorithm::GreedyMatching),
+        ("greedy_degree", MvcAlgorithm::GreedyDegree),
+    ] {
+        group.bench_function(BenchmarkId::new("mvc", name), |b| {
+            b.iter(|| black_box(calc.mvc_with(algo)))
+        });
+    }
+    group.bench_function(BenchmarkId::new("mvc", "lp_relaxation"), |b| {
+        b.iter(|| black_box(calc.relaxed_mvc()))
+    });
+    group.finish();
+}
+
+fn bench_mi_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mi_strategies");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let dataset = ffsm_graph::datasets::chemical_like(60, 3);
+    let pattern = ffsm_graph::patterns::uniform_path(4, ffsm_graph::Label(0));
+    let occ = workloads::enumerate(&pattern, &dataset.graph, 200_000);
+    let calc = SupportMeasures::new(occ, MeasureConfig::default());
+    for (name, strategy) in [
+        ("singletons", MiStrategy::Singletons),
+        ("orbits", MiStrategy::AutomorphismOrbits),
+        ("label_classes", MiStrategy::LabelClasses),
+        ("connected_2", MiStrategy::ConnectedK(2)),
+    ] {
+        group.bench_function(BenchmarkId::new("mi", name), |b| {
+            b.iter(|| black_box(calc.mi_with(strategy)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvc_algorithms, bench_mi_strategies);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E10 — additive (per-component) evaluation of the NP-hard measures.
+//!
+//! Occurrence hypergraphs of patterns in large sparse graphs split into many
+//! connected components.  These benches compare solving the whole hypergraph at once
+//! against solving per component (sequentially and with threads), for exact MVC, MIES
+//! and the νMVC LP relaxation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_bench::workloads;
+use ffsm_core::decompose::{
+    mies_by_components, mvc_by_components, relaxed_mvc_by_components, DecompositionConfig,
+};
+use ffsm_core::measures::{MeasureConfig, MvcAlgorithm, SupportMeasures};
+use ffsm_core::HypergraphBasis;
+use ffsm_graph::{generators, patterns, Label};
+use ffsm_hypergraph::Hypergraph;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn component_workload(copies: usize) -> (Hypergraph, SupportMeasures) {
+    let block = generators::star_overlap(3, 4);
+    let graph = generators::replicated(&block, copies, false);
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    let occ = workloads::enumerate(&pattern, &graph, 1_000_000);
+    let hypergraph = occ.hypergraph(HypergraphBasis::Occurrence);
+    let calc = SupportMeasures::new(occ, MeasureConfig::default());
+    (hypergraph, calc)
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for &copies in &[8usize, 32, 96] {
+        let (hypergraph, calc) = component_workload(copies);
+        let sequential = DecompositionConfig { parallel: false, ..Default::default() };
+        let parallel = DecompositionConfig { parallel: true, ..Default::default() };
+
+        group.bench_with_input(BenchmarkId::new("mvc_direct", copies), &copies, |b, _| {
+            b.iter(|| black_box(calc.mvc_with(MvcAlgorithm::Exact)))
+        });
+        group.bench_with_input(BenchmarkId::new("mvc_components_seq", copies), &copies, |b, _| {
+            b.iter(|| black_box(mvc_by_components(&hypergraph, MvcAlgorithm::Exact, sequential)))
+        });
+        group.bench_with_input(BenchmarkId::new("mvc_components_par", copies), &copies, |b, _| {
+            b.iter(|| black_box(mvc_by_components(&hypergraph, MvcAlgorithm::Exact, parallel)))
+        });
+        group.bench_with_input(BenchmarkId::new("mies_components_seq", copies), &copies, |b, _| {
+            b.iter(|| black_box(mies_by_components(&hypergraph, sequential)))
+        });
+        group.bench_with_input(BenchmarkId::new("relaxed_mvc_direct", copies), &copies, |b, _| {
+            b.iter(|| black_box(calc.relaxed_mvc()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("relaxed_mvc_components_seq", copies),
+            &copies,
+            |b, _| b.iter(|| black_box(relaxed_mvc_by_components(&hypergraph, sequential))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

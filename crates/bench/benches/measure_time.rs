@@ -1,0 +1,57 @@
+//! E4 — support-measure computation time as a function of the number of occurrences.
+//!
+//! The paper's central efficiency claim is that MNI and MI are linear in the number of
+//! occurrences while MVC/MIS are NP-hard (with polynomial LP relaxations in between).
+//! The star-overlap workload scales the occurrence count while keeping the pattern
+//! fixed, so these benches trace exactly that spectrum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_bench::workloads;
+use ffsm_core::measures::{MeasureConfig, MvcAlgorithm, SupportMeasures};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measure_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for &occurrences in &[64usize, 256, 1024] {
+        let (graph, pattern) = workloads::star_overlap_workload(occurrences);
+        let occ = workloads::enumerate(&pattern, &graph, 2_000_000);
+        let calc = SupportMeasures::new(occ, MeasureConfig::default());
+        // Pre-build the cached hypergraph so every measure pays only its own cost.
+        let _ = calc.hypergraph(Default::default());
+
+        group.bench_with_input(BenchmarkId::new("mni", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(calc.mni()))
+        });
+        group.bench_with_input(BenchmarkId::new("mi_orbits", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(calc.mi()))
+        });
+        group.bench_with_input(BenchmarkId::new("mvc_exact", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(calc.mvc_with(MvcAlgorithm::Exact)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mvc_greedy_matching", occurrences),
+            &occurrences,
+            |b, _| b.iter(|| black_box(calc.mvc_with(MvcAlgorithm::GreedyMatching))),
+        );
+        group.bench_with_input(BenchmarkId::new("mies", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(calc.mies()))
+        });
+        group.bench_with_input(BenchmarkId::new("relaxed_mvc_lp", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(calc.relaxed_mvc()))
+        });
+        // MIS builds the quadratic overlap graph; keep it to the smaller sizes.
+        if occurrences <= 256 {
+            group.bench_with_input(BenchmarkId::new("mis_overlap_graph", occurrences), &occurrences, |b, _| {
+                b.iter(|| black_box(calc.mis()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

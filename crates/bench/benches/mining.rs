@@ -1,0 +1,33 @@
+//! E5 — end-to-end frequent-subgraph mining time per support measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_core::measures::MeasureKind;
+use ffsm_miner::{Miner, MinerConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    let dataset = ffsm_graph::datasets::chemical_like(30, 7);
+    for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mis] {
+        let config = MinerConfig {
+            min_support: 10.0,
+            measure,
+            max_pattern_edges: 3,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("chemical_tau10", measure.name()), |b| {
+            b.iter(|| {
+                let miner = Miner::new(&dataset.graph, config.clone());
+                black_box(miner.mine().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

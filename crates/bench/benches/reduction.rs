@@ -1,0 +1,64 @@
+//! E12 — kernelization / presolve ahead of the exact and LP-relaxed MVC solvers.
+//!
+//! The reduction rules (duplicate/superset edges, unit edges, dominated vertices) and
+//! the covering-LP presolve shrink overlap-heavy occurrence hypergraphs dramatically;
+//! these benches measure how much of the exact solver / simplex cost they remove.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_bench::workloads;
+use ffsm_core::HypergraphBasis;
+use ffsm_hypergraph::reduction::{reduce_for_vertex_cover, reduced_exact_vertex_cover};
+use ffsm_hypergraph::set_cover::greedy_set_cover_vertex_cover;
+use ffsm_hypergraph::vertex_cover::exact_vertex_cover;
+use ffsm_hypergraph::{Hypergraph, SearchBudget};
+use ffsm_lp::{covering_lp, presolve_covering};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn occurrence_hypergraph(occurrences: usize) -> Hypergraph {
+    let (graph, pattern) = workloads::star_overlap_workload(occurrences);
+    let occ = workloads::enumerate(&pattern, &graph, 2_000_000);
+    occ.hypergraph(HypergraphBasis::Occurrence)
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for &occurrences in &[64usize, 256, 1024] {
+        let h = occurrence_hypergraph(occurrences);
+        let budget = SearchBudget::default();
+        let sets: Vec<Vec<usize>> = h.edges().map(|(_, e)| e.to_vec()).collect();
+
+        group.bench_with_input(BenchmarkId::new("mvc_exact_direct", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(exact_vertex_cover(&h, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("mvc_exact_reduced", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(reduced_exact_vertex_cover(&h, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("reduction_only", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(reduce_for_vertex_cover(&h)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_set_cover", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(greedy_set_cover_vertex_cover(&h)))
+        });
+        group.bench_with_input(BenchmarkId::new("lp_direct", occurrences), &occurrences, |b, _| {
+            b.iter(|| black_box(covering_lp(h.num_vertices(), &sets).solve().unwrap().objective))
+        });
+        group.bench_with_input(BenchmarkId::new("lp_presolved", occurrences), &occurrences, |b, _| {
+            b.iter(|| {
+                black_box(
+                    presolve_covering(h.num_vertices(), &sets)
+                        .solve(h.num_vertices())
+                        .unwrap()
+                        .objective,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

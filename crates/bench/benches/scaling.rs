@@ -1,0 +1,48 @@
+//! Scaling of occurrence enumeration and end-to-end measure evaluation with data-graph
+//! size (supports experiment E3/E4's "large labeled graph" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffsm_bench::workloads;
+use ffsm_core::evaluate;
+use ffsm_core::measures::{MeasureConfig, MeasureKind};
+use ffsm_graph::isomorphism::IsoConfig;
+use ffsm_graph::{generators, patterns, Label};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_enumeration_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let pattern = patterns::uniform_path(3, Label(0));
+    for &n in &[200usize, 400, 800] {
+        let graph = generators::barabasi_albert(n, 3, 2, 17);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ba_graph_path3", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(workloads::enumerate(&pattern, &graph, 500_000).num_occurrences())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_measure");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let graph = generators::community_graph(4, 30, 0.2, 0.01, 4, 23);
+    let pattern = patterns::path(&[Label(0), Label(1), Label(0)]);
+    let config = MeasureConfig { iso_config: IsoConfig::with_limit(200_000), ..Default::default() };
+    for kind in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mies, MeasureKind::RelaxedMvc] {
+        group.bench_function(BenchmarkId::new("community_graph", kind.name()), |b| {
+            b.iter(|| black_box(evaluate(&pattern, &graph, kind, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration_scaling, bench_end_to_end_measures);
+criterion_main!(benches);

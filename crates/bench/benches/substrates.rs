@@ -1,0 +1,118 @@
+//! Substrate micro-benchmarks: subgraph-isomorphism enumeration, canonical codes,
+//! hypergraph vertex cover / matching, and the simplex LP solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffsm_graph::canonical::canonical_code;
+use ffsm_graph::isomorphism::{enumerate_embeddings, IsoConfig};
+use ffsm_graph::{generators, patterns, Label};
+use ffsm_hypergraph::matching::exact_independent_edge_set;
+use ffsm_hypergraph::vertex_cover::exact_vertex_cover;
+use ffsm_hypergraph::{Hypergraph, SearchBudget};
+use ffsm_lp::{covering_lp, packing_lp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_uniform_hypergraph(vertices: usize, edges: usize, rank: usize, seed: u64) -> Hypergraph {
+    let mut h = Hypergraph::new(vertices);
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..edges {
+        let mut e: Vec<usize> = (0..rank).map(|_| next() % vertices).collect();
+        e.sort_unstable();
+        e.dedup();
+        h.add_edge(e).unwrap();
+    }
+    h
+}
+
+fn bench_isomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_isomorphism");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let graph = generators::barabasi_albert(400, 3, 3, 9);
+    for (name, pattern) in [
+        ("edge", patterns::single_edge(Label(0), Label(1))),
+        ("path3", patterns::uniform_path(3, Label(0))),
+        ("triangle", patterns::uniform_clique(3, Label(0))),
+        ("star3", patterns::uniform_star(3, Label(1), Label(0))),
+    ] {
+        group.bench_function(BenchmarkId::new("enumerate", name), |b| {
+            b.iter(|| {
+                black_box(enumerate_embeddings(&pattern, &graph, IsoConfig::with_limit(200_000)).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonical_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_code");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1000));
+    for (name, pattern) in [
+        ("path5", patterns::uniform_path(5, Label(0))),
+        ("clique5", patterns::uniform_clique(5, Label(0))),
+        ("cycle6", patterns::cycle(&[Label(0); 6])),
+    ] {
+        group.bench_function(BenchmarkId::new("canon", name), |b| {
+            b.iter(|| black_box(canonical_code(&pattern)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypergraph_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypergraph_solvers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &edges in &[50usize, 200] {
+        let h = random_uniform_hypergraph(edges / 2, edges, 3, 13);
+        group.bench_with_input(BenchmarkId::new("exact_vertex_cover", edges), &edges, |b, _| {
+            b.iter(|| black_box(exact_vertex_cover(&h, SearchBudget::default()).value))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_matching", edges), &edges, |b, _| {
+            b.iter(|| black_box(exact_independent_edge_set(&h, SearchBudget::default()).value))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &edges in &[100usize, 400] {
+        let h = random_uniform_hypergraph(edges / 2, edges, 3, 29);
+        let sets: Vec<Vec<usize>> = h.edges().map(|(_, e)| e.to_vec()).collect();
+        group.bench_with_input(BenchmarkId::new("covering_lp", edges), &edges, |b, _| {
+            b.iter(|| black_box(covering_lp(h.num_vertices(), &sets).solve().unwrap().objective))
+        });
+        group.bench_with_input(BenchmarkId::new("packing_lp", edges), &edges, |b, _| {
+            b.iter(|| {
+                black_box(
+                    packing_lp(sets.len(), &sets, h.num_vertices())
+                        .solve()
+                        .unwrap()
+                        .objective,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_isomorphism,
+    bench_canonical_codes,
+    bench_hypergraph_solvers,
+    bench_lp_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Workload definitions shared by the experiment harness and the Criterion benches.
+//!
+//! Each workload is deterministic (seeded) so that every run of `experiments` or
+//! `cargo bench` measures the same inputs.
+
+use ffsm_core::occurrences::OccurrenceSet;
+use ffsm_graph::isomorphism::IsoConfig;
+use ffsm_graph::{datasets, generators, patterns, Label, LabeledGraph, Pattern};
+
+/// A named query pattern.
+#[derive(Debug, Clone)]
+pub struct NamedPattern {
+    /// Short name used in tables (e.g. `"triangle"`).
+    pub name: String,
+    /// The pattern.
+    pub pattern: Pattern,
+}
+
+impl NamedPattern {
+    fn new(name: &str, pattern: Pattern) -> Self {
+        NamedPattern { name: name.to_string(), pattern }
+    }
+}
+
+/// The standard query-pattern suite used by the value-spectrum experiments (E3):
+/// shapes of growing size over a small label alphabet, chosen so that each shape
+/// actually occurs in the standard datasets.
+pub fn pattern_suite() -> Vec<NamedPattern> {
+    vec![
+        NamedPattern::new("edge(0-0)", patterns::single_edge(Label(0), Label(0))),
+        NamedPattern::new("edge(0-1)", patterns::single_edge(Label(0), Label(1))),
+        NamedPattern::new("path3(0-0-0)", patterns::uniform_path(3, Label(0))),
+        NamedPattern::new("path3(0-1-0)", patterns::path(&[Label(0), Label(1), Label(0)])),
+        NamedPattern::new("star3(0;1)", patterns::uniform_star(3, Label(0), Label(1))),
+        NamedPattern::new("triangle(0,0,0)", patterns::uniform_clique(3, Label(0))),
+        NamedPattern::new("path4(0-0-0-0)", patterns::uniform_path(4, Label(0))),
+        NamedPattern::new("cycle4(0,1,0,1)", patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)])),
+    ]
+}
+
+/// The standard data-graph suite (domain-flavoured synthetic graphs, DESIGN.md §5).
+pub fn dataset_suite(seed: u64) -> Vec<datasets::Dataset> {
+    datasets::standard_suite(seed)
+}
+
+/// A reduced data-graph suite for quick runs and benches.
+pub fn small_dataset_suite(seed: u64) -> Vec<datasets::Dataset> {
+    datasets::small_suite(seed)
+}
+
+/// The overlap-heavy workload of experiment E4: a `hubs × leaves` double star whose
+/// single-edge pattern has `hubs · leaves` occurrences; the number of occurrences is
+/// the independent variable of the runtime experiment.
+pub fn star_overlap_workload(occurrences: usize) -> (LabeledGraph, Pattern) {
+    // hubs * leaves = occurrences, keep the shape roughly square.
+    let hubs = (occurrences as f64).sqrt().ceil() as usize;
+    let leaves = occurrences.div_ceil(hubs.max(1));
+    (generators::star_overlap(hubs.max(1), leaves.max(1)), patterns::single_edge(Label(0), Label(1)))
+}
+
+/// Enumerate the occurrences of `pattern` in `graph` with a bounded budget (shared by
+/// all experiments so values are comparable).
+pub fn enumerate(pattern: &Pattern, graph: &LabeledGraph, max_embeddings: usize) -> OccurrenceSet {
+    OccurrenceSet::enumerate(pattern, graph, IsoConfig::with_limit(max_embeddings))
+}
+
+/// An anti-monotonicity chain workload (E6): starting from a sampled edge of `graph`,
+/// grow the pattern one edge at a time and return the chain of patterns (each a
+/// subpattern of the next).
+pub fn extension_chain(graph: &LabeledGraph, max_edges: usize, seed: u64) -> Vec<Pattern> {
+    let mut chain = Vec::new();
+    for edges in 1..=max_edges {
+        if let Some((p, _)) = generators::sample_pattern(graph, edges, seed) {
+            // `sample_pattern` with the same seed explores the same random walk, so
+            // successive patterns are (weakly) nested; only keep strictly growing ones.
+            if chain.last().map(|prev: &Pattern| p.num_edges() > prev.num_edges()).unwrap_or(true) {
+                chain.push(p);
+            }
+        }
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_suite_is_well_formed() {
+        let suite = pattern_suite();
+        assert!(suite.len() >= 8);
+        for p in &suite {
+            assert!(p.pattern.num_edges() >= 1, "{} has no edges", p.name);
+            assert!(p.pattern.is_connected(), "{} is disconnected", p.name);
+        }
+    }
+
+    #[test]
+    fn star_overlap_workload_has_requested_occurrences() {
+        for target in [16usize, 100, 400] {
+            let (g, p) = star_overlap_workload(target);
+            let occ = enumerate(&p, &g, 1_000_000);
+            assert!(occ.num_occurrences() >= target);
+            assert!(occ.num_occurrences() <= target + 2 * (target as f64).sqrt() as usize + 2);
+        }
+    }
+
+    #[test]
+    fn extension_chain_is_growing() {
+        let g = generators::barabasi_albert(120, 3, 3, 5);
+        let chain = extension_chain(&g, 4, 9);
+        assert!(!chain.is_empty());
+        for w in chain.windows(2) {
+            assert!(w[1].num_edges() > w[0].num_edges());
+        }
+    }
+
+    #[test]
+    fn dataset_suites_available() {
+        assert_eq!(dataset_suite(1).len(), 4);
+        assert_eq!(small_dataset_suite(1).len(), 4);
+    }
+}

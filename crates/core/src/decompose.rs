@@ -1,0 +1,272 @@
+//! Additive (per-component) evaluation of the hypergraph-based measures.
+//!
+//! The paper's conclusions list *additiveness* — "the computing can be done in a
+//! parallel manner" — as a desirable extension (Section 6, item 4).  The hypergraph
+//! framework makes the applicable scope precise:
+//!
+//! * **additive**: MVC, MIS/MIES, the LP relaxations νMVC/νMIES and MCP.  All of them
+//!   optimise over structures that never span two connected components of the
+//!   occurrence (instance) hypergraph, so the optimum over `H` is the sum of optima
+//!   over `H`'s components.
+//! * **not additive**: MNI and MI.  They take a *minimum* (not a sum) of per-node
+//!   image counts over the whole pattern, so splitting the hypergraph and summing
+//!   would over-count — see `tests::mni_is_not_additive` for a concrete witness.
+//!
+//! Decomposition pays off twice: exact branch-and-bound solvers run on much smaller
+//! instances (exponentially better worst case), and components can be solved on
+//! separate threads ([`DecompositionConfig::parallel`]).  Experiment E10 measures
+//! both effects.
+
+use crate::measures::{mcp, mis, mvc, relaxed, MeasureOutcome, MvcAlgorithm};
+use ffsm_hypergraph::connectivity::{connected_components, Component};
+use ffsm_hypergraph::{Hypergraph, SearchBudget};
+
+/// How the per-component sub-problems are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompositionConfig {
+    /// Solve components on `std::thread` workers (one per component, capped at the
+    /// number of available CPUs).  With few or tiny components the sequential path is
+    /// faster; the experiments use ~64 edges per component as the break-even rule of
+    /// thumb.
+    pub parallel: bool,
+    /// Budget applied to *each* component's exact search.
+    pub budget: SearchBudget,
+}
+
+impl Default for DecompositionConfig {
+    fn default() -> Self {
+        DecompositionConfig { parallel: false, budget: SearchBudget::default() }
+    }
+}
+
+/// Result of an additive evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecomposedOutcome {
+    /// Sum of the per-component values.
+    pub value: f64,
+    /// `true` only if every component's search proved optimality.
+    pub optimal: bool,
+    /// Number of connected components solved.
+    pub num_components: usize,
+    /// The individual component values (ordered as the components are).
+    pub component_values: Vec<f64>,
+}
+
+impl DecomposedOutcome {
+    fn from_parts(parts: Vec<(f64, bool)>) -> Self {
+        let value = parts.iter().map(|(v, _)| v).sum();
+        let optimal = parts.iter().all(|&(_, o)| o);
+        DecomposedOutcome {
+            value,
+            optimal,
+            num_components: parts.len(),
+            component_values: parts.into_iter().map(|(v, _)| v).collect(),
+        }
+    }
+}
+
+/// Evaluate `f` on every connected component of `h` and sum the results.
+fn evaluate_components<F>(h: &Hypergraph, config: DecompositionConfig, f: F) -> DecomposedOutcome
+where
+    F: Fn(&Hypergraph) -> (f64, bool) + Sync,
+{
+    let components: Vec<Component> = connected_components(h);
+    if components.is_empty() {
+        return DecomposedOutcome {
+            value: 0.0,
+            optimal: true,
+            num_components: 0,
+            component_values: Vec::new(),
+        };
+    }
+    if !config.parallel || components.len() == 1 {
+        let parts = components.iter().map(|c| f(&c.hypergraph)).collect();
+        return DecomposedOutcome::from_parts(parts);
+    }
+    // Parallel path: static round-robin assignment of components to worker threads.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = workers.min(components.len()).max(1);
+    let mut parts = vec![(0.0f64, true); components.len()];
+    std::thread::scope(|scope| {
+        let chunks: Vec<(usize, &Component)> = components.iter().enumerate().collect();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let assigned: Vec<(usize, &Component)> =
+                chunks.iter().copied().filter(|(i, _)| i % workers == w).collect();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                assigned
+                    .into_iter()
+                    .map(|(i, c)| (i, f(&c.hypergraph)))
+                    .collect::<Vec<(usize, (f64, bool))>>()
+            }));
+        }
+        for handle in handles {
+            for (i, part) in handle.join().expect("component worker panicked") {
+                parts[i] = part;
+            }
+        }
+    });
+    DecomposedOutcome::from_parts(parts)
+}
+
+/// σMVC computed additively over components.
+pub fn mvc_by_components(
+    h: &Hypergraph,
+    algorithm: MvcAlgorithm,
+    config: DecompositionConfig,
+) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| {
+        let r = mvc::mvc(c, algorithm, config.budget);
+        (r.value as f64, r.optimal)
+    })
+}
+
+/// σMIES computed additively over components.
+pub fn mies_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| {
+        let r = mis::mies(c, config.budget);
+        (r.value as f64, r.optimal)
+    })
+}
+
+/// σMIS computed additively over components.
+pub fn mis_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| {
+        let r = mis::mis(c, config.budget);
+        (r.value as f64, r.optimal)
+    })
+}
+
+/// σMCP computed additively over components.
+pub fn mcp_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| {
+        let r: MeasureOutcome = mcp::mcp(c, config.budget);
+        (r.value as f64, r.optimal)
+    })
+}
+
+/// νMVC (the LP relaxation) computed additively over components.
+pub fn relaxed_mvc_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| (relaxed::relaxed_mvc(c), true))
+}
+
+/// νMIES (the LP relaxation) computed additively over components.
+pub fn relaxed_mies_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+    evaluate_components(h, config, |c| (relaxed::relaxed_mies(c), true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{MeasureConfig, SupportMeasures};
+    use crate::occurrences::{HypergraphBasis, OccurrenceSet};
+    use ffsm_graph::isomorphism::IsoConfig;
+    use ffsm_graph::{generators, patterns, Label};
+
+    /// Data graph made of several star-overlap blocks: many components, each with
+    /// internal overlap.
+    fn blocks(copies: usize) -> (ffsm_graph::LabeledGraph, ffsm_graph::Pattern) {
+        let block = generators::star_overlap(2, 3);
+        let graph = generators::replicated(&block, copies, false);
+        let pattern = patterns::single_edge(Label(0), Label(1));
+        (graph, pattern)
+    }
+
+    fn occurrence_hypergraph(
+        graph: &ffsm_graph::LabeledGraph,
+        pattern: &ffsm_graph::Pattern,
+    ) -> Hypergraph {
+        OccurrenceSet::enumerate(pattern, graph, IsoConfig::default())
+            .hypergraph(HypergraphBasis::Occurrence)
+    }
+
+    #[test]
+    fn decomposition_matches_direct_solution() {
+        let (graph, pattern) = blocks(6);
+        let h = occurrence_hypergraph(&graph, &pattern);
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+        let direct = SupportMeasures::new(occ, MeasureConfig::default());
+        let config = DecompositionConfig::default();
+
+        let mvc_d = mvc_by_components(&h, MvcAlgorithm::Exact, config);
+        assert_eq!(mvc_d.num_components, 6);
+        assert!(mvc_d.optimal);
+        assert_eq!(mvc_d.value, direct.mvc().value as f64);
+
+        let mies_d = mies_by_components(&h, config);
+        assert_eq!(mies_d.value, direct.mies().value as f64);
+        let mis_d = mis_by_components(&h, config);
+        assert_eq!(mis_d.value, direct.mis().value as f64);
+
+        let rel_mvc = relaxed_mvc_by_components(&h, config);
+        assert!((rel_mvc.value - direct.relaxed_mvc()).abs() < 1e-6);
+        let rel_mies = relaxed_mies_by_components(&h, config);
+        assert!((rel_mies.value - direct.relaxed_mies()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (graph, pattern) = blocks(8);
+        let h = occurrence_hypergraph(&graph, &pattern);
+        let seq = DecompositionConfig { parallel: false, ..Default::default() };
+        let par = DecompositionConfig { parallel: true, ..Default::default() };
+        assert_eq!(
+            mvc_by_components(&h, MvcAlgorithm::Exact, seq),
+            mvc_by_components(&h, MvcAlgorithm::Exact, par)
+        );
+        assert_eq!(mies_by_components(&h, seq), mies_by_components(&h, par));
+        assert_eq!(mcp_by_components(&h, seq), mcp_by_components(&h, par));
+    }
+
+    #[test]
+    fn empty_hypergraph_decomposes_to_zero() {
+        let h = Hypergraph::new(4);
+        let d = mvc_by_components(&h, MvcAlgorithm::Exact, DecompositionConfig::default());
+        assert_eq!(d.value, 0.0);
+        assert_eq!(d.num_components, 0);
+        assert!(d.optimal);
+    }
+
+    #[test]
+    fn component_values_sum_to_total() {
+        let (graph, pattern) = blocks(5);
+        let h = occurrence_hypergraph(&graph, &pattern);
+        let d = mis_by_components(&h, DecompositionConfig::default());
+        assert_eq!(d.component_values.len(), d.num_components);
+        let sum: f64 = d.component_values.iter().sum();
+        assert!((sum - d.value).abs() < 1e-12);
+        // Every star-overlap block contributes MIS = 2 (two hubs... actually
+        // min(hubs, leaves) = 2 independent edges).
+        assert!(d.component_values.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn mni_is_not_additive() {
+        // MNI takes a minimum over pattern nodes of *summed* per-component image
+        // counts, so it can exceed the sum of per-component MNIs — summing component
+        // results would therefore be wrong (here: 4 vs 1 + 1).
+        let pattern = patterns::single_edge(Label(0), Label(1));
+        let comp_a = generators::star_overlap(1, 3); // one L0 hub, three L1 leaves: MNI 1
+        let comp_b = generators::star_overlap(3, 1); // three L0 hubs, one L1 leaf:  MNI 1
+        let graph = ffsm_graph::transform::disjoint_union(&comp_a, &comp_b);
+        let whole = SupportMeasures::new(
+            OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default()),
+            MeasureConfig::default(),
+        );
+        let mni_a = SupportMeasures::new(
+            OccurrenceSet::enumerate(&pattern, &comp_a, IsoConfig::default()),
+            MeasureConfig::default(),
+        )
+        .mni();
+        let mni_b = SupportMeasures::new(
+            OccurrenceSet::enumerate(&pattern, &comp_b, IsoConfig::default()),
+            MeasureConfig::default(),
+        )
+        .mni();
+        assert_eq!(mni_a, 1);
+        assert_eq!(mni_b, 1);
+        assert_eq!(whole.mni(), 4);
+        assert!(whole.mni() > mni_a + mni_b);
+    }
+}

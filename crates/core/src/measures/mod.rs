@@ -1,0 +1,375 @@
+//! The support measures of the paper, unified behind one calculator.
+//!
+//! [`SupportMeasures`] is built from an [`OccurrenceSet`] and a [`MeasureConfig`]; it
+//! exposes one method per measure plus a generic [`SupportMeasures::compute`] keyed by
+//! [`MeasureKind`] (used by the miner and the experiment harness).  The occurrence and
+//! instance hypergraphs are built lazily and cached.
+
+pub mod mcp;
+pub mod mi;
+pub mod mis;
+pub mod mni;
+pub mod mvc;
+pub mod relaxed;
+
+use crate::occurrences::{HypergraphBasis, OccurrenceSet};
+use ffsm_graph::isomorphism::IsoConfig;
+use ffsm_hypergraph::{Hypergraph, SearchBudget};
+use std::cell::OnceCell;
+
+/// Strategy for choosing the coarse-grained (transitive) node subsets over which the
+/// MI measure minimises (Definition 3.2.4 leaves this collection open; see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MiStrategy {
+    /// Only singleton subsets — MI degenerates to MNI.
+    Singletons,
+    /// Connected node subsets of exactly `k` vertices — the parameterised MNI-k of
+    /// Definition 2.2.9.
+    ConnectedK(usize),
+    /// Singletons plus every subset of every automorphism orbit of every connected
+    /// subgraph of the pattern (the reading illustrated by Figures 4 and 7).
+    /// This is the default.
+    #[default]
+    AutomorphismOrbits,
+    /// Singletons plus every subset of every label class — the loosest literal
+    /// reading of "transitive node subset in a subgraph of P" (the edgeless subgraph
+    /// makes all same-labelled vertices transitive).  Produces the smallest MI values.
+    LabelClasses,
+}
+
+/// Algorithm used for the NP-hard MVC measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MvcAlgorithm {
+    /// Branch-and-bound exact cover (budgeted).
+    #[default]
+    Exact,
+    /// Maximal-matching based k-approximation (k = pattern size).
+    GreedyMatching,
+    /// Highest-degree greedy heuristic.
+    GreedyDegree,
+}
+
+/// Identifies a support measure for generic computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureKind {
+    /// Number of occurrences (not anti-monotonic; for reference only).
+    OccurrenceCount,
+    /// Number of instances (not anti-monotonic; for reference only).
+    InstanceCount,
+    /// Minimum-image-based support (Definition 2.2.8).
+    Mni,
+    /// Minimum k-image-based support (Definition 2.2.9).
+    MniK(usize),
+    /// Minimum instance support (Definition 3.2.4) under the configured strategy.
+    Mi,
+    /// Minimum vertex cover support (Definition 3.3.2) under the configured algorithm.
+    Mvc,
+    /// Overlap-graph maximum-independent-set support (Definition 2.2.7).
+    Mis,
+    /// Maximum independent edge set support (Definition 4.2.1).
+    Mies,
+    /// LP relaxation of MVC (Definition 4.3.1).
+    RelaxedMvc,
+    /// LP relaxation of MIES (Definition 4.3.2).
+    RelaxedMies,
+    /// Minimum clique partition of the overlap graph (Calders et al.; Section 5).
+    Mcp,
+}
+
+impl MeasureKind {
+    /// All anti-monotonic measures in the order of the bounding chain (smallest
+    /// expected value first).
+    pub fn bounding_chain() -> Vec<MeasureKind> {
+        vec![
+            MeasureKind::Mis,
+            MeasureKind::Mies,
+            MeasureKind::RelaxedMies,
+            MeasureKind::RelaxedMvc,
+            MeasureKind::Mvc,
+            MeasureKind::Mi,
+            MeasureKind::Mni,
+        ]
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            MeasureKind::OccurrenceCount => "occurrences".to_string(),
+            MeasureKind::InstanceCount => "instances".to_string(),
+            MeasureKind::Mni => "MNI".to_string(),
+            MeasureKind::MniK(k) => format!("MNI-{k}"),
+            MeasureKind::Mi => "MI".to_string(),
+            MeasureKind::Mvc => "MVC".to_string(),
+            MeasureKind::Mis => "MIS".to_string(),
+            MeasureKind::Mies => "MIES".to_string(),
+            MeasureKind::RelaxedMvc => "nuMVC".to_string(),
+            MeasureKind::RelaxedMies => "nuMIES".to_string(),
+            MeasureKind::Mcp => "MCP".to_string(),
+        }
+    }
+}
+
+/// Outcome of an NP-hard measure: the value plus whether it is proven optimal (the
+/// branch-and-bound searches are budgeted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureOutcome {
+    /// The measure value.
+    pub value: usize,
+    /// `false` if the search budget was exhausted and `value` is only the best bound
+    /// found (an upper bound for minimisation problems, lower bound for maximisation).
+    pub optimal: bool,
+}
+
+/// Configuration shared by all measures.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Occurrence-enumeration settings (embedding budget, induced flag).
+    pub iso_config: IsoConfig,
+    /// Strategy for the MI measure.
+    pub mi_strategy: MiStrategy,
+    /// Algorithm for the MVC measure.
+    pub mvc_algorithm: MvcAlgorithm,
+    /// Hypergraph basis (occurrence vs instance) for MVC / MIS / MIES / relaxations.
+    pub basis: HypergraphBasis,
+    /// Node budget for exact branch-and-bound searches.
+    pub search_budget: SearchBudget,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            iso_config: IsoConfig::default(),
+            mi_strategy: MiStrategy::default(),
+            mvc_algorithm: MvcAlgorithm::default(),
+            basis: HypergraphBasis::default(),
+            search_budget: SearchBudget::default(),
+        }
+    }
+}
+
+/// Calculator for every support measure over one pattern/data-graph pair.
+#[derive(Debug)]
+pub struct SupportMeasures {
+    occurrences: OccurrenceSet,
+    config: MeasureConfig,
+    occurrence_hg: OnceCell<Hypergraph>,
+    instance_hg: OnceCell<Hypergraph>,
+}
+
+impl SupportMeasures {
+    /// Build a calculator from an occurrence set.
+    pub fn new(occurrences: OccurrenceSet, config: MeasureConfig) -> Self {
+        SupportMeasures {
+            occurrences,
+            config,
+            occurrence_hg: OnceCell::new(),
+            instance_hg: OnceCell::new(),
+        }
+    }
+
+    /// The underlying occurrence set.
+    pub fn occurrences(&self) -> &OccurrenceSet {
+        &self.occurrences
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MeasureConfig {
+        &self.config
+    }
+
+    /// The (cached) hypergraph for `basis`.
+    pub fn hypergraph(&self, basis: HypergraphBasis) -> &Hypergraph {
+        match basis {
+            HypergraphBasis::Occurrence => self
+                .occurrence_hg
+                .get_or_init(|| self.occurrences.occurrence_hypergraph()),
+            HypergraphBasis::Instance => self
+                .instance_hg
+                .get_or_init(|| self.occurrences.instance_hypergraph()),
+        }
+    }
+
+    /// Number of occurrences (reference value, not anti-monotonic).
+    pub fn occurrence_count(&self) -> usize {
+        self.occurrences.num_occurrences()
+    }
+
+    /// Number of instances (reference value, not anti-monotonic).
+    pub fn instance_count(&self) -> usize {
+        self.occurrences.num_instances()
+    }
+
+    /// Minimum-image-based support σMNI (Definition 2.2.8).
+    pub fn mni(&self) -> usize {
+        mni::mni(&self.occurrences)
+    }
+
+    /// Minimum k-image-based support σMNI(·, k) (Definition 2.2.9).
+    pub fn mni_k(&self, k: usize) -> usize {
+        mni::mni_k(&self.occurrences, k)
+    }
+
+    /// Minimum instance support σMI (Definition 3.2.4) under the configured strategy.
+    pub fn mi(&self) -> usize {
+        self.mi_with(self.config.mi_strategy)
+    }
+
+    /// Minimum instance support under an explicit strategy.
+    pub fn mi_with(&self, strategy: MiStrategy) -> usize {
+        mi::mi(&self.occurrences, strategy)
+    }
+
+    /// Minimum vertex cover support σMVC (Definition 3.3.2) under the configured
+    /// algorithm and basis.
+    pub fn mvc(&self) -> MeasureOutcome {
+        self.mvc_with(self.config.mvc_algorithm)
+    }
+
+    /// Minimum vertex cover support under an explicit algorithm.
+    pub fn mvc_with(&self, algorithm: MvcAlgorithm) -> MeasureOutcome {
+        mvc::mvc(self.hypergraph(self.config.basis), algorithm, self.config.search_budget)
+    }
+
+    /// Overlap-graph MIS support σMIS (Definition 2.2.7) under the configured basis.
+    pub fn mis(&self) -> MeasureOutcome {
+        mis::mis(self.hypergraph(self.config.basis), self.config.search_budget)
+    }
+
+    /// Minimum clique partition support σMCP (Calders et al.) under the configured
+    /// basis.  Always `≥ σMIS` (every clique contributes at most one independent
+    /// occurrence).
+    pub fn mcp(&self) -> MeasureOutcome {
+        mcp::mcp(self.hypergraph(self.config.basis), self.config.search_budget)
+    }
+
+    /// Maximum independent edge set support σMIES (Definition 4.2.1).
+    pub fn mies(&self) -> MeasureOutcome {
+        mis::mies(self.hypergraph(self.config.basis), self.config.search_budget)
+    }
+
+    /// LP-relaxed vertex cover νMVC (Definition 4.3.1).
+    pub fn relaxed_mvc(&self) -> f64 {
+        relaxed::relaxed_mvc(self.hypergraph(self.config.basis))
+    }
+
+    /// LP-relaxed independent edge set νMIES (Definition 4.3.2).
+    pub fn relaxed_mies(&self) -> f64 {
+        relaxed::relaxed_mies(self.hypergraph(self.config.basis))
+    }
+
+    /// Generic computation keyed by [`MeasureKind`]; integral measures are returned as
+    /// `f64` for uniformity.
+    pub fn compute(&self, kind: MeasureKind) -> f64 {
+        match kind {
+            MeasureKind::OccurrenceCount => self.occurrence_count() as f64,
+            MeasureKind::InstanceCount => self.instance_count() as f64,
+            MeasureKind::Mni => self.mni() as f64,
+            MeasureKind::MniK(k) => self.mni_k(k) as f64,
+            MeasureKind::Mi => self.mi() as f64,
+            MeasureKind::Mvc => self.mvc().value as f64,
+            MeasureKind::Mis => self.mis().value as f64,
+            MeasureKind::Mies => self.mies().value as f64,
+            MeasureKind::RelaxedMvc => self.relaxed_mvc(),
+            MeasureKind::RelaxedMies => self.relaxed_mies(),
+            MeasureKind::Mcp => self.mcp().value as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::figures;
+
+    fn calculator(example: &ffsm_graph::figures::FigureExample) -> SupportMeasures {
+        let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        SupportMeasures::new(occ, MeasureConfig::default())
+    }
+
+    #[test]
+    fn figure2_values() {
+        // MNI = 3, MIS = 1, one instance.
+        let m = calculator(&figures::figure2());
+        assert_eq!(m.occurrence_count(), 6);
+        assert_eq!(m.instance_count(), 1);
+        assert_eq!(m.mni(), 3);
+        assert_eq!(m.mis().value, 1);
+        assert_eq!(m.mies().value, 1);
+        assert_eq!(m.mi(), 1);
+        assert_eq!(m.mvc().value, 1);
+    }
+
+    #[test]
+    fn figure4_values() {
+        // MNI = 2, MI = 1.
+        let m = calculator(&figures::figure4());
+        assert_eq!(m.mni(), 2);
+        assert_eq!(m.mi(), 1);
+        assert_eq!(m.mis().value, 1);
+    }
+
+    #[test]
+    fn figure6_values() {
+        // MIS = 2, MVC = 2, MI = 4, MNI = 4.
+        let m = calculator(&figures::figure6());
+        assert_eq!(m.occurrence_count(), 7);
+        assert_eq!(m.mis().value, 2);
+        assert_eq!(m.mvc().value, 2);
+        assert_eq!(m.mi(), 4);
+        assert_eq!(m.mni(), 4);
+    }
+
+    #[test]
+    fn figure8_values() {
+        // MIS = MIES = 2.
+        let m = calculator(&figures::figure8());
+        assert_eq!(m.mis().value, 2);
+        assert_eq!(m.mies().value, 2);
+        assert!((m.relaxed_mies() - 2.0).abs() < 1e-6);
+        assert!((m.relaxed_mvc() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure1_values() {
+        // Reconstructed Figure 1: MIS = 2, MVC = 3, MI = 4, MNI = 5.
+        let m = calculator(&figures::figure1());
+        assert_eq!(m.mis().value, 2);
+        assert_eq!(m.mvc().value, 3);
+        assert_eq!(m.mi(), 4);
+        assert_eq!(m.mni(), 5);
+    }
+
+    #[test]
+    fn figure5_anti_monotonicity_of_mvc() {
+        // Extending the Figure 2 triangle by one vertex keeps MVC at 1.
+        let m2 = calculator(&figures::figure2());
+        let m5 = calculator(&figures::figure5());
+        assert_eq!(m2.mvc().value, 1);
+        assert_eq!(m5.mvc().value, 1);
+        assert!(m5.mni() <= m2.mni());
+        assert!(m5.mi() <= m2.mi());
+        assert!(m5.mis().value <= m2.mis().value);
+    }
+
+    #[test]
+    fn generic_compute_matches_specific_methods() {
+        let m = calculator(&figures::figure6());
+        assert_eq!(m.compute(MeasureKind::Mni), m.mni() as f64);
+        assert_eq!(m.compute(MeasureKind::Mi), m.mi() as f64);
+        assert_eq!(m.compute(MeasureKind::Mvc), m.mvc().value as f64);
+        assert_eq!(m.compute(MeasureKind::Mis), m.mis().value as f64);
+        assert_eq!(m.compute(MeasureKind::Mies), m.mies().value as f64);
+        assert_eq!(m.compute(MeasureKind::OccurrenceCount), 7.0);
+        assert_eq!(m.compute(MeasureKind::InstanceCount), 7.0);
+        assert_eq!(m.compute(MeasureKind::MniK(2)), m.mni_k(2) as f64);
+        assert!(m.compute(MeasureKind::RelaxedMvc) <= m.compute(MeasureKind::Mvc) + 1e-9);
+    }
+
+    #[test]
+    fn measure_kind_names() {
+        assert_eq!(MeasureKind::Mni.name(), "MNI");
+        assert_eq!(MeasureKind::MniK(3).name(), "MNI-3");
+        assert_eq!(MeasureKind::RelaxedMvc.name(), "nuMVC");
+        assert_eq!(MeasureKind::bounding_chain().len(), 7);
+    }
+}

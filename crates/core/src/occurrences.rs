@@ -1,0 +1,285 @@
+//! Occurrences, instances and their hypergraphs.
+//!
+//! Given a pattern `P` and data graph `G`:
+//!
+//! * an **occurrence** is a subgraph isomorphism `f : P → G` (Definition 2.1.8);
+//! * an **instance** is a subgraph of `G` isomorphic to `P` (Definition 2.1.9) — the
+//!   image of one or more occurrences;
+//! * the **occurrence hypergraph** has one vertex per pattern-node image and one edge
+//!   per occurrence, the edge being the occurrence's image vertex set
+//!   (Definition 3.1.3);
+//! * the **instance hypergraph** is the same construction over instances
+//!   (Definition 3.1.4): occurrences that project the pattern onto the same subgraph
+//!   (same image vertex *and* edge set) collapse into a single hyperedge.
+//!
+//! Hypergraph vertices are re-indexed densely (`0..k`); [`OccurrenceSet`] keeps the
+//! mapping back to data-graph vertex identifiers.
+
+use ffsm_graph::isomorphism::{enumerate_embeddings, Embedding, IsoConfig};
+use ffsm_graph::{LabeledGraph, Pattern, VertexId};
+use ffsm_hypergraph::Hypergraph;
+use std::collections::{BTreeSet, HashMap};
+
+/// Which hypergraph a measure is evaluated on (the paper defines MVC/MIES/MIS on
+/// "occurrence (instance)" hypergraphs; both are supported everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HypergraphBasis {
+    /// One hyperedge per occurrence (subgraph isomorphism).  The default.
+    #[default]
+    Occurrence,
+    /// One hyperedge per instance (distinct image subgraph).
+    Instance,
+}
+
+/// An instance of the pattern: the image subgraph, identified by its vertex and edge
+/// sets in the data graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instance {
+    /// Sorted data-graph vertices of the image subgraph.
+    pub vertices: Vec<VertexId>,
+    /// Sorted data-graph edges (as `(min, max)` pairs) of the image subgraph.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+/// The set of all occurrences of one pattern in one data graph, plus the derived
+/// hypergraph views.
+#[derive(Debug, Clone)]
+pub struct OccurrenceSet {
+    pattern: Pattern,
+    embeddings: Vec<Embedding>,
+    complete: bool,
+    /// hypergraph vertex index -> data graph vertex id
+    hg_vertex_to_data: Vec<VertexId>,
+    /// data graph vertex id -> hypergraph vertex index
+    data_to_hg_vertex: HashMap<VertexId, usize>,
+}
+
+impl OccurrenceSet {
+    /// Enumerate all occurrences of `pattern` in `graph`.
+    pub fn enumerate(pattern: &Pattern, graph: &LabeledGraph, config: IsoConfig) -> Self {
+        let result = enumerate_embeddings(pattern, graph, config);
+        Self::from_embeddings(pattern.clone(), result.embeddings, result.complete)
+    }
+
+    /// Build an occurrence set from pre-computed embeddings (used by the miner, which
+    /// maintains embeddings incrementally).
+    pub fn from_embeddings(pattern: Pattern, embeddings: Vec<Embedding>, complete: bool) -> Self {
+        let mut hg_vertex_to_data = Vec::new();
+        let mut data_to_hg_vertex = HashMap::new();
+        for emb in &embeddings {
+            for &v in emb {
+                data_to_hg_vertex.entry(v).or_insert_with(|| {
+                    hg_vertex_to_data.push(v);
+                    hg_vertex_to_data.len() - 1
+                });
+            }
+        }
+        OccurrenceSet { pattern, embeddings, complete, hg_vertex_to_data, data_to_hg_vertex }
+    }
+
+    /// The query pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Number of occurrences.
+    pub fn num_occurrences(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// `false` if the enumeration hit its embedding budget, in which case every
+    /// measure computed from this set is a lower bound on the true value.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The raw occurrence maps (`occurrence[pattern node] = data vertex`).
+    pub fn embeddings(&self) -> &[Embedding] {
+        &self.embeddings
+    }
+
+    /// Number of distinct pattern-node images (= hypergraph vertices).
+    pub fn num_images(&self) -> usize {
+        self.hg_vertex_to_data.len()
+    }
+
+    /// The data-graph vertex behind hypergraph vertex `i`.
+    pub fn image_vertex(&self, i: usize) -> VertexId {
+        self.hg_vertex_to_data[i]
+    }
+
+    /// The hypergraph vertex index of data-graph vertex `v`, if it is an image.
+    pub fn hypergraph_index(&self, v: VertexId) -> Option<usize> {
+        self.data_to_hg_vertex.get(&v).copied()
+    }
+
+    /// Distinct images of pattern node `node` (the image set whose size MNI minimises).
+    pub fn node_images(&self, node: VertexId) -> BTreeSet<VertexId> {
+        self.embeddings.iter().map(|emb| emb[node as usize]).collect()
+    }
+
+    /// Distinct image *sets* of a coarse-grained node subset `W` (Definition 3.2.1):
+    /// `c(W) = |{ f_i(W) }|` where each image is taken as a set.
+    pub fn subset_image_count(&self, subset: &[VertexId]) -> usize {
+        let mut images: BTreeSet<Vec<VertexId>> = BTreeSet::new();
+        for emb in &self.embeddings {
+            let mut img: Vec<VertexId> = subset.iter().map(|&v| emb[v as usize]).collect();
+            img.sort_unstable();
+            img.dedup();
+            images.insert(img);
+        }
+        images.len()
+    }
+
+    /// All distinct instances (Definition 2.1.9), sorted.
+    pub fn instances(&self) -> Vec<Instance> {
+        let mut set: BTreeSet<Instance> = BTreeSet::new();
+        for emb in &self.embeddings {
+            let mut vertices: Vec<VertexId> = emb.clone();
+            vertices.sort_unstable();
+            vertices.dedup();
+            let mut edges: Vec<(VertexId, VertexId)> = self
+                .pattern
+                .edges()
+                .map(|(u, v)| {
+                    let (a, b) = (emb[u as usize], emb[v as usize]);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            set.insert(Instance { vertices, edges });
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances().len()
+    }
+
+    /// The occurrence hypergraph `H_O` (Definition 3.1.3): one edge per occurrence.
+    /// Edges with identical vertex sets are kept as distinct edges — their edge id
+    /// plays the role of the occurrence label `f_i`.
+    pub fn occurrence_hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new(self.num_images());
+        for emb in &self.embeddings {
+            let edge: Vec<usize> = emb.iter().map(|v| self.data_to_hg_vertex[v]).collect();
+            h.add_edge(edge).expect("occurrence edge is valid");
+        }
+        h
+    }
+
+    /// The instance hypergraph `H_I` (Definition 3.1.4): one edge per instance.
+    pub fn instance_hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new(self.num_images());
+        for inst in self.instances() {
+            let edge: Vec<usize> = inst.vertices.iter().map(|v| self.data_to_hg_vertex[v]).collect();
+            h.add_edge(edge).expect("instance edge is valid");
+        }
+        h
+    }
+
+    /// The hypergraph for the requested basis.
+    pub fn hypergraph(&self, basis: HypergraphBasis) -> Hypergraph {
+        match basis {
+            HypergraphBasis::Occurrence => self.occurrence_hypergraph(),
+            HypergraphBasis::Instance => self.instance_hypergraph(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::figures;
+    use ffsm_graph::isomorphism::IsoConfig;
+
+    fn build(example: &ffsm_graph::figures::FigureExample) -> OccurrenceSet {
+        OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default())
+    }
+
+    #[test]
+    fn figure2_occurrences_vs_instances() {
+        // 6 occurrences collapse into a single instance (the triangle {1,2,3}).
+        let occ = build(&figures::figure2());
+        assert_eq!(occ.num_occurrences(), 6);
+        assert_eq!(occ.num_instances(), 1);
+        let oh = occ.occurrence_hypergraph();
+        assert_eq!(oh.num_edges(), 6);
+        assert_eq!(oh.uniform_rank(), Some(3));
+        let ih = occ.instance_hypergraph();
+        assert_eq!(ih.num_edges(), 1);
+        assert_eq!(occ.num_images(), 3);
+        assert!(occ.is_complete());
+    }
+
+    #[test]
+    fn figure3_occurrence_equals_instance_hypergraph() {
+        // The pattern has no non-trivial automorphism, so both hypergraphs have 6 edges.
+        let occ = build(&figures::figure3());
+        assert_eq!(occ.occurrence_hypergraph().num_edges(), 6);
+        assert_eq!(occ.instance_hypergraph().num_edges(), 6);
+        assert_eq!(occ.occurrence_hypergraph().uniform_rank(), Some(3));
+        // The paper lists the hypergraph vertex set: 14 distinct images.
+        assert_eq!(occ.num_images(), 14);
+    }
+
+    #[test]
+    fn figure4_node_images_and_subset_counts() {
+        let occ = build(&figures::figure4());
+        assert_eq!(occ.num_occurrences(), 2);
+        assert_eq!(occ.node_images(0).len(), 2); // v1 -> {1, 4}
+        assert_eq!(occ.node_images(1).len(), 2); // v2 -> {2, 3}
+        assert_eq!(occ.node_images(2).len(), 2); // v3 -> {3, 2}
+        // The transitive subset {v2, v3} has a single image set {2, 3}.
+        assert_eq!(occ.subset_image_count(&[1, 2]), 1);
+        assert_eq!(occ.subset_image_count(&[0]), 2);
+        assert_eq!(occ.subset_image_count(&[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn figure8_instances_form_a_cycle() {
+        let occ = build(&figures::figure8());
+        assert_eq!(occ.num_occurrences(), 4);
+        assert_eq!(occ.num_instances(), 4);
+        let ih = occ.instance_hypergraph();
+        let overlap = ih.overlap_adjacency();
+        // Every instance overlaps exactly two others (the 4-cycle overlap graph).
+        assert!(overlap.iter().all(|n| n.len() == 2));
+    }
+
+    #[test]
+    fn mapping_between_hypergraph_and_data_vertices() {
+        let occ = build(&figures::figure6());
+        assert_eq!(occ.num_images(), 8);
+        for i in 0..occ.num_images() {
+            let data = occ.image_vertex(i);
+            assert_eq!(occ.hypergraph_index(data), Some(i));
+        }
+        assert_eq!(occ.hypergraph_index(1000), None);
+    }
+
+    #[test]
+    fn empty_occurrence_set() {
+        let pattern = ffsm_graph::patterns::single_edge(ffsm_graph::Label(7), ffsm_graph::Label(8));
+        let graph = ffsm_graph::LabeledGraph::from_edges(&[0, 0], &[(0, 1)]);
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+        assert_eq!(occ.num_occurrences(), 0);
+        assert_eq!(occ.num_instances(), 0);
+        assert_eq!(occ.num_images(), 0);
+        assert!(occ.occurrence_hypergraph().is_empty());
+    }
+
+    #[test]
+    fn instance_distinguishes_edge_sets_on_same_vertices() {
+        // Two occurrences with the same vertex set but different edge images are
+        // different instances: pattern = path of 3 on a triangle.
+        let graph = ffsm_graph::LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let pattern = ffsm_graph::patterns::uniform_path(3, ffsm_graph::Label(0));
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+        assert_eq!(occ.num_occurrences(), 6);
+        // Three instances: the three 2-edge sub-paths of the triangle.
+        assert_eq!(occ.num_instances(), 3);
+    }
+}

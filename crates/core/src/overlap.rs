@@ -1,0 +1,385 @@
+//! Overlap notions between occurrences: simple, harmful and structural overlap
+//! (Definitions 2.2.3, 4.5.1 and 4.5.2), and overlap-graph construction under each.
+//!
+//! The paper proposes *structural overlap* as a topology-aware alternative to the
+//! harmful overlap of Fiedler & Borgelt: both imply simple (vertex) overlap, neither
+//! implies the other, and using a weaker notion produces a sparser overlap graph —
+//! hence larger (less conservative) MIS-style supports.  Experiment E8 quantifies
+//! exactly that.
+
+use crate::occurrences::OccurrenceSet;
+use ffsm_graph::automorphism::transitive_pair_matrix;
+use ffsm_graph::isomorphism::Embedding;
+use ffsm_hypergraph::independent_set::{exact_max_independent_set, SimpleGraph};
+use ffsm_hypergraph::SearchBudget;
+use std::collections::BTreeSet;
+
+/// The overlap notion used when two occurrences are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapKind {
+    /// Vertex overlap (Definition 2.2.3): the image vertex sets intersect.
+    #[default]
+    Simple,
+    /// Harmful overlap (Definition 4.5.1, Fiedler & Borgelt): some pattern node's two
+    /// images both lie in the intersection of the image sets.
+    Harmful,
+    /// Structural overlap (Definition 4.5.2): some transitive node pair (v, w) has
+    /// `f1(v) = f2(w)` inside the intersection.
+    Structural,
+    /// Edge overlap (Definition 2.2.4): the image *edge* sets intersect.  Stricter
+    /// than vertex overlap (edge overlap ⇒ simple overlap), so its overlap graph is
+    /// sparser and the resulting MIS-style support larger.
+    Edge,
+}
+
+/// Pairwise overlap analysis for a set of occurrences of one pattern.
+#[derive(Debug)]
+pub struct OverlapAnalysis<'a> {
+    occurrences: &'a OccurrenceSet,
+    /// `transitive[u][v]` — u, v are a transitive pair in some subgraph of the pattern.
+    transitive: Vec<Vec<bool>>,
+}
+
+impl<'a> OverlapAnalysis<'a> {
+    /// Prepare the analysis (computes the pattern's transitive-pair relation once).
+    pub fn new(occurrences: &'a OccurrenceSet) -> Self {
+        let transitive = transitive_pair_matrix(occurrences.pattern());
+        OverlapAnalysis { occurrences, transitive }
+    }
+
+    fn embedding(&self, i: usize) -> &Embedding {
+        &self.occurrences.embeddings()[i]
+    }
+
+    /// Simple (vertex) overlap of occurrences `i` and `j`.
+    pub fn simple_overlap(&self, i: usize, j: usize) -> bool {
+        let a: BTreeSet<_> = self.embedding(i).iter().copied().collect();
+        self.embedding(j).iter().any(|v| a.contains(v))
+    }
+
+    /// Harmful overlap (Definition 4.5.1): ∃ node v with f_i(v) and f_j(v) both in the
+    /// intersection of the two image sets.
+    pub fn harmful_overlap(&self, i: usize, j: usize) -> bool {
+        let fi = self.embedding(i);
+        let fj = self.embedding(j);
+        let si: BTreeSet<_> = fi.iter().copied().collect();
+        let sj: BTreeSet<_> = fj.iter().copied().collect();
+        (0..fi.len()).any(|v| {
+            let a = fi[v];
+            let b = fj[v];
+            si.contains(&a) && sj.contains(&a) && si.contains(&b) && sj.contains(&b)
+        })
+    }
+
+    /// Structural overlap (Definition 4.5.2): ∃ transitive pair (v, w) with
+    /// f_i(v) = f_j(w) in the intersection of the image sets.
+    pub fn structural_overlap(&self, i: usize, j: usize) -> bool {
+        let fi = self.embedding(i);
+        let fj = self.embedding(j);
+        let si: BTreeSet<_> = fi.iter().copied().collect();
+        let sj: BTreeSet<_> = fj.iter().copied().collect();
+        for v in 0..fi.len() {
+            for w in 0..fj.len() {
+                if !self.transitive[v][w] {
+                    continue;
+                }
+                let shared = fi[v];
+                if fj[w] == shared && si.contains(&shared) && sj.contains(&shared) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Edge overlap (Definition 2.2.4): the two occurrences map some pattern edge onto
+    /// the same data-graph edge.
+    pub fn edge_overlap(&self, i: usize, j: usize) -> bool {
+        let fi = self.embedding(i);
+        let fj = self.embedding(j);
+        let edges_of = |f: &Embedding| -> BTreeSet<(u32, u32)> {
+            self.occurrences
+                .pattern()
+                .edges()
+                .map(|(u, v)| {
+                    let (a, b) = (f[u as usize], f[v as usize]);
+                    (a.min(b), a.max(b))
+                })
+                .collect()
+        };
+        let ei = edges_of(fi);
+        edges_of(fj).iter().any(|e| ei.contains(e))
+    }
+
+    /// Overlap of occurrences `i` and `j` under `kind`.
+    pub fn overlaps(&self, i: usize, j: usize, kind: OverlapKind) -> bool {
+        match kind {
+            OverlapKind::Simple => self.simple_overlap(i, j),
+            OverlapKind::Harmful => self.harmful_overlap(i, j),
+            OverlapKind::Structural => self.structural_overlap(i, j),
+            OverlapKind::Edge => self.edge_overlap(i, j),
+        }
+    }
+
+    /// The occurrence overlap graph under `kind` (Definition 2.2.5 with the chosen
+    /// overlap notion): one vertex per occurrence, an edge for every overlapping pair.
+    pub fn overlap_graph(&self, kind: OverlapKind) -> SimpleGraph {
+        let m = self.occurrences.num_occurrences();
+        let mut g = SimpleGraph::new(m);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if self.overlaps(i, j, kind) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of overlapping pairs under `kind` (the overlap graph's edge count).
+    pub fn overlap_edge_count(&self, kind: OverlapKind) -> usize {
+        self.overlap_graph(kind).num_edges()
+    }
+
+    /// MIS-style support computed on the overlap graph built with `kind`; with
+    /// `OverlapKind::Simple` this is exactly σMIS.
+    pub fn mis_under(&self, kind: OverlapKind, budget: SearchBudget) -> usize {
+        let g = self.overlap_graph(kind);
+        exact_max_independent_set(&g, budget).value
+    }
+
+    /// MCP-style support (minimum clique partition, Calders et al.) on the overlap
+    /// graph built with `kind`; with `OverlapKind::Simple` this is exactly σMCP.
+    pub fn mcp_under(&self, kind: OverlapKind, budget: SearchBudget) -> usize {
+        let g = self.overlap_graph(kind);
+        ffsm_hypergraph::clique_cover::clique_cover_number(&g, budget).value
+    }
+
+    /// Summary of how many occurrence pairs overlap under each notion — the raw data
+    /// behind Figures 9/10-style comparisons (experiment E8).
+    pub fn overlap_census(&self) -> OverlapCensus {
+        let m = self.occurrences.num_occurrences();
+        let mut census = OverlapCensus::default();
+        census.num_occurrences = m;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if self.simple_overlap(i, j) {
+                    census.simple += 1;
+                }
+                if self.harmful_overlap(i, j) {
+                    census.harmful += 1;
+                }
+                if self.structural_overlap(i, j) {
+                    census.structural += 1;
+                }
+                if self.edge_overlap(i, j) {
+                    census.edge += 1;
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Counts of overlapping occurrence pairs under every notion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapCensus {
+    /// Number of occurrences compared.
+    pub num_occurrences: usize,
+    /// Pairs in simple (vertex) overlap.
+    pub simple: usize,
+    /// Pairs in harmful overlap.
+    pub harmful: usize,
+    /// Pairs in structural overlap.
+    pub structural: usize,
+    /// Pairs in edge overlap.
+    pub edge: usize,
+}
+
+impl OverlapCensus {
+    /// Total number of occurrence pairs.
+    pub fn num_pairs(&self) -> usize {
+        if self.num_occurrences < 2 {
+            0
+        } else {
+            self.num_occurrences * (self.num_occurrences - 1) / 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::figures;
+    use ffsm_graph::isomorphism::IsoConfig;
+
+    fn analysis_for(
+        example: &ffsm_graph::figures::FigureExample,
+    ) -> (OccurrenceSet, Vec<ffsm_graph::isomorphism::Embedding>) {
+        let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        let embeddings = occ.embeddings().to_vec();
+        (occ, embeddings)
+    }
+
+    /// Index of the occurrence with the given image tuple.
+    fn index_of(embeddings: &[ffsm_graph::isomorphism::Embedding], image: &[u32]) -> usize {
+        embeddings
+            .iter()
+            .position(|e| e.as_slice() == image)
+            .expect("occurrence present")
+    }
+
+    #[test]
+    fn figure9_structural_without_harmful() {
+        let example = figures::figure9();
+        let (occ, embeddings) = analysis_for(&example);
+        let analysis = OverlapAnalysis::new(&occ);
+        // Paper numbering: g1 = (1,2,3), g2 = (5,3,4), g3 = (5,3,2); zero-based below.
+        let g1 = index_of(&embeddings, &[0, 1, 2]);
+        let g2 = index_of(&embeddings, &[4, 2, 3]);
+        let g3 = index_of(&embeddings, &[4, 2, 1]);
+        // (g1, g2): structural but not harmful.
+        assert!(analysis.structural_overlap(g1, g2));
+        assert!(!analysis.harmful_overlap(g1, g2));
+        assert!(analysis.simple_overlap(g1, g2));
+        // (g1, g3): both structural and harmful.
+        assert!(analysis.structural_overlap(g1, g3));
+        assert!(analysis.harmful_overlap(g1, g3));
+    }
+
+    #[test]
+    fn figure10_harmful_without_structural_and_simple_only() {
+        let example = figures::figure10();
+        let (occ, embeddings) = analysis_for(&example);
+        let analysis = OverlapAnalysis::new(&occ);
+        let f1 = index_of(&embeddings, &[0, 1, 2, 3]);
+        let f2 = index_of(&embeddings, &[3, 4, 5, 0]);
+        let f3 = index_of(&embeddings, &[6, 7, 8, 3]);
+        // (f1, f2): harmful but not structural.
+        assert!(analysis.harmful_overlap(f1, f2));
+        assert!(!analysis.structural_overlap(f1, f2));
+        // (f2, f3): simple overlap only.
+        assert!(analysis.simple_overlap(f2, f3));
+        assert!(!analysis.harmful_overlap(f2, f3));
+        assert!(!analysis.structural_overlap(f2, f3));
+    }
+
+    #[test]
+    fn harmful_and_structural_imply_simple() {
+        for example in ffsm_graph::figures::all_figures() {
+            let (occ, _) = analysis_for(&example);
+            let analysis = OverlapAnalysis::new(&occ);
+            let m = occ.num_occurrences();
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    if analysis.harmful_overlap(i, j) || analysis.structural_overlap(i, j) {
+                        assert!(
+                            analysis.simple_overlap(i, j),
+                            "weaker overlap without simple overlap on {}",
+                            example.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weaker_overlap_graphs_are_sparser_and_mis_larger() {
+        for example in ffsm_graph::figures::all_figures() {
+            let (occ, _) = analysis_for(&example);
+            let analysis = OverlapAnalysis::new(&occ);
+            let simple_edges = analysis.overlap_edge_count(OverlapKind::Simple);
+            let harmful_edges = analysis.overlap_edge_count(OverlapKind::Harmful);
+            let structural_edges = analysis.overlap_edge_count(OverlapKind::Structural);
+            assert!(harmful_edges <= simple_edges);
+            assert!(structural_edges <= simple_edges);
+            let budget = SearchBudget::default();
+            let mis_simple = analysis.mis_under(OverlapKind::Simple, budget);
+            let mis_harmful = analysis.mis_under(OverlapKind::Harmful, budget);
+            let mis_structural = analysis.mis_under(OverlapKind::Structural, budget);
+            assert!(mis_harmful >= mis_simple);
+            assert!(mis_structural >= mis_simple);
+        }
+    }
+
+    #[test]
+    fn edge_overlap_implies_simple_and_is_rarer() {
+        for example in ffsm_graph::figures::all_figures() {
+            let (occ, _) = analysis_for(&example);
+            let analysis = OverlapAnalysis::new(&occ);
+            let m = occ.num_occurrences();
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    if analysis.edge_overlap(i, j) {
+                        assert!(analysis.simple_overlap(i, j), "edge overlap without vertex overlap");
+                    }
+                }
+            }
+            assert!(
+                analysis.overlap_edge_count(OverlapKind::Edge)
+                    <= analysis.overlap_edge_count(OverlapKind::Simple)
+            );
+            assert!(
+                analysis.mis_under(OverlapKind::Edge, SearchBudget::default())
+                    >= analysis.mis_under(OverlapKind::Simple, SearchBudget::default())
+            );
+        }
+    }
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let example = figures::figure6();
+        let (occ, _) = analysis_for(&example);
+        let analysis = OverlapAnalysis::new(&occ);
+        let census = analysis.overlap_census();
+        assert_eq!(census.num_occurrences, 7);
+        assert_eq!(census.num_pairs(), 21);
+        assert_eq!(census.simple, analysis.overlap_edge_count(OverlapKind::Simple));
+        assert_eq!(census.harmful, analysis.overlap_edge_count(OverlapKind::Harmful));
+        assert_eq!(census.structural, analysis.overlap_edge_count(OverlapKind::Structural));
+        assert_eq!(census.edge, analysis.overlap_edge_count(OverlapKind::Edge));
+        assert!(census.harmful <= census.simple);
+        assert!(census.edge <= census.simple);
+        // The single-edge pattern has no pattern edge shared between distinct data
+        // edges, so edge overlap never fires here.
+        assert_eq!(census.edge, 0);
+        assert_eq!(OverlapCensus::default().num_pairs(), 0);
+    }
+
+    #[test]
+    fn mcp_under_simple_bounds_mis_under_simple() {
+        for example in ffsm_graph::figures::all_figures() {
+            let (occ, _) = analysis_for(&example);
+            let analysis = OverlapAnalysis::new(&occ);
+            let budget = SearchBudget::default();
+            assert!(
+                analysis.mis_under(OverlapKind::Simple, budget)
+                    <= analysis.mcp_under(OverlapKind::Simple, budget),
+                "MIS > MCP on {}",
+                example.name
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_with_self_is_total() {
+        let example = figures::figure2();
+        let (occ, _) = analysis_for(&example);
+        let analysis = OverlapAnalysis::new(&occ);
+        // Occurrences of the triangle all share the vertex set {1,2,3}: every pair
+        // overlaps under every notion (the triangle is fully transitive).
+        let m = occ.num_occurrences();
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                assert!(analysis.simple_overlap(i, j));
+                assert!(analysis.harmful_overlap(i, j));
+                assert!(analysis.structural_overlap(i, j));
+            }
+        }
+        assert_eq!(analysis.mis_under(OverlapKind::Simple, SearchBudget::default()), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! The worked examples of the paper's figures.
+//!
+//! Each function returns the data graph and query pattern of one figure, with the
+//! support-measure values the paper states (or that follow from the construction)
+//! documented on the function.  The experiment harness (`E1`) and the integration
+//! tests assert these values against the implementation.
+//!
+//! Vertex numbering: the paper numbers data-graph vertices from 1; here they are
+//! 0-based, so paper vertex *k* is `k - 1`.
+//!
+//! Figures 1, 3, 9 and 10 are not fully specified by the text (the thesis shows them
+//! as drawings); their graphs are *reconstructed* so that every statement the text
+//! makes about them holds.  The reconstruction choices are documented per function.
+
+use crate::patterns;
+use crate::{Label, LabeledGraph, Pattern};
+
+/// A figure example: data graph, pattern and free-text notes.
+#[derive(Debug, Clone)]
+pub struct FigureExample {
+    /// Figure identifier, e.g. `"figure2"`.
+    pub name: &'static str,
+    /// The data graph G.
+    pub graph: LabeledGraph,
+    /// The query pattern P.
+    pub pattern: Pattern,
+    /// What the paper states about this example.
+    pub notes: &'static str,
+}
+
+/// Figure 1: a one-edge pattern in a small five-vertex data graph, used to sketch the
+/// hypergraph framework.  Reconstruction: all five vertices share one label; the data
+/// graph is a triangle {1,2,3} plus the disjoint edge {4,5}, giving four instances
+/// (e1..e4) and a dual hypergraph in which vertices 4 and 5 share their single
+/// incident edge — matching the "4,5" grouping drawn in the figure.
+///
+/// Expected values (computed, not stated in the paper):
+/// MIS = MIES = 2, MVC = 3, MI = 4, MNI = 5.
+pub fn figure1() -> FigureExample {
+    let graph = LabeledGraph::from_edges(&[0, 0, 0, 0, 0], &[(0, 1), (0, 2), (1, 2), (3, 4)]);
+    let pattern = patterns::single_edge(Label(0), Label(0));
+    FigureExample {
+        name: "figure1",
+        graph,
+        pattern,
+        notes: "one-edge pattern; hypergraph framework sketch; MIS=2, MVC=3, MI=4, MNI=5",
+    }
+}
+
+/// Figure 2: the triangle pattern with six occurrences but a single instance.
+///
+/// Data graph (paper vertices 1..6, all one label): triangle {1,2,3} with pendant
+/// vertices 4 (adjacent to 2), 5 and 6 (adjacent to 3).
+///
+/// Stated values: the pattern has 6 occurrences, 1 instance, MNI = 3, MIS = 1.
+pub fn figure2() -> FigureExample {
+    let graph = LabeledGraph::from_edges(
+        &[0, 0, 0, 0, 0, 0],
+        &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (2, 5)],
+    );
+    let pattern = patterns::triangle(Label(0), Label(0), Label(0));
+    FigureExample {
+        name: "figure2",
+        graph,
+        pattern,
+        notes: "6 occurrences, 1 instance; MNI = 3 over-estimates, MIS = 1",
+    }
+}
+
+/// Figure 3: a triangular pattern with three distinct labels in a 20-vertex data
+/// graph; its occurrence hypergraph has the six edges
+/// `{1,2,3},{4,5,6},{4,6,8},{8,9,10},{11,13,17},{11,15,16}` (paper numbering).
+///
+/// Reconstruction: the six listed triangles are embedded with a consistent labelling
+/// (label 0 / 1 / 2 per triangle corner); the remaining vertices are connected into a
+/// path with labels that cannot complete another labelled triangle.
+///
+/// Because the pattern has no non-trivial automorphism, its occurrence and instance
+/// hypergraphs coincide and have exactly 6 edges.
+pub fn figure3() -> FigureExample {
+    // paper vertex k -> index k-1.  Labels: 0 = "A", 1 = "B", 2 = "C", 3 = filler.
+    let mut labels = vec![3u32; 20];
+    let assign: &[(usize, u32)] = &[
+        (1, 0), (2, 1), (3, 2), // triangle {1,2,3}
+        (4, 0), (5, 1), (6, 2), // triangle {4,5,6}
+        (8, 1), // triangle {4,6,8}: 4=A, 6=C, 8=B
+        (9, 0), (10, 2), // triangle {8,9,10}
+        (11, 0), (13, 1), (17, 2), // triangle {11,13,17}
+        (15, 1), (16, 2), // triangle {11,15,16}
+    ];
+    for &(v, l) in assign {
+        labels[v - 1] = l;
+    }
+    let triangles: &[[usize; 3]] = &[
+        [1, 2, 3],
+        [4, 5, 6],
+        [4, 6, 8],
+        [8, 9, 10],
+        [11, 13, 17],
+        [11, 15, 16],
+    ];
+    let mut edges = Vec::new();
+    for t in triangles {
+        edges.push(((t[0] - 1) as u32, (t[1] - 1) as u32));
+        edges.push(((t[0] - 1) as u32, (t[2] - 1) as u32));
+        edges.push(((t[1] - 1) as u32, (t[2] - 1) as u32));
+    }
+    // Filler path over the unused vertices 7, 12, 14, 18, 19, 20 (paper numbering).
+    let filler = [7usize, 12, 14, 18, 19, 20];
+    for w in filler.windows(2) {
+        edges.push(((w[0] - 1) as u32, (w[1] - 1) as u32));
+    }
+    let graph = LabeledGraph::from_edges(&labels, &edges);
+    let pattern = patterns::triangle(Label(0), Label(1), Label(2));
+    FigureExample {
+        name: "figure3",
+        graph,
+        pattern,
+        notes: "occurrence hypergraph has 6 edges; occurrence and instance hypergraphs coincide",
+    }
+}
+
+/// Figure 4: MNI vs MI on a four-vertex path.
+///
+/// Data graph: path 1 — 2 — 3 — 4 with labels A, B, B, A.
+/// Pattern: path v1(A) — v2(B) — v3(B).
+///
+/// Stated values: two occurrences (1,2,3) and (4,3,2); MNI = 2; MI = 1 (the
+/// transitive subset {v2, v3} has a single image set {2,3}).
+pub fn figure4() -> FigureExample {
+    let graph = LabeledGraph::from_edges(&[0, 1, 1, 0], &[(0, 1), (1, 2), (2, 3)]);
+    let pattern = patterns::path(&[Label(0), Label(1), Label(1)]);
+    FigureExample {
+        name: "figure4",
+        graph,
+        pattern,
+        notes: "2 occurrences; MNI = 2, MI = 1",
+    }
+}
+
+/// Figure 5: the Figure 2 data graph with the triangle pattern extended by a fourth
+/// node v4 attached to v3 (all labels equal).  Illustrates anti-monotonicity: the
+/// extended pattern has 6 occurrences and its MVC support is still 1 (vertex {1}
+/// covers every occurrence).
+pub fn figure5() -> FigureExample {
+    let graph = figure2().graph;
+    let mut pattern = patterns::triangle(Label(0), Label(0), Label(0));
+    let v4 = pattern.add_vertex(Label(0));
+    pattern.add_edge(2, v4).expect("edge v3-v4");
+    FigureExample {
+        name: "figure5",
+        graph,
+        pattern,
+        notes: "superpattern of Figure 2's triangle; MVC stays 1 after the extension",
+    }
+}
+
+/// Figure 6: the partial-overlap example where MNI and MI both over-estimate.
+///
+/// Data graph (paper vertices 1..8): label A on vertices 1–4, label B on 5–8;
+/// edges 1-5, 1-6, 1-7, 1-8, 2-8, 3-8, 4-8.  Pattern: edge v1(A) — v2(B).
+///
+/// Stated values: 7 occurrences; MIS = 2, MVC = 2, MI = 4, MNI = 4.
+pub fn figure6() -> FigureExample {
+    let graph = LabeledGraph::from_edges(
+        &[0, 0, 0, 0, 1, 1, 1, 1],
+        &[(0, 4), (0, 5), (0, 6), (0, 7), (1, 7), (2, 7), (3, 7)],
+    );
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    FigureExample {
+        name: "figure6",
+        graph,
+        pattern,
+        notes: "7 occurrences; MIS = 2, MVC = 2, MI = 4, MNI = 4",
+    }
+}
+
+/// Figure 8: the instance hypergraph and its dual for a one-edge pattern in a
+/// four-vertex cycle with alternating labels.
+///
+/// Data graph: cycle 1 — 2 — 3 — 4 — 1 with labels A, B, A, B.
+/// Pattern: edge v1(A) — v2(B).
+///
+/// Stated values: 4 instances; the overlap graph is a 4-cycle; MIS = MIES = 2.
+pub fn figure8() -> FigureExample {
+    let graph = LabeledGraph::from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    FigureExample {
+        name: "figure8",
+        graph,
+        pattern,
+        notes: "4 instances; overlap graph is a 4-cycle; MIS = MIES = 2",
+    }
+}
+
+/// Figure 9: structural overlap vs harmful overlap.
+///
+/// Reconstruction consistent with every statement in Section 4.5: data graph is the
+/// path 1 — 2 — 3 — 4 with an extra vertex 5 attached to 3; labels A, B, B, B, A.
+/// Pattern: path v1(A) — v2(B) — v3(B).
+///
+/// The three occurrences are g1 = (1,2,3), g2 = (5,3,4), g3 = (5,3,2).
+/// Stated facts: SO(g1,g2) holds but HO(g1,g2) does not; SO and HO both hold for
+/// (g1,g3); MI = 2 (transitive subset {v2,v3} has image sets {2,3} and {3,4}).
+pub fn figure9() -> FigureExample {
+    let graph = LabeledGraph::from_edges(&[0, 1, 1, 1, 0], &[(0, 1), (1, 2), (2, 3), (2, 4)]);
+    let pattern = patterns::path(&[Label(0), Label(1), Label(1)]);
+    FigureExample {
+        name: "figure9",
+        graph,
+        pattern,
+        notes: "SO(g1,g2) without HO; SO and HO together for (g1,g3); MI = 2",
+    }
+}
+
+/// Figure 10: relationship of simple, harmful and structural overlap for a
+/// four-node path pattern.
+///
+/// Reconstruction: pattern path v1(A) — v2(B) — v3(C) — v4(A); because the two
+/// A-labelled end nodes are *not* transitive in any connected subgraph, harmful
+/// overlap can occur without structural overlap.  Data graph: nine vertices with
+/// labels A,B,C,A,B,C,A,B,C (paper numbering 1..9) and edges forming exactly three
+/// occurrences f1 = (1,2,3,4), f2 = (4,5,6,1), f3 = (7,8,9,4).
+///
+/// Facts reproduced: HO(f1,f2) holds but SO(f1,f2) does not; f2 and f3 overlap simply
+/// (share vertex 4) with neither HO nor SO.
+pub fn figure10() -> FigureExample {
+    let graph = LabeledGraph::from_edges(
+        &[0, 1, 2, 0, 1, 2, 0, 1, 2],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7), (7, 8), (8, 3)],
+    );
+    let pattern = patterns::path(&[Label(0), Label(1), Label(2), Label(0)]);
+    FigureExample {
+        name: "figure10",
+        graph,
+        pattern,
+        notes: "HO without SO for (f1,f2); simple overlap only for (f2,f3)",
+    }
+}
+
+/// All figure examples in order.
+pub fn all_figures() -> Vec<FigureExample> {
+    vec![
+        figure1(),
+        figure2(),
+        figure3(),
+        figure4(),
+        figure5(),
+        figure6(),
+        figure8(),
+        figure9(),
+        figure10(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isomorphism::{enumerate_embeddings, IsoConfig};
+
+    fn occurrences(example: &FigureExample) -> usize {
+        enumerate_embeddings(&example.pattern, &example.graph, IsoConfig::default()).len()
+    }
+
+    #[test]
+    fn figure2_has_six_occurrences() {
+        assert_eq!(occurrences(&figure2()), 6);
+    }
+
+    #[test]
+    fn figure3_has_six_occurrences_and_instances() {
+        let f = figure3();
+        assert_eq!(occurrences(&f), 6);
+        assert_eq!(f.graph.num_vertices(), 20);
+    }
+
+    #[test]
+    fn figure4_has_two_occurrences() {
+        assert_eq!(occurrences(&figure4()), 2);
+    }
+
+    #[test]
+    fn figure5_pattern_extends_figure2() {
+        let f = figure5();
+        assert_eq!(f.pattern.num_vertices(), 4);
+        assert_eq!(f.pattern.num_edges(), 4);
+        assert_eq!(occurrences(&f), 6);
+    }
+
+    #[test]
+    fn figure6_has_seven_occurrences() {
+        assert_eq!(occurrences(&figure6()), 7);
+    }
+
+    #[test]
+    fn figure8_has_four_occurrences() {
+        assert_eq!(occurrences(&figure8()), 4);
+    }
+
+    #[test]
+    fn figure9_has_three_occurrences() {
+        let f = figure9();
+        let res = enumerate_embeddings(&f.pattern, &f.graph, IsoConfig::default());
+        assert_eq!(res.len(), 3);
+        let mut images: Vec<Vec<u32>> = res.embeddings.clone();
+        images.sort();
+        // paper numbering minus one: g1=(0,1,2), g2=(4,2,3), g3=(4,2,1)
+        assert!(images.contains(&vec![0, 1, 2]));
+        assert!(images.contains(&vec![4, 2, 3]));
+        assert!(images.contains(&vec![4, 2, 1]));
+    }
+
+    #[test]
+    fn figure10_has_three_occurrences() {
+        let f = figure10();
+        let res = enumerate_embeddings(&f.pattern, &f.graph, IsoConfig::default());
+        assert_eq!(res.len(), 3);
+        let images: Vec<Vec<u32>> = res.embeddings.clone();
+        assert!(images.contains(&vec![0, 1, 2, 3]));
+        assert!(images.contains(&vec![3, 4, 5, 0]));
+        assert!(images.contains(&vec![6, 7, 8, 3]));
+    }
+
+    #[test]
+    fn all_figures_are_well_formed() {
+        for f in all_figures() {
+            assert!(!f.graph.is_empty(), "{} graph empty", f.name);
+            assert!(!f.pattern.is_empty(), "{} pattern empty", f.name);
+            assert!(occurrences(&f) >= 1, "{} has no occurrences", f.name);
+        }
+    }
+}

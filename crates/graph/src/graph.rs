@@ -1,0 +1,414 @@
+//! The [`LabeledGraph`] data structure.
+//!
+//! Design notes (following the project's database-Rust guidelines):
+//!
+//! * vertices are dense `u32` identifiers, labels are plain `u32` newtypes — both fit
+//!   comfortably in caches and avoid hashing overhead in hot loops;
+//! * adjacency lists are kept sorted so that `has_edge` is a binary search and
+//!   neighbourhood intersections are merge-joins;
+//! * the structure is append-only (vertices and edges can be added, not removed),
+//!   which matches how data graphs and patterns are built everywhere in this project
+//!   and keeps the invariants trivial.
+
+use crate::{Label, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Errors raised while building or loading graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced vertex does not exist.
+    UnknownVertex(VertexId),
+    /// Self loops are not allowed (Definition 2.1.1 requires `u != v`).
+    SelfLoop(VertexId),
+    /// Parse error while reading a graph file.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// I/O error while reading or writing a graph file.
+    Io(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} is not allowed"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected, vertex-labeled graph (Definition 2.1.1).
+///
+/// Used both for data graphs and for query patterns ([`crate::Pattern`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    adj: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl Default for LabeledGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabeledGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        LabeledGraph { labels: Vec::new(), adj: Vec::new(), num_edges: 0 }
+    }
+
+    /// Create an empty graph with capacity for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        LabeledGraph {
+            labels: Vec::with_capacity(n),
+            adj: Vec::with_capacity(n),
+            num_edges: 0,
+        }
+    }
+
+    /// Build a graph from a label slice and an edge list.  Convenience constructor
+    /// used pervasively in tests and figures.
+    ///
+    /// # Panics
+    /// Panics if an edge references an unknown vertex or is a self loop.
+    pub fn from_edges(labels: &[u32], edges: &[(VertexId, VertexId)]) -> Self {
+        let mut g = LabeledGraph::with_capacity(labels.len());
+        for &l in labels {
+            g.add_vertex(Label(l));
+        }
+        for &(u, v) in edges {
+            g.add_edge(u, v).expect("valid edge");
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Add a vertex with the given label and return its identifier.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = self.labels.len() as VertexId;
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge.  Returns `Ok(true)` if the edge was inserted,
+    /// `Ok(false)` if it already existed.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        let n = self.num_vertices() as VertexId;
+        if u >= n {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if v >= n {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        let pos_u = self.adj[u as usize].partition_point(|&x| x < v);
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v = self.adj[v as usize].partition_point(|&x| x < u);
+        self.adj[v as usize].insert(pos_v, u);
+        self.num_edges += 1;
+        Ok(true)
+    }
+
+    /// Label of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `true` if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        // search the shorter adjacency list
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex identifiers.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).map(|v| v as VertexId)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            let u = u as VertexId;
+            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// All vertices carrying `label`.
+    pub fn vertices_with_label(&self, label: Label) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.label(v) == label).collect()
+    }
+
+    /// Histogram of labels: `(label, count)` pairs sorted by label.
+    pub fn label_histogram(&self) -> Vec<(Label, usize)> {
+        let mut counts: std::collections::BTreeMap<Label, usize> = std::collections::BTreeMap::new();
+        for &l in &self.labels {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// The set of distinct labels, sorted.
+    pub fn distinct_labels(&self) -> Vec<Label> {
+        self.label_histogram().into_iter().map(|(l, _)| l).collect()
+    }
+
+    /// `true` if the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as VertexId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            let mut stack = vec![start as VertexId];
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// The subgraph induced by `vertices` (Definition 2.1.2 with all available edges).
+    ///
+    /// Returns the new graph together with the mapping `new id -> old id`.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (LabeledGraph, Vec<VertexId>) {
+        let mut map = std::collections::HashMap::with_capacity(vertices.len());
+        let mut g = LabeledGraph::with_capacity(vertices.len());
+        let mut back = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            let new_id = g.add_vertex(self.label(v));
+            map.insert(v, new_id);
+            back.push(v);
+        }
+        for &v in vertices {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    if let (Some(&nv), Some(&nw)) = (map.get(&v), map.get(&w)) {
+                        g.add_edge(nv, nw).expect("induced edge valid");
+                    }
+                }
+            }
+        }
+        (g, back)
+    }
+
+    /// The subgraph with vertex set `vertices` and only the listed `edges`
+    /// (a general, not necessarily induced, subgraph per Definition 2.1.2).
+    ///
+    /// Edges must connect vertices from `vertices`; unknown endpoints are an error.
+    pub fn subgraph_with_edges(
+        &self,
+        vertices: &[VertexId],
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<(LabeledGraph, Vec<VertexId>), GraphError> {
+        let mut map = std::collections::HashMap::with_capacity(vertices.len());
+        let mut g = LabeledGraph::with_capacity(vertices.len());
+        let mut back = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            if v as usize >= self.num_vertices() {
+                return Err(GraphError::UnknownVertex(v));
+            }
+            let new_id = g.add_vertex(self.label(v));
+            map.insert(v, new_id);
+            back.push(v);
+        }
+        for &(u, v) in edges {
+            let nu = *map.get(&u).ok_or(GraphError::UnknownVertex(u))?;
+            let nv = *map.get(&v).ok_or(GraphError::UnknownVertex(v))?;
+            g.add_edge(nu, nv)?;
+        }
+        Ok((g, back))
+    }
+
+    /// Sum of degrees divided by vertex count; 0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LabeledGraph {
+        LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_edge_ignored() {
+        let mut g = triangle();
+        assert_eq!(g.add_edge(0, 1), Ok(false));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = triangle();
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut g = triangle();
+        assert_eq!(g.add_edge(0, 9), Err(GraphError::UnknownVertex(9)));
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn label_queries() {
+        let g = LabeledGraph::from_edges(&[1, 2, 1, 3], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.vertices_with_label(Label(1)), vec![0, 2]);
+        assert_eq!(
+            g.label_histogram(),
+            vec![(Label(1), 2), (Label(2), 1), (Label(3), 1)]
+        );
+        assert_eq!(g.distinct_labels(), vec![Label(1), Label(2), Label(3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle();
+        assert!(g.is_connected());
+        assert_eq!(g.num_components(), 1);
+        let g2 = LabeledGraph::from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        assert!(!g2.is_connected());
+        assert_eq!(g2.num_components(), 2);
+        let empty = LabeledGraph::new();
+        assert!(empty.is_connected());
+        assert_eq!(empty.num_components(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_labels_and_edges() {
+        let g = LabeledGraph::from_edges(&[5, 6, 7, 8], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let (s, back) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_edges(), 2); // (1,2) and (2,3)
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(s.label(0), Label(6));
+    }
+
+    #[test]
+    fn subgraph_with_edges_subset() {
+        let g = triangle();
+        let (s, _) = g.subgraph_with_edges(&[0, 1, 2], &[(0, 1)]).unwrap();
+        assert_eq!(s.num_edges(), 1);
+        assert_eq!(s.num_vertices(), 3);
+        assert!(g.subgraph_with_edges(&[0, 1], &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn serialize_trait_is_implemented() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<LabeledGraph>();
+    }
+}

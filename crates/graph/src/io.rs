@@ -1,0 +1,185 @@
+//! Plain-text graph serialisation in the `.lg` ("LineGraph") format used by
+//! single-graph miners such as GraMi:
+//!
+//! ```text
+//! # comment
+//! t <graph-id>
+//! v <vertex-id> <label>
+//! e <source> <target> [edge-label]
+//! ```
+//!
+//! Vertex identifiers must be dense and ascending starting from 0; the optional edge
+//! label is accepted and ignored (this project models vertex-labeled graphs only,
+//! exactly like the paper).
+
+use crate::{GraphError, Label, LabeledGraph, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Serialise `graph` in `.lg` format.
+pub fn write_lg<W: Write>(graph: &LabeledGraph, mut w: W) -> Result<(), GraphError> {
+    let io_err = |e: std::io::Error| GraphError::Io(e.to_string());
+    writeln!(w, "t 0").map_err(io_err)?;
+    for v in graph.vertices() {
+        writeln!(w, "v {} {}", v, graph.label(v).0).map_err(io_err)?;
+    }
+    for (u, v) in graph.edges() {
+        writeln!(w, "e {} {}", u, v).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Serialise `graph` to an `.lg` string.
+pub fn to_lg_string(graph: &LabeledGraph) -> String {
+    let mut buf = Vec::new();
+    write_lg(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("lg output is ASCII")
+}
+
+/// Write `graph` to the file at `path` in `.lg` format.
+pub fn save_lg(graph: &LabeledGraph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path).map_err(|e| GraphError::Io(e.to_string()))?;
+    write_lg(graph, std::io::BufWriter::new(file))
+}
+
+/// Parse a graph in `.lg` format from a reader.
+pub fn read_lg<R: Read>(r: R) -> Result<LabeledGraph, GraphError> {
+    let reader = BufReader::new(r);
+    let mut graph = LabeledGraph::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Io(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('t') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "v" => {
+                let id: usize = parse_field(parts.next(), line_no, "vertex id")?;
+                let label: u32 = parse_field(parts.next(), line_no, "vertex label")?;
+                if id != graph.num_vertices() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "vertex ids must be dense and ascending; expected {} got {}",
+                            graph.num_vertices(),
+                            id
+                        ),
+                    });
+                }
+                graph.add_vertex(Label(label));
+            }
+            "e" => {
+                let u: VertexId = parse_field(parts.next(), line_no, "edge source")?;
+                let v: VertexId = parse_field(parts.next(), line_no, "edge target")?;
+                graph.add_edge(u, v).map_err(|e| GraphError::Parse {
+                    line: line_no,
+                    message: format!("invalid edge: {e}"),
+                })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("unknown record type {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Parse a graph in `.lg` format from a string.
+pub fn from_lg_string(s: &str) -> Result<LabeledGraph, GraphError> {
+    read_lg(s.as_bytes())
+}
+
+/// Load a graph from the `.lg` file at `path`.
+pub fn load_lg(path: &Path) -> Result<LabeledGraph, GraphError> {
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io(e.to_string()))?;
+    read_lg(file)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("cannot parse {what} from {raw:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_small_graph() {
+        let g = LabeledGraph::from_edges(&[3, 1, 4, 1], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let text = to_lg_string(&g);
+        let back = from_lg_string(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = generators::gnm_random(60, 150, 5, 4);
+        let back = from_lg_string(&to_lg_string(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\nt 0\nv 0 7\nv 1 8\n\ne 0 1\n";
+        let g = from_lg_string(text).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.label(0), Label(7));
+    }
+
+    #[test]
+    fn edge_labels_are_tolerated() {
+        let text = "v 0 1\nv 1 1\ne 0 1 9\n";
+        let g = from_lg_string(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn bad_input_is_reported_with_line_numbers() {
+        let err = from_lg_string("v 0 1\nv 2 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = from_lg_string("x 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_lg_string("v 0 1\ne 0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = from_lg_string("v 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_lg_string("v zero 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ffsm_io_test_roundtrip.lg");
+        let g = generators::grid(4, 4, 3);
+        save_lg(&g, &path).unwrap();
+        let back = load_lg(&path).unwrap();
+        assert_eq!(g, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_lg(Path::new("/nonexistent/ffsm.lg")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,420 @@
+//! Subgraph-isomorphism enumeration.
+//!
+//! An **occurrence** of a pattern `P` in a data graph `G` (Definition 2.1.8) is an
+//! injective, label-preserving map `f : V_P → V_G` such that every pattern edge maps
+//! to a data-graph edge.  (Occurrences are *not* required to be induced; an optional
+//! induced mode is provided for completeness.)
+//!
+//! The enumerator is a VF2-flavoured backtracking search:
+//!
+//! * pattern vertices are visited in a connectivity-aware order that starts from the
+//!   most selective vertex (rarest label, then highest degree);
+//! * candidates for a vertex with an already-matched neighbour are drawn from that
+//!   neighbour's image adjacency list instead of the whole graph;
+//! * label, degree and adjacency feasibility checks prune each extension.
+//!
+//! Enumeration can explode combinatorially (that is precisely why MNI/MI matter), so
+//! the search takes an explicit [`IsoConfig::max_embeddings`] budget and reports
+//! whether it completed.
+
+use crate::{LabeledGraph, Pattern, VertexId};
+
+/// An occurrence: `assignment[p]` is the data-graph image of pattern vertex `p`.
+pub type Embedding = Vec<VertexId>;
+
+/// Configuration for the embedding enumerator.
+#[derive(Debug, Clone, Copy)]
+pub struct IsoConfig {
+    /// Stop after this many embeddings have been produced.
+    pub max_embeddings: usize,
+    /// Require induced embeddings (pattern *non*-edges must map to non-edges).
+    /// The paper's occurrences are non-induced, so this defaults to `false`.
+    pub induced: bool,
+}
+
+impl Default for IsoConfig {
+    fn default() -> Self {
+        IsoConfig { max_embeddings: 2_000_000, induced: false }
+    }
+}
+
+impl IsoConfig {
+    /// Config with a custom embedding budget.
+    pub fn with_limit(max_embeddings: usize) -> Self {
+        IsoConfig { max_embeddings, ..Default::default() }
+    }
+}
+
+/// Result of an enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumerationResult {
+    /// All embeddings found (up to the configured limit).
+    pub embeddings: Vec<Embedding>,
+    /// `false` if the search stopped early because the limit was hit.
+    pub complete: bool,
+}
+
+impl EnumerationResult {
+    /// Number of embeddings found.
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// `true` when no embedding was found.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+}
+
+/// Search order: a permutation of pattern vertices such that (for connected patterns)
+/// every vertex after the first has at least one earlier neighbour.
+fn search_order(pattern: &Pattern, graph: &LabeledGraph) -> Vec<VertexId> {
+    let n = pattern.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Selectivity: fewer data vertices with this label first, then higher degree.
+    let mut label_count = std::collections::HashMap::new();
+    for v in graph.vertices() {
+        *label_count.entry(graph.label(v)).or_insert(0usize) += 1;
+    }
+    let selectivity = |v: VertexId| -> (usize, std::cmp::Reverse<usize>) {
+        (
+            *label_count.get(&pattern.label(v)).unwrap_or(&0),
+            std::cmp::Reverse(pattern.degree(v)),
+        )
+    };
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let start = pattern
+        .vertices()
+        .min_by_key(|&v| selectivity(v))
+        .expect("non-empty pattern");
+    order.push(start);
+    placed[start as usize] = true;
+    while order.len() < n {
+        // Prefer vertices adjacent to the already-ordered prefix.
+        let next = pattern
+            .vertices()
+            .filter(|&v| !placed[v as usize])
+            .filter(|&v| pattern.neighbors(v).iter().any(|&w| placed[w as usize]))
+            .min_by_key(|&v| selectivity(v))
+            .or_else(|| {
+                // Disconnected pattern: fall back to any unplaced vertex.
+                pattern
+                    .vertices()
+                    .filter(|&v| !placed[v as usize])
+                    .min_by_key(|&v| selectivity(v))
+            })
+            .expect("some vertex unplaced");
+        order.push(next);
+        placed[next as usize] = true;
+    }
+    order
+}
+
+struct Search<'a> {
+    pattern: &'a Pattern,
+    graph: &'a LabeledGraph,
+    order: Vec<VertexId>,
+    /// For each position in `order`, the pattern neighbours that appear earlier.
+    earlier_neighbors: Vec<Vec<VertexId>>,
+    config: IsoConfig,
+    assignment: Vec<Option<VertexId>>,
+    used: Vec<bool>,
+    out: Vec<Embedding>,
+    truncated: bool,
+}
+
+impl<'a> Search<'a> {
+    fn new(pattern: &'a Pattern, graph: &'a LabeledGraph, config: IsoConfig) -> Self {
+        let order = search_order(pattern, graph);
+        let mut position = vec![usize::MAX; pattern.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            position[v as usize] = i;
+        }
+        let earlier_neighbors = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                pattern
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| position[w as usize] < i)
+                    .collect()
+            })
+            .collect();
+        Search {
+            pattern,
+            graph,
+            order,
+            earlier_neighbors,
+            config,
+            assignment: vec![None; pattern.num_vertices()],
+            used: vec![false; graph.num_vertices()],
+            out: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    fn feasible(&self, pv: VertexId, gv: VertexId, depth: usize) -> bool {
+        if self.used[gv as usize] {
+            return false;
+        }
+        if self.graph.label(gv) != self.pattern.label(pv) {
+            return false;
+        }
+        if self.graph.degree(gv) < self.pattern.degree(pv) {
+            return false;
+        }
+        // Every earlier-matched pattern neighbour must be adjacent in the data graph.
+        for &pn in &self.earlier_neighbors[depth] {
+            let gn = self.assignment[pn as usize].expect("earlier vertex assigned");
+            if !self.graph.has_edge(gv, gn) {
+                return false;
+            }
+        }
+        if self.config.induced {
+            // Earlier-matched pattern NON-neighbours must not be adjacent.
+            for (p_other, assigned) in self.assignment.iter().enumerate() {
+                if let Some(g_other) = assigned {
+                    let p_other = p_other as VertexId;
+                    if p_other != pv
+                        && !self.pattern.has_edge(pv, p_other)
+                        && self.graph.has_edge(gv, *g_other)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn candidates(&self, pv: VertexId, depth: usize) -> Vec<VertexId> {
+        if let Some(&pn) = self.earlier_neighbors[depth].first() {
+            let gn = self.assignment[pn as usize].expect("assigned");
+            self.graph.neighbors(gn).to_vec()
+        } else {
+            self.graph
+                .vertices()
+                .filter(|&gv| self.graph.label(gv) == self.pattern.label(pv))
+                .collect()
+        }
+    }
+
+    fn run(&mut self, depth: usize) {
+        if self.truncated {
+            return;
+        }
+        if depth == self.order.len() {
+            let emb: Embedding = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete assignment"))
+                .collect();
+            self.out.push(emb);
+            if self.out.len() >= self.config.max_embeddings {
+                self.truncated = true;
+            }
+            return;
+        }
+        let pv = self.order[depth];
+        for gv in self.candidates(pv, depth) {
+            if self.feasible(pv, gv, depth) {
+                self.assignment[pv as usize] = Some(gv);
+                self.used[gv as usize] = true;
+                self.run(depth + 1);
+                self.assignment[pv as usize] = None;
+                self.used[gv as usize] = false;
+                if self.truncated {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Enumerate all occurrences (subgraph isomorphisms) of `pattern` in `graph`.
+pub fn enumerate_embeddings(
+    pattern: &Pattern,
+    graph: &LabeledGraph,
+    config: IsoConfig,
+) -> EnumerationResult {
+    if pattern.num_vertices() == 0 {
+        // The empty pattern has exactly one (empty) occurrence by convention.
+        return EnumerationResult { embeddings: vec![Vec::new()], complete: true };
+    }
+    if pattern.num_vertices() > graph.num_vertices() {
+        return EnumerationResult { embeddings: Vec::new(), complete: true };
+    }
+    let mut search = Search::new(pattern, graph, config);
+    search.run(0);
+    EnumerationResult { embeddings: search.out, complete: !search.truncated }
+}
+
+/// `true` if `pattern` has at least one occurrence in `graph`.
+pub fn has_embedding(pattern: &Pattern, graph: &LabeledGraph) -> bool {
+    let config = IsoConfig { max_embeddings: 1, ..Default::default() };
+    !enumerate_embeddings(pattern, graph, config).is_empty()
+}
+
+/// `true` if the two graphs are isomorphic (Definition 2.1.5): same vertex count, same
+/// edge count, and an induced embedding exists in both directions (one direction plus
+/// the count equalities suffices).
+pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    if a.label_histogram() != b.label_histogram() {
+        return false;
+    }
+    let config = IsoConfig { max_embeddings: 1, induced: false };
+    // With equal vertex and edge counts, a (non-induced) edge-preserving bijection is
+    // automatically edge-reflecting, hence an isomorphism.
+    !enumerate_embeddings(a, b, config).is_empty()
+}
+
+/// Count occurrences without materialising them (still bounded by `config.max_embeddings`).
+pub fn count_embeddings(pattern: &Pattern, graph: &LabeledGraph, config: IsoConfig) -> usize {
+    enumerate_embeddings(pattern, graph, config).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use crate::Label;
+
+    /// The Figure 2 data graph: a labeled triangle {1,2,3} plus pendant vertices.
+    fn figure2_graph() -> LabeledGraph {
+        // vertices 1..6 in the paper are 0..5 here; all share one label.
+        LabeledGraph::from_edges(
+            &[0, 0, 0, 0, 0, 0],
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 4), (2, 5), (1, 5)],
+        )
+    }
+
+    #[test]
+    fn triangle_has_six_occurrences_one_instance() {
+        // Figure 2: the triangle pattern has 6 occurrences in the data graph (3! maps
+        // onto the single triangle instance).
+        let g = LabeledGraph::from_edges(&[0, 0, 0, 0, 0, 0], &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5)]);
+        let p = patterns::triangle(Label(0), Label(0), Label(0));
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(res.len(), 6);
+        assert!(res.complete);
+    }
+
+    #[test]
+    fn single_edge_pattern_counts_directed_embeddings() {
+        // An edge with two same-label endpoints has 2 occurrences per data edge.
+        let g = LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let p = patterns::single_edge(Label(0), Label(0));
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn labels_filter_candidates() {
+        let g = LabeledGraph::from_edges(&[1, 2, 1], &[(0, 1), (1, 2)]);
+        let p = patterns::single_edge(Label(1), Label(2));
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(res.len(), 2); // (0,1) and (2,1)
+        for emb in &res.embeddings {
+            assert_eq!(g.label(emb[0]), Label(1));
+            assert_eq!(g.label(emb[1]), Label(2));
+        }
+    }
+
+    #[test]
+    fn embedding_maps_edges_to_edges() {
+        let g = figure2_graph();
+        let p = patterns::path(&[Label(0), Label(0), Label(0)]);
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert!(!res.is_empty());
+        for emb in &res.embeddings {
+            for (u, v) in p.edges() {
+                assert!(g.has_edge(emb[u as usize], emb[v as usize]));
+            }
+            // injectivity
+            let mut sorted = emb.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), emb.len());
+        }
+    }
+
+    #[test]
+    fn limit_truncates_search() {
+        let g = figure2_graph();
+        let p = patterns::path(&[Label(0), Label(0)]);
+        let res = enumerate_embeddings(&p, &g, IsoConfig::with_limit(3));
+        assert_eq!(res.len(), 3);
+        assert!(!res.complete);
+    }
+
+    #[test]
+    fn induced_mode_excludes_chords() {
+        // Path pattern a-b-c in a triangle: non-induced finds 6, induced finds 0
+        // (because the chord a-c always exists).
+        let g = LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p = patterns::path(&[Label(0), Label(0), Label(0)]);
+        let open = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(open.len(), 6);
+        let induced = enumerate_embeddings(&p, &g, IsoConfig { induced: true, ..Default::default() });
+        assert_eq!(induced.len(), 0);
+    }
+
+    #[test]
+    fn pattern_larger_than_graph_has_no_embeddings() {
+        let g = LabeledGraph::from_edges(&[0, 0], &[(0, 1)]);
+        let p = patterns::path(&[Label(0), Label(0), Label(0)]);
+        assert!(enumerate_embeddings(&p, &g, IsoConfig::default()).is_empty());
+        assert!(!has_embedding(&p, &g));
+    }
+
+    #[test]
+    fn empty_pattern_has_one_occurrence() {
+        let g = LabeledGraph::from_edges(&[0], &[]);
+        let p = LabeledGraph::new();
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn isomorphism_check() {
+        let a = patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)]);
+        // same cycle, listed starting elsewhere
+        let b = patterns::cycle(&[Label(1), Label(0), Label(1), Label(0)]);
+        assert!(are_isomorphic(&a, &b));
+        let c = patterns::path(&[Label(0), Label(1), Label(0), Label(1)]);
+        assert!(!are_isomorphic(&a, &c));
+        let d = patterns::cycle(&[Label(0), Label(0), Label(1), Label(1)]);
+        assert!(!are_isomorphic(&a, &d));
+    }
+
+    #[test]
+    fn disconnected_pattern_is_supported() {
+        // Two disjoint edges as pattern; data graph a path of 4 distinct-labelled vertices.
+        let mut p = LabeledGraph::new();
+        let a = p.add_vertex(Label(1));
+        let b = p.add_vertex(Label(2));
+        let c = p.add_vertex(Label(3));
+        let d = p.add_vertex(Label(4));
+        p.add_edge(a, b).unwrap();
+        p.add_edge(c, d).unwrap();
+        let g = LabeledGraph::from_edges(&[1, 2, 3, 4], &[(0, 1), (1, 2), (2, 3)]);
+        let res = enumerate_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn count_matches_enumerate() {
+        let g = figure2_graph();
+        let p = patterns::triangle(Label(0), Label(0), Label(0));
+        let n = count_embeddings(&p, &g, IsoConfig::default());
+        assert_eq!(n, enumerate_embeddings(&p, &g, IsoConfig::default()).len());
+    }
+}

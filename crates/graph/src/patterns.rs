@@ -1,0 +1,190 @@
+//! Constructors for common query-pattern shapes.
+//!
+//! All constructors return a [`Pattern`] (= [`LabeledGraph`]) with vertices numbered
+//! in the documented order so that tests and figures can refer to pattern nodes
+//! positionally (`v1` in the paper is vertex `0` here, and so on).
+
+use crate::{Label, LabeledGraph, Pattern, VertexId};
+
+/// A single vertex carrying `label`.
+pub fn single_vertex(label: Label) -> Pattern {
+    let mut p = LabeledGraph::new();
+    p.add_vertex(label);
+    p
+}
+
+/// A single edge `v0 — v1` with the given endpoint labels.
+pub fn single_edge(a: Label, b: Label) -> Pattern {
+    let mut p = LabeledGraph::new();
+    let u = p.add_vertex(a);
+    let v = p.add_vertex(b);
+    p.add_edge(u, v).expect("edge");
+    p
+}
+
+/// A simple path `v0 — v1 — … — v_{k-1}` with the given labels.
+///
+/// # Panics
+/// Panics if `labels` is empty.
+pub fn path(labels: &[Label]) -> Pattern {
+    assert!(!labels.is_empty(), "path needs at least one vertex");
+    let mut p = LabeledGraph::with_capacity(labels.len());
+    let ids: Vec<VertexId> = labels.iter().map(|&l| p.add_vertex(l)).collect();
+    for w in ids.windows(2) {
+        p.add_edge(w[0], w[1]).expect("edge");
+    }
+    p
+}
+
+/// A cycle over the given labels (needs at least 3 vertices).
+///
+/// # Panics
+/// Panics if fewer than three labels are supplied.
+pub fn cycle(labels: &[Label]) -> Pattern {
+    assert!(labels.len() >= 3, "cycle needs at least three vertices");
+    let mut p = path(labels);
+    p.add_edge(0, (labels.len() - 1) as VertexId).expect("closing edge");
+    p
+}
+
+/// A triangle with the given labels (vertices 0, 1, 2).
+pub fn triangle(a: Label, b: Label, c: Label) -> Pattern {
+    cycle(&[a, b, c])
+}
+
+/// A star: vertex 0 is the centre with `center` label, vertices 1..=k are leaves.
+pub fn star(center: Label, leaves: &[Label]) -> Pattern {
+    let mut p = LabeledGraph::with_capacity(leaves.len() + 1);
+    let c = p.add_vertex(center);
+    for &l in leaves {
+        let v = p.add_vertex(l);
+        p.add_edge(c, v).expect("edge");
+    }
+    p
+}
+
+/// A complete graph (clique) over the given labels.
+pub fn clique(labels: &[Label]) -> Pattern {
+    let mut p = LabeledGraph::with_capacity(labels.len());
+    let ids: Vec<VertexId> = labels.iter().map(|&l| p.add_vertex(l)).collect();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            p.add_edge(ids[i], ids[j]).expect("edge");
+        }
+    }
+    p
+}
+
+/// A path of `k` vertices all carrying the same label.
+pub fn uniform_path(k: usize, label: Label) -> Pattern {
+    path(&vec![label; k])
+}
+
+/// A clique of `k` vertices all carrying the same label.
+pub fn uniform_clique(k: usize, label: Label) -> Pattern {
+    clique(&vec![label; k])
+}
+
+/// A star with `k` leaves where centre and leaves carry the given labels.
+pub fn uniform_star(k: usize, center: Label, leaf: Label) -> Pattern {
+    star(center, &vec![leaf; k])
+}
+
+/// Grow `pattern` by one edge between existing vertices `u` and `v`
+/// (superpattern construction used by the anti-monotonicity experiments).
+/// Returns `None` if the edge already exists or is a self loop.
+pub fn extend_with_edge(pattern: &Pattern, u: VertexId, v: VertexId) -> Option<Pattern> {
+    if u == v || pattern.has_edge(u, v) {
+        return None;
+    }
+    let mut p = pattern.clone();
+    p.add_edge(u, v).ok()?;
+    Some(p)
+}
+
+/// Grow `pattern` by a new vertex labelled `label` attached to existing vertex `at`.
+pub fn extend_with_vertex(pattern: &Pattern, at: VertexId, label: Label) -> Option<Pattern> {
+    if (at as usize) >= pattern.num_vertices() {
+        return None;
+    }
+    let mut p = pattern.clone();
+    let nv = p.add_vertex(label);
+    p.add_edge(at, nv).ok()?;
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(&[Label(0), Label(1), Label(2)]);
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 2);
+        assert!(p.has_edge(0, 1));
+        assert!(p.has_edge(1, 2));
+        assert!(!p.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cycle_and_triangle() {
+        let c = cycle(&[Label(0); 4]);
+        assert_eq!(c.num_edges(), 4);
+        let t = triangle(Label(0), Label(0), Label(0));
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = uniform_star(4, Label(9), Label(1));
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.label(0), Label(9));
+        for v in 1..5 {
+            assert_eq!(s.degree(v), 1);
+            assert_eq!(s.label(v), Label(1));
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let k4 = uniform_clique(4, Label(0));
+        assert_eq!(k4.num_edges(), 6);
+        assert_eq!(k4.max_degree(), 3);
+    }
+
+    #[test]
+    fn single_shapes() {
+        assert_eq!(single_vertex(Label(3)).num_vertices(), 1);
+        let e = single_edge(Label(1), Label(2));
+        assert_eq!(e.num_edges(), 1);
+        assert_eq!(e.label(1), Label(2));
+    }
+
+    #[test]
+    fn extension_helpers() {
+        let p = path(&[Label(0), Label(0), Label(0)]);
+        let closed = extend_with_edge(&p, 0, 2).unwrap();
+        assert_eq!(closed.num_edges(), 3);
+        assert!(extend_with_edge(&p, 0, 1).is_none()); // already exists
+        assert!(extend_with_edge(&p, 1, 1).is_none()); // self loop
+        let grown = extend_with_vertex(&p, 2, Label(7)).unwrap();
+        assert_eq!(grown.num_vertices(), 4);
+        assert_eq!(grown.label(3), Label(7));
+        assert!(extend_with_vertex(&p, 99, Label(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_path_panics() {
+        let _ = path(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_cycle_panics() {
+        let _ = cycle(&[Label(0), Label(0)]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Weisfeiler–Leman (colour-refinement) machinery.
+//!
+//! 1-dimensional WL refinement iteratively partitions vertices by `(own colour,
+//! multiset of neighbour colours)` until the partition stabilises.  The project uses
+//! it in three ways:
+//!
+//! * as a cheap *necessary* condition for isomorphism — two graphs with different
+//!   stable colour histograms cannot be isomorphic, which lets
+//!   [`crate::isomorphism::are_isomorphic`]-style checks and the miner's
+//!   de-duplication skip the expensive backtracking search on obvious mismatches;
+//! * as a seed partition for automorphism-orbit computation — vertices in different
+//!   stable colour classes can never be in the same orbit, so the orbit search only
+//!   has to distinguish vertices *within* classes;
+//! * as an additional pruning signal in subgraph-isomorphism candidate filtering
+//!   (pattern vertices can only map to data vertices whose iterated colour "contains"
+//!   theirs — we only use the coarser degree/label filter in the enumerator, but the
+//!   partition is exposed here for experiments on pruning strength).
+
+use crate::{LabeledGraph, VertexId};
+use std::collections::HashMap;
+
+/// The stable colouring produced by [`refine`]: one colour id per vertex plus the
+/// number of refinement rounds that were needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// Colour class of every vertex (dense ids `0..num_classes`).
+    pub colors: Vec<usize>,
+    /// Number of distinct colour classes.
+    pub num_classes: usize,
+    /// Refinement rounds until the partition stabilised.
+    pub rounds: usize,
+}
+
+impl Refinement {
+    /// The colour classes as sorted vertex lists, ordered by colour id.
+    pub fn classes(&self) -> Vec<Vec<VertexId>> {
+        let mut classes = vec![Vec::new(); self.num_classes];
+        for (v, &c) in self.colors.iter().enumerate() {
+            classes[c].push(v as VertexId);
+        }
+        classes
+    }
+
+    /// Histogram of class sizes (sorted ascending) — the canonical-ish summary used
+    /// to compare two graphs' refinements.
+    pub fn class_size_histogram(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_classes];
+        for &c in &self.colors {
+            sizes[c] += 1;
+        }
+        sizes.sort_unstable();
+        sizes
+    }
+
+    /// `true` if every vertex sits in its own class (the partition is discrete); in
+    /// that case the graph has no non-trivial automorphism.
+    pub fn is_discrete(&self) -> bool {
+        self.num_classes == self.colors.len()
+    }
+}
+
+/// Run 1-WL colour refinement to a stable partition.  Initial colours are the vertex
+/// labels; each round replaces a vertex's colour by a hash of `(colour, sorted
+/// neighbour colours)` until the number of classes stops growing.
+pub fn refine(graph: &LabeledGraph) -> Refinement {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Refinement { colors: Vec::new(), num_classes: 0, rounds: 0 };
+    }
+    // Initial colouring by label, densified.
+    let mut palette: HashMap<u32, usize> = HashMap::new();
+    let mut colors: Vec<usize> = (0..n)
+        .map(|v| {
+            let next = palette.len();
+            *palette.entry(graph.label(v as VertexId).0).or_insert(next)
+        })
+        .collect();
+    let mut num_classes = palette.len();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        // Signature of a vertex = (own colour, sorted multiset of neighbour colours).
+        let mut signatures: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut neigh: Vec<usize> =
+                graph.neighbors(v as VertexId).iter().map(|&w| colors[w as usize]).collect();
+            neigh.sort_unstable();
+            signatures.push((colors[v], neigh));
+        }
+        let mut sig_palette: HashMap<&(usize, Vec<usize>), usize> = HashMap::new();
+        let mut new_colors = vec![0usize; n];
+        for (v, sig) in signatures.iter().enumerate() {
+            let next = sig_palette.len();
+            new_colors[v] = *sig_palette.entry(sig).or_insert(next);
+        }
+        let new_num = sig_palette.len();
+        if new_num == num_classes {
+            // Stable: keep the previous colours (same partition, stable ids).
+            break;
+        }
+        colors = new_colors;
+        num_classes = new_num;
+        if num_classes == n {
+            break;
+        }
+    }
+    Refinement { colors, num_classes, rounds }
+}
+
+/// A WL-based *necessary* condition for two graphs being isomorphic: equal vertex and
+/// edge counts, equal label histograms, and equal stable class-size histograms
+/// per-round signature.  Returns `false` only when the graphs are certainly
+/// non-isomorphic; `true` means "possibly isomorphic".
+pub fn wl_possibly_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    if a.num_vertices() != b.num_vertices()
+        || a.num_edges() != b.num_edges()
+        || a.label_histogram() != b.label_histogram()
+    {
+        return false;
+    }
+    let ra = refine(a);
+    let rb = refine(b);
+    ra.num_classes == rb.num_classes && ra.class_size_histogram() == rb.class_size_histogram()
+}
+
+/// A compact, WL-derived fingerprint of a graph.  Isomorphic graphs always receive
+/// equal fingerprints; unequal fingerprints certify non-isomorphism.  (Equal
+/// fingerprints do *not* certify isomorphism — use
+/// [`crate::isomorphism::are_isomorphic`] for that.)
+pub fn wl_fingerprint(graph: &LabeledGraph) -> Vec<u64> {
+    let r = refine(graph);
+    // For each class: (size, representative label, sum of neighbour class sizes) —
+    // all invariant under isomorphism.
+    let classes = r.classes();
+    let mut entries: Vec<u64> = Vec::with_capacity(classes.len() + 2);
+    entries.push(graph.num_vertices() as u64);
+    entries.push(graph.num_edges() as u64);
+    let mut per_class: Vec<(u64, u64, u64)> = classes
+        .iter()
+        .map(|class| {
+            let size = class.len() as u64;
+            let label = class.first().map(|&v| graph.label(v).0 as u64).unwrap_or(0);
+            let degree_sum: u64 = class.iter().map(|&v| graph.degree(v) as u64).sum();
+            (size, label, degree_sum)
+        })
+        .collect();
+    per_class.sort_unstable();
+    for (size, label, degree_sum) in per_class {
+        entries.push(size);
+        entries.push(label);
+        entries.push(degree_sum);
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::shuffle_vertices;
+    use crate::{generators, patterns, Label};
+
+    #[test]
+    fn refinement_of_empty_and_single() {
+        let r = refine(&LabeledGraph::new());
+        assert_eq!(r.num_classes, 0);
+        let single = patterns::single_vertex(Label(3));
+        let r = refine(&single);
+        assert_eq!(r.num_classes, 1);
+        assert!(r.is_discrete());
+    }
+
+    #[test]
+    fn uniform_clique_stays_one_class() {
+        let k4 = patterns::uniform_clique(4, Label(0));
+        let r = refine(&k4);
+        assert_eq!(r.num_classes, 1);
+        assert_eq!(r.class_size_histogram(), vec![4]);
+        assert!(!r.is_discrete());
+    }
+
+    #[test]
+    fn path_endpoints_vs_midpoints() {
+        // Uniform path of 4: endpoints form one class, midpoints another.
+        let p = patterns::uniform_path(4, Label(0));
+        let r = refine(&p);
+        assert_eq!(r.num_classes, 2);
+        let classes = r.classes();
+        let sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2));
+        // Uniform path of 5 distinguishes centre from the others: 3 classes.
+        let p5 = patterns::uniform_path(5, Label(0));
+        assert_eq!(refine(&p5).num_classes, 3);
+    }
+
+    #[test]
+    fn labels_seed_the_partition() {
+        let mixed = LabeledGraph::from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let r = refine(&mixed);
+        // Ends share a class (same label, same neighbourhood), middle is alone.
+        assert_eq!(r.num_classes, 2);
+        let all_same = crate::transform::forget_labels(&mixed);
+        assert_eq!(refine(&all_same).num_classes, 2);
+    }
+
+    #[test]
+    fn fingerprint_is_isomorphism_invariant() {
+        let g = generators::gnm_random(30, 70, 3, 21);
+        let shuffled = shuffle_vertices(&g, 5);
+        assert_eq!(wl_fingerprint(&g), wl_fingerprint(&shuffled));
+        assert!(wl_possibly_isomorphic(&g, &shuffled));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_graphs() {
+        let path = patterns::uniform_path(4, Label(0));
+        let star = patterns::uniform_star(3, Label(0), Label(0));
+        // Same vertex and edge counts, same labels, but different degree structure.
+        assert_ne!(wl_fingerprint(&path), wl_fingerprint(&star));
+        assert!(!wl_possibly_isomorphic(&path, &star));
+        // Different sizes short-circuit.
+        assert!(!wl_possibly_isomorphic(&path, &patterns::uniform_path(5, Label(0))));
+    }
+
+    #[test]
+    fn wl_consistent_with_exact_isomorphism_on_random_graphs() {
+        for seed in 0..10u64 {
+            let a = generators::gnm_random(12, 20, 2, seed);
+            let b = shuffle_vertices(&a, seed + 100);
+            assert!(wl_possibly_isomorphic(&a, &b));
+            assert!(crate::isomorphism::are_isomorphic(&a, &b));
+        }
+    }
+
+    #[test]
+    fn discrete_partition_implies_trivial_automorphisms() {
+        // A path with all-distinct labels: WL separates every vertex.
+        let p = patterns::path(&[Label(0), Label(1), Label(2), Label(3)]);
+        let r = refine(&p);
+        assert!(r.is_discrete());
+        assert_eq!(crate::automorphism::automorphism_count(&p), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Maximum independent sets in ordinary graphs.
+//!
+//! The overlap-graph-based MIS support measure of Vanetik et al. (Definition 2.2.7)
+//! needs a maximum independent vertex set of the *overlap graph* — a plain graph
+//! whose vertices are occurrences/instances.  This module provides a small adjacency
+//! structure for such graphs plus exact and greedy solvers, so the paper's baseline
+//! measure can be computed and compared against the hypergraph-native MIES.
+
+use crate::{ExactResult, SearchBudget};
+
+/// A minimal undirected graph over vertices `0..n`, stored as adjacency lists.
+/// Used for overlap graphs (whose vertices are hyperedges of an occurrence
+/// hypergraph), not for labeled data graphs.
+#[derive(Debug, Clone)]
+pub struct SimpleGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl SimpleGraph {
+    /// Create a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        SimpleGraph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Build from adjacency lists (as produced by
+    /// [`Hypergraph::overlap_adjacency`](crate::Hypergraph::overlap_adjacency)).
+    pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Self {
+        SimpleGraph { adj }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Insert the undirected edge `{u, v}` (no-op if it exists).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len() && u != v, "invalid edge {u}-{v}");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+}
+
+struct MisSearch<'a> {
+    g: &'a SimpleGraph,
+    best: Vec<usize>,
+    best_size: usize,
+    nodes: usize,
+    budget: usize,
+    optimal: bool,
+}
+
+impl<'a> MisSearch<'a> {
+    /// Branch on the highest-degree remaining vertex: either exclude it, or include it
+    /// and exclude its neighbourhood.
+    fn search(&mut self, chosen: &mut Vec<usize>, alive: &mut Vec<bool>, alive_count: usize) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.optimal = false;
+            return;
+        }
+        if chosen.len() + alive_count <= self.best_size {
+            return;
+        }
+        // Find the highest-degree alive vertex (degree counted among alive vertices).
+        let mut pick = None;
+        let mut pick_degree = 0usize;
+        for v in 0..self.g.num_vertices() {
+            if !alive[v] {
+                continue;
+            }
+            let d = self.g.neighbors(v).iter().filter(|&&w| alive[w]).count();
+            if pick.is_none() || d > pick_degree {
+                pick = Some(v);
+                pick_degree = d;
+            }
+        }
+        let Some(v) = pick else {
+            // No vertices left: record the solution.
+            if chosen.len() > self.best_size {
+                self.best_size = chosen.len();
+                self.best = chosen.clone();
+            }
+            return;
+        };
+        if pick_degree == 0 {
+            // All remaining vertices are isolated: take them all.
+            let isolated: Vec<usize> = (0..self.g.num_vertices()).filter(|&w| alive[w]).collect();
+            if chosen.len() + isolated.len() > self.best_size {
+                self.best_size = chosen.len() + isolated.len();
+                self.best = chosen.iter().copied().chain(isolated).collect();
+            }
+            return;
+        }
+        // Branch 1: include v.
+        let removed: Vec<usize> = std::iter::once(v)
+            .chain(self.g.neighbors(v).iter().copied())
+            .filter(|&w| alive[w])
+            .collect();
+        for &w in &removed {
+            alive[w] = false;
+        }
+        chosen.push(v);
+        self.search(chosen, alive, alive_count - removed.len());
+        chosen.pop();
+        for &w in &removed {
+            alive[w] = true;
+        }
+        // Branch 2: exclude v.
+        alive[v] = false;
+        self.search(chosen, alive, alive_count - 1);
+        alive[v] = true;
+    }
+}
+
+/// Exact maximum independent set of `g` via branch and bound.
+pub fn exact_max_independent_set(g: &SimpleGraph, budget: SearchBudget) -> ExactResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return ExactResult { value: 0, witness: Vec::new(), optimal: true };
+    }
+    let seed = greedy_independent_set(g);
+    let mut search = MisSearch {
+        g,
+        best_size: seed.len(),
+        best: seed,
+        nodes: 0,
+        budget: budget.0,
+        optimal: true,
+    };
+    let mut alive = vec![true; n];
+    search.search(&mut Vec::new(), &mut alive, n);
+    let mut witness = search.best;
+    witness.sort_unstable();
+    ExactResult { value: search.best_size, witness, optimal: search.optimal }
+}
+
+/// Greedy independent set: repeatedly take the minimum-degree remaining vertex and
+/// discard its neighbours.
+pub fn greedy_independent_set(g: &SimpleGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut alive = vec![true; n];
+    let mut chosen = Vec::new();
+    loop {
+        let mut pick = None;
+        let mut pick_degree = usize::MAX;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let d = g.neighbors(v).iter().filter(|&&w| alive[w]).count();
+            if d < pick_degree {
+                pick = Some(v);
+                pick_degree = d;
+            }
+        }
+        let Some(v) = pick else { break };
+        chosen.push(v);
+        alive[v] = false;
+        for &w in g.neighbors(v) {
+            alive[w] = false;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// `true` if `set` is an independent set of `g`.
+pub fn is_independent_set(g: &SimpleGraph, set: &[usize]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if g.neighbors(u).contains(&v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> SimpleGraph {
+        let mut g = SimpleGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn four_cycle_mis_is_two() {
+        let g = cycle(4);
+        let res = exact_max_independent_set(&g, SearchBudget::default());
+        assert!(res.optimal);
+        assert_eq!(res.value, 2);
+        assert!(is_independent_set(&g, &res.witness));
+    }
+
+    #[test]
+    fn five_cycle_mis_is_two() {
+        let g = cycle(5);
+        assert_eq!(exact_max_independent_set(&g, SearchBudget::default()).value, 2);
+    }
+
+    #[test]
+    fn complete_graph_mis_is_one() {
+        let mut g = SimpleGraph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(exact_max_independent_set(&g, SearchBudget::default()).value, 1);
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let g = SimpleGraph::new(6);
+        let res = exact_max_independent_set(&g, SearchBudget::default());
+        assert_eq!(res.value, 6);
+        assert_eq!(res.witness, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(greedy_independent_set(&g).len(), 6);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = SimpleGraph::new(0);
+        assert_eq!(exact_max_independent_set(&g, SearchBudget::default()).value, 0);
+    }
+
+    #[test]
+    fn greedy_is_valid_and_never_better_than_exact() {
+        let g = cycle(9);
+        let greedy = greedy_independent_set(&g);
+        assert!(is_independent_set(&g, &greedy));
+        let exact = exact_max_independent_set(&g, SearchBudget::default());
+        assert_eq!(exact.value, 4);
+        assert!(greedy.len() <= exact.value);
+    }
+
+    #[test]
+    fn duplicate_add_edge_is_idempotent() {
+        let mut g = SimpleGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn random_graphs_greedy_leq_exact() {
+        let mut seed = 5u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        for trial in 0..8 {
+            let n = 12 + trial;
+            let mut g = SimpleGraph::new(n);
+            for _ in 0..(2 * n) {
+                let u = next() % n;
+                let v = next() % n;
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            let exact = exact_max_independent_set(&g, SearchBudget::default());
+            assert!(exact.optimal);
+            assert!(is_independent_set(&g, &exact.witness));
+            let greedy = greedy_independent_set(&g);
+            assert!(is_independent_set(&g, &greedy));
+            assert!(greedy.len() <= exact.value);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Greedy set-cover machinery.
+//!
+//! Minimum vertex cover of a hypergraph *is* a set-cover problem: the universe is the
+//! edge set and each vertex covers the edges containing it.  The classic greedy
+//! algorithm ("repeatedly pick the vertex covering the most uncovered edges") gives a
+//! `ln m + 1` approximation, which complements the `k`-approximation of
+//! [`crate::vertex_cover::greedy_matching_cover`]: on occurrence hypergraphs with a
+//! few high-degree hub images (the star-overlap workloads) greedy set cover is often
+//! much closer to the optimum, while on uniform low-degree instances the matching
+//! bound is better.  Experiment E7 compares the two empirically.
+
+use crate::Hypergraph;
+
+/// Solve the generic set-cover problem greedily.
+///
+/// `universe_size` elements `0..universe_size` must be covered; `sets[i]` lists the
+/// elements covered by set `i`.  Returns the chosen set indices, or `None` if some
+/// element is not covered by any set.
+pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut covered = vec![false; universe_size];
+    let mut num_covered = 0usize;
+    let mut chosen = Vec::new();
+    // Precompute which sets touch each element so we can bail out early.
+    let mut coverable = vec![false; universe_size];
+    for set in sets {
+        for &e in set {
+            if e < universe_size {
+                coverable[e] = true;
+            }
+        }
+    }
+    if coverable.iter().any(|&c| !c) {
+        return None;
+    }
+    let mut used = vec![false; sets.len()];
+    while num_covered < universe_size {
+        // Pick the set covering the most uncovered elements; ties by smaller index
+        // keep the result deterministic.
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, set) in sets.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let gain = set.iter().filter(|&&e| e < universe_size && !covered[e]).count();
+            if gain == 0 {
+                continue;
+            }
+            if best.map(|(g, _)| gain > g).unwrap_or(true) {
+                best = Some((gain, i));
+            }
+        }
+        let (_, i) = best?;
+        used[i] = true;
+        chosen.push(i);
+        for &e in &sets[i] {
+            if e < universe_size && !covered[e] {
+                covered[e] = true;
+                num_covered += 1;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+/// Greedy set-cover approximation of the minimum vertex cover of a hypergraph:
+/// elements are edges, sets are vertices.  Returns the chosen vertices (a valid
+/// cover); empty for a hypergraph with no edges.
+pub fn greedy_set_cover_vertex_cover(h: &Hypergraph) -> Vec<usize> {
+    if h.num_edges() == 0 {
+        return Vec::new();
+    }
+    let incidence = h.incidence();
+    greedy_set_cover(h.num_edges(), &incidence)
+        .expect("every hyperedge is non-empty, so it is coverable")
+}
+
+/// Number of distinct elements covered by the chosen sets (utility for tests and
+/// experiment reporting).
+pub fn coverage(universe_size: usize, sets: &[Vec<usize>], chosen: &[usize]) -> usize {
+    let mut covered = vec![false; universe_size];
+    for &i in chosen {
+        if let Some(set) = sets.get(i) {
+            for &e in set {
+                if e < universe_size {
+                    covered[e] = true;
+                }
+            }
+        }
+    }
+    covered.into_iter().filter(|&c| c).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cover::{exact_vertex_cover, is_vertex_cover};
+    use crate::SearchBudget;
+
+    #[test]
+    fn covers_a_simple_universe() {
+        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![4]];
+        let chosen = greedy_set_cover(5, &sets).unwrap();
+        assert_eq!(coverage(5, &sets, &chosen), 5);
+        // Greedy picks {0,1,2} first, then needs {2,3} or {3,4} and possibly {4}.
+        assert!(chosen.contains(&0));
+        assert!(chosen.len() <= 3);
+    }
+
+    #[test]
+    fn uncoverable_universe_returns_none() {
+        let sets = vec![vec![0, 1]];
+        assert!(greedy_set_cover(3, &sets).is_none());
+        assert!(greedy_set_cover(0, &sets).is_some()); // empty universe: nothing to do
+        assert_eq!(greedy_set_cover(0, &sets).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn greedy_matches_optimum_on_star_overlap() {
+        // Two hubs (0 and 9) covering four edges each: greedy set cover finds the
+        // optimal size-2 cover, while the matching-based 2-approximation may use 4.
+        let mut h = Hypergraph::new(10);
+        for leaf in 1..5 {
+            h.add_edge(vec![0, leaf]).unwrap();
+        }
+        for leaf in 5..9 {
+            h.add_edge(vec![9, leaf]).unwrap();
+        }
+        let cover = greedy_set_cover_vertex_cover(&h);
+        assert!(is_vertex_cover(&h, &cover));
+        assert_eq!(cover.len(), 2);
+        assert_eq!(exact_vertex_cover(&h, SearchBudget::default()).value, 2);
+    }
+
+    #[test]
+    fn greedy_cover_is_always_valid_on_random_hypergraphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 15;
+            let mut h = Hypergraph::new(n);
+            for _ in 0..rng.gen_range(1..25) {
+                let size = rng.gen_range(1..5);
+                let edge: Vec<usize> = (0..size).map(|_| rng.gen_range(0..n)).collect();
+                h.add_edge(edge).unwrap();
+            }
+            let cover = greedy_set_cover_vertex_cover(&h);
+            assert!(is_vertex_cover(&h, &cover), "seed {seed}");
+            let opt = exact_vertex_cover(&h, SearchBudget::default()).value;
+            assert!(cover.len() >= opt, "seed {seed}");
+            // ln(m)+1 bound (loose sanity check).
+            let bound = (opt as f64) * ((h.num_edges() as f64).ln() + 1.0);
+            assert!(cover.len() as f64 <= bound.max(opt as f64), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph_needs_no_cover() {
+        let h = Hypergraph::new(4);
+        assert!(greedy_set_cover_vertex_cover(&h).is_empty());
+    }
+}

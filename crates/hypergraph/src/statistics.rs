@@ -1,0 +1,187 @@
+//! Structural statistics of hypergraphs.
+//!
+//! The experiment harness reports these for every occurrence / instance hypergraph it
+//! builds: they characterise *how much* overlap a workload has (degree distribution of
+//! image vertices, number of repeated edges, component structure), which is exactly
+//! the axis along which MNI over-estimation and MVC/MIS hardness vary.
+
+use crate::{connectivity, Hypergraph};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one hypergraph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypergraphStatistics {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of vertices contained in at least one edge.
+    pub num_covered_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Number of *distinct* edge vertex sets (repeated edges arise from pattern
+    /// automorphisms).
+    pub num_distinct_edges: usize,
+    /// `Some(k)` if the hypergraph is k-uniform.
+    pub uniform_rank: Option<usize>,
+    /// Largest edge size.
+    pub max_edge_size: usize,
+    /// Mean edge size (0 if there are no edges).
+    pub mean_edge_size: f64,
+    /// Maximum vertex degree (number of edges containing the busiest vertex).
+    pub max_vertex_degree: usize,
+    /// Mean vertex degree over covered vertices (0 if none).
+    pub mean_vertex_degree: f64,
+    /// Number of connected components (isolated vertices ignored).
+    pub num_components: usize,
+    /// Size (in edges) of the largest component.
+    pub largest_component_edges: usize,
+    /// Number of pairs of edges that share at least one vertex — the edge count of
+    /// the overlap graph (Definition 2.2.5).
+    pub overlapping_edge_pairs: usize,
+}
+
+impl HypergraphStatistics {
+    /// Compute the statistics for `h`.
+    pub fn compute(h: &Hypergraph) -> Self {
+        let incidence = h.incidence();
+        let degrees: Vec<usize> = incidence.iter().map(Vec::len).collect();
+        let covered = degrees.iter().filter(|&&d| d > 0).count();
+        let edge_sizes: Vec<usize> = h.edges().map(|(_, e)| e.len()).collect();
+        let mut distinct: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+        for (_, e) in h.edges() {
+            distinct.insert(e.to_vec());
+        }
+        let components = connectivity::connected_components(h);
+        let overlap_adj = h.overlap_adjacency();
+        let overlapping_edge_pairs = overlap_adj.iter().map(Vec::len).sum::<usize>() / 2;
+        HypergraphStatistics {
+            num_vertices: h.num_vertices(),
+            num_covered_vertices: covered,
+            num_edges: h.num_edges(),
+            num_distinct_edges: distinct.len(),
+            uniform_rank: h.uniform_rank(),
+            max_edge_size: h.max_edge_size(),
+            mean_edge_size: if edge_sizes.is_empty() {
+                0.0
+            } else {
+                edge_sizes.iter().sum::<usize>() as f64 / edge_sizes.len() as f64
+            },
+            max_vertex_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_vertex_degree: if covered == 0 {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / covered as f64
+            },
+            num_components: components.len(),
+            largest_component_edges: components.iter().map(|c| c.hypergraph.num_edges()).max().unwrap_or(0),
+            overlapping_edge_pairs,
+        }
+    }
+
+    /// Overlap density: fraction of edge pairs that overlap (0 when fewer than two
+    /// edges).  1.0 means every pair of occurrences shares an image vertex.
+    pub fn overlap_density(&self) -> f64 {
+        if self.num_edges < 2 {
+            return 0.0;
+        }
+        let pairs = self.num_edges * (self.num_edges - 1) / 2;
+        self.overlapping_edge_pairs as f64 / pairs as f64
+    }
+
+    /// Edge multiplicity: average number of hyperedges per distinct vertex set
+    /// (> 1 exactly when the pattern has non-trivial automorphisms).
+    pub fn edge_multiplicity(&self) -> f64 {
+        if self.num_distinct_edges == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_distinct_edges as f64
+        }
+    }
+
+    /// One-line summary used in experiment logs.
+    pub fn one_line(&self) -> String {
+        format!(
+            "|V|={} |E|={} (distinct {}) rank={:?} comps={} overlap={:.2}",
+            self.num_covered_vertices,
+            self.num_edges,
+            self.num_distinct_edges,
+            self.uniform_rank,
+            self.num_components,
+            self.overlap_density()
+        )
+    }
+}
+
+impl std::fmt::Display for HypergraphStatistics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "vertices (covered/total): {}/{}", self.num_covered_vertices, self.num_vertices)?;
+        writeln!(f, "edges (distinct):         {} ({})", self.num_edges, self.num_distinct_edges)?;
+        writeln!(f, "uniform rank:             {:?}", self.uniform_rank)?;
+        writeln!(f, "edge size mean/max:       {:.2}/{}", self.mean_edge_size, self.max_edge_size)?;
+        writeln!(f, "vertex degree mean/max:   {:.2}/{}", self.mean_vertex_degree, self.max_vertex_degree)?;
+        writeln!(f, "components (largest):     {} ({} edges)", self.num_components, self.largest_component_edges)?;
+        write!(f, "overlapping edge pairs:   {} (density {:.3})", self.overlapping_edge_pairs, self.overlap_density())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_of_empty_hypergraph() {
+        let s = HypergraphStatistics::compute(&Hypergraph::new(3));
+        assert_eq!(s.num_vertices, 3);
+        assert_eq!(s.num_covered_vertices, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.mean_edge_size, 0.0);
+        assert_eq!(s.overlap_density(), 0.0);
+        assert_eq!(s.edge_multiplicity(), 0.0);
+        assert_eq!(s.num_components, 0);
+    }
+
+    #[test]
+    fn statistics_of_triangle_occurrence_hypergraph() {
+        // Six identical {0,1,2} edges — the Figure 2 situation.
+        let mut h = Hypergraph::new(3);
+        for _ in 0..6 {
+            h.add_edge(vec![0, 1, 2]).unwrap();
+        }
+        let s = HypergraphStatistics::compute(&h);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.num_distinct_edges, 1);
+        assert!((s.edge_multiplicity() - 6.0).abs() < 1e-12);
+        assert_eq!(s.uniform_rank, Some(3));
+        assert_eq!(s.num_components, 1);
+        assert!((s.overlap_density() - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_vertex_degree, 6);
+    }
+
+    #[test]
+    fn statistics_of_disjoint_edges() {
+        let mut h = Hypergraph::new(6);
+        h.add_edge(vec![0, 1]).unwrap();
+        h.add_edge(vec![2, 3]).unwrap();
+        h.add_edge(vec![4, 5]).unwrap();
+        let s = HypergraphStatistics::compute(&h);
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component_edges, 1);
+        assert_eq!(s.overlapping_edge_pairs, 0);
+        assert_eq!(s.overlap_density(), 0.0);
+        assert_eq!(s.mean_vertex_degree, 1.0);
+        assert!(s.one_line().contains("comps=3"));
+    }
+
+    #[test]
+    fn mixed_rank_hypergraph_is_not_uniform() {
+        let mut h = Hypergraph::new(5);
+        h.add_edge(vec![0, 1]).unwrap();
+        h.add_edge(vec![1, 2, 3]).unwrap();
+        let s = HypergraphStatistics::compute(&h);
+        assert_eq!(s.uniform_rank, None);
+        assert_eq!(s.max_edge_size, 3);
+        assert!((s.mean_edge_size - 2.5).abs() < 1e-12);
+        assert_eq!(s.overlapping_edge_pairs, 1);
+        let text = format!("{s}");
+        assert!(text.contains("uniform rank"));
+    }
+}

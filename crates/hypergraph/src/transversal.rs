@@ -1,0 +1,213 @@
+//! Minimal transversal (hitting set) enumeration.
+//!
+//! A *transversal* of a hypergraph is exactly a vertex cover (Definition 3.3.1); a
+//! transversal is *minimal* when no proper subset is still a transversal.  The set of
+//! all minimal transversals — the *transversal hypergraph* `Tr(H)` — is a classical
+//! object in hypergraph theory (Berge) and gives a complete picture of the MVC
+//! landscape of an occurrence hypergraph: σMVC is the size of the smallest member of
+//! `Tr(H)`, and the spread of member sizes shows how "robust" that minimum is.
+//!
+//! Full enumeration is exponential in the worst case, so [`minimal_transversals`]
+//! takes an explicit output cap and reports whether it was reached.  The incremental
+//! Berge-style algorithm processes one edge at a time and keeps the running family
+//! minimal.
+
+use crate::Hypergraph;
+
+/// Result of a (possibly truncated) minimal-transversal enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransversalEnumeration {
+    /// The minimal transversals found, each sorted; globally sorted by (size, lexicographic).
+    pub transversals: Vec<Vec<usize>>,
+    /// `true` if the enumeration is complete, `false` if the cap was hit.
+    pub complete: bool,
+}
+
+impl TransversalEnumeration {
+    /// Size of the smallest minimal transversal (= σMVC when the enumeration is
+    /// complete), or `None` if no transversal was produced.
+    pub fn minimum_size(&self) -> Option<usize> {
+        self.transversals.iter().map(Vec::len).min()
+    }
+
+    /// Size of the largest *minimal* transversal (the upper end of the MVC landscape).
+    pub fn maximum_size(&self) -> Option<usize> {
+        self.transversals.iter().map(Vec::len).max()
+    }
+}
+
+/// `true` if sorted `a` is a subset of sorted `b`.
+fn is_subset(a: &[usize], b: &[usize]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut bi = 0;
+    for &x in a {
+        while bi < b.len() && b[bi] < x {
+            bi += 1;
+        }
+        if bi >= b.len() || b[bi] != x {
+            return false;
+        }
+        bi += 1;
+    }
+    true
+}
+
+/// Enumerate the minimal transversals of `h`, producing at most `cap` of them.
+///
+/// Berge's incremental algorithm: start with the empty family `{∅}`; for every edge
+/// `e`, replace each partial transversal `t` by `{t ∪ {v} : v ∈ e}` (skipping the
+/// extension when `t` already hits `e`), then prune non-minimal members.  With a cap
+/// the intermediate family is truncated by size-first order, which keeps the smallest
+/// transversals and marks the result incomplete.
+pub fn minimal_transversals(h: &Hypergraph, cap: usize) -> TransversalEnumeration {
+    if h.num_edges() == 0 {
+        return TransversalEnumeration { transversals: vec![Vec::new()], complete: true };
+    }
+    let cap = cap.max(1);
+    let mut family: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut complete = true;
+    for (_, edge) in h.edges() {
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for t in &family {
+            if edge.iter().any(|v| t.binary_search(v).is_ok()) {
+                next.push(t.clone());
+            } else {
+                for &v in edge {
+                    let mut extended = t.clone();
+                    let pos = extended.partition_point(|&x| x < v);
+                    extended.insert(pos, v);
+                    next.push(extended);
+                }
+            }
+        }
+        // Prune duplicates and non-minimal members.
+        next.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        next.dedup();
+        let mut minimal: Vec<Vec<usize>> = Vec::with_capacity(next.len());
+        for t in next {
+            if !minimal.iter().any(|m| is_subset(m, &t)) {
+                minimal.push(t);
+            }
+        }
+        if minimal.len() > cap {
+            minimal.truncate(cap);
+            complete = false;
+        }
+        family = minimal;
+    }
+    family.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    TransversalEnumeration { transversals: family, complete }
+}
+
+/// `true` if `set` is a transversal (vertex cover) of `h` and removing any single
+/// element breaks that property.
+pub fn is_minimal_transversal(h: &Hypergraph, set: &[usize]) -> bool {
+    if !crate::vertex_cover::is_vertex_cover(h, set) {
+        return false;
+    }
+    for (i, _) in set.iter().enumerate() {
+        let mut smaller: Vec<usize> = set.to_vec();
+        smaller.remove(i);
+        if crate::vertex_cover::is_vertex_cover(h, &smaller) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cover::exact_vertex_cover;
+    use crate::SearchBudget;
+
+    fn figure6_hypergraph() -> Hypergraph {
+        // Hub 0 connected to 4..7, hub 7 connected to 1..3 (paper's Figure 6, renumbered).
+        let mut h = Hypergraph::new(8);
+        for e in [[0, 4], [0, 5], [0, 6], [0, 7], [1, 7], [2, 7], [3, 7]] {
+            h.add_edge(e.to_vec()).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn empty_hypergraph_has_the_empty_transversal() {
+        let t = minimal_transversals(&Hypergraph::new(4), 10);
+        assert!(t.complete);
+        assert_eq!(t.transversals, vec![Vec::<usize>::new()]);
+        assert_eq!(t.minimum_size(), Some(0));
+    }
+
+    #[test]
+    fn single_edge_transversals_are_its_vertices() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(vec![0, 1, 2]).unwrap();
+        let t = minimal_transversals(&h, 10);
+        assert!(t.complete);
+        assert_eq!(t.transversals, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_disjoint_edges_give_cartesian_product() {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(vec![0, 1]).unwrap();
+        h.add_edge(vec![2, 3]).unwrap();
+        let t = minimal_transversals(&h, 10);
+        assert!(t.complete);
+        assert_eq!(t.transversals.len(), 4);
+        assert!(t.transversals.contains(&vec![0, 2]));
+        assert!(t.transversals.contains(&vec![1, 3]));
+        assert_eq!(t.minimum_size(), Some(2));
+        assert_eq!(t.maximum_size(), Some(2));
+    }
+
+    #[test]
+    fn minimum_transversal_matches_exact_vertex_cover() {
+        let h = figure6_hypergraph();
+        let t = minimal_transversals(&h, 200);
+        assert!(t.complete);
+        let mvc = exact_vertex_cover(&h, SearchBudget::default()).value;
+        assert_eq!(t.minimum_size(), Some(mvc));
+        assert_eq!(mvc, 2);
+        // Every enumerated member really is a minimal transversal.
+        for m in &t.transversals {
+            assert!(is_minimal_transversal(&h, m));
+        }
+        // {0, 7} is the unique minimum.
+        assert!(t.transversals.contains(&vec![0, 7]));
+    }
+
+    #[test]
+    fn cap_truncates_and_reports_incomplete() {
+        // A hypergraph with exponentially many minimal transversals: n disjoint pairs.
+        let mut h = Hypergraph::new(20);
+        for i in 0..10 {
+            h.add_edge(vec![2 * i, 2 * i + 1]).unwrap();
+        }
+        let t = minimal_transversals(&h, 16);
+        assert!(!t.complete);
+        assert!(t.transversals.len() <= 16);
+        // Truncation keeps valid covers (they are still transversals of the edges seen).
+        assert_eq!(t.minimum_size(), Some(10));
+    }
+
+    #[test]
+    fn minimality_checker() {
+        let h = figure6_hypergraph();
+        assert!(is_minimal_transversal(&h, &[0, 7]));
+        assert!(!is_minimal_transversal(&h, &[0, 7, 3])); // not minimal
+        assert!(!is_minimal_transversal(&h, &[0, 3])); // not a cover
+    }
+
+    #[test]
+    fn repeated_edges_do_not_change_the_family() {
+        let mut h1 = Hypergraph::new(3);
+        h1.add_edge(vec![0, 1]).unwrap();
+        let mut h2 = Hypergraph::new(3);
+        h2.add_edge(vec![0, 1]).unwrap();
+        h2.add_edge(vec![0, 1]).unwrap();
+        assert_eq!(minimal_transversals(&h1, 10), minimal_transversals(&h2, 10));
+    }
+}

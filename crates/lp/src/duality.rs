@@ -1,0 +1,240 @@
+//! LP duality utilities.
+//!
+//! Theorem 4.6 of the paper rests on strong duality: the covering relaxation νMVC and
+//! the packing relaxation νMIES are a primal/dual pair, so their optima coincide.
+//! This module makes that relationship explicit and testable:
+//!
+//! * [`dual_of`] — build the dual of a problem in the *standard inequality form*
+//!   this project uses (minimise over `≥` rows, or maximise over `≤` rows, with
+//!   non-negative variables);
+//! * [`DualityReport`] — solve a problem and its dual and report the duality gap and
+//!   a complementary-slackness check, which the experiments use to certify the LP
+//!   relaxations are solved to optimality.
+
+use crate::{Constraint, ConstraintOp, LpError, Objective, Problem, Solution, EPS};
+
+/// Why a dual could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DualityError {
+    /// The primal mixes `≤` and `≥` rows (or uses `=`): not in the supported
+    /// inequality standard form.
+    UnsupportedForm,
+}
+
+impl std::fmt::Display for DualityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DualityError::UnsupportedForm => write!(
+                f,
+                "dual construction requires a pure inequality form (min/≥ or max/≤) without upper bounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DualityError {}
+
+/// Build the dual of `problem`.
+///
+/// Supported forms (all variables non-negative, no explicit upper bounds):
+///
+/// * `min cᵀx  s.t. Ax ≥ b` → dual `max bᵀy  s.t. Aᵀy ≤ c`;
+/// * `max cᵀx  s.t. Ax ≤ b` → dual `min bᵀy  s.t. Aᵀy ≥ c`.
+///
+/// Dual variable `i` corresponds to primal constraint `i`.
+pub fn dual_of(problem: &Problem) -> Result<Problem, DualityError> {
+    let constraints: &[Constraint] = problem.constraints();
+    let primal_dir = problem.objective_direction();
+    let expected_op = match primal_dir {
+        Objective::Minimize => ConstraintOp::Ge,
+        Objective::Maximize => ConstraintOp::Le,
+    };
+    if constraints.iter().any(|c| c.op != expected_op) {
+        return Err(DualityError::UnsupportedForm);
+    }
+    if problem.upper_bounds().iter().any(Option::is_some) {
+        return Err(DualityError::UnsupportedForm);
+    }
+    let num_primal_vars = problem.num_vars();
+    let num_dual_vars = constraints.len();
+    let dual_dir = match primal_dir {
+        Objective::Minimize => Objective::Maximize,
+        Objective::Maximize => Objective::Minimize,
+    };
+    let mut dual = Problem::new(dual_dir, num_dual_vars);
+    for (i, c) in constraints.iter().enumerate() {
+        dual.set_objective(i, c.rhs);
+    }
+    // Column j of A becomes dual row j: Σ_i A[i][j] y_i (≤ or ≥) c_j.
+    let dual_op = match primal_dir {
+        Objective::Minimize => ConstraintOp::Le,
+        Objective::Maximize => ConstraintOp::Ge,
+    };
+    let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_primal_vars];
+    for (i, c) in constraints.iter().enumerate() {
+        for &(j, a) in &c.coeffs {
+            if a != 0.0 {
+                columns[j].push((i, a));
+            }
+        }
+    }
+    for (j, col) in columns.into_iter().enumerate() {
+        dual.add_constraint(col, dual_op, problem.objective_coeff(j));
+    }
+    Ok(dual)
+}
+
+/// Joint primal/dual solve with gap and complementary-slackness diagnostics.
+#[derive(Debug, Clone)]
+pub struct DualityReport {
+    /// Primal optimal solution.
+    pub primal: Solution,
+    /// Dual optimal solution.
+    pub dual: Solution,
+    /// `|primal objective − dual objective|`.
+    pub gap: f64,
+    /// Largest complementary-slackness violation observed (0 for exact optima).
+    pub max_slackness_violation: f64,
+}
+
+impl DualityReport {
+    /// `true` when strong duality holds within `tol` and complementary slackness is
+    /// satisfied within `tol`.
+    pub fn certifies_optimality(&self, tol: f64) -> bool {
+        self.gap <= tol && self.max_slackness_violation <= tol
+    }
+}
+
+/// Solve `problem` and its dual, returning both optima plus the duality gap and the
+/// worst complementary-slackness violation:
+///
+/// * for every primal variable `x_j > 0`, the corresponding dual constraint must be
+///   tight;
+/// * for every dual variable `y_i > 0`, the corresponding primal constraint must be
+///   tight.
+pub fn solve_with_dual(problem: &Problem) -> Result<DualityReport, LpError> {
+    let dual_problem = dual_of(problem).map_err(|_| LpError::Infeasible)?;
+    let primal = problem.solve()?;
+    let dual = dual_problem.solve()?;
+    let gap = (primal.objective - dual.objective).abs();
+
+    let constraints = problem.constraints();
+    let mut max_violation: f64 = 0.0;
+    // Dual constraint j slack = |c_j − Σ_i A[i][j] y_i| relevant when x_j > 0.
+    let mut dual_row_activity = vec![0.0f64; problem.num_vars()];
+    for (i, c) in constraints.iter().enumerate() {
+        for &(j, a) in &c.coeffs {
+            dual_row_activity[j] += a * dual.values[i];
+        }
+    }
+    for j in 0..problem.num_vars() {
+        if primal.values[j] > EPS.sqrt() {
+            let slack = (problem.objective_coeff(j) - dual_row_activity[j]).abs();
+            max_violation = max_violation.max(slack);
+        }
+    }
+    // Primal constraint i slack relevant when y_i > 0.
+    for (i, c) in constraints.iter().enumerate() {
+        if dual.values[i] > EPS.sqrt() {
+            let activity: f64 = c.coeffs.iter().map(|&(j, a)| a * primal.values[j]).sum();
+            max_violation = max_violation.max((activity - c.rhs).abs());
+        }
+    }
+    Ok(DualityReport { primal, dual, gap, max_slackness_violation: max_violation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{covering_lp, packing_lp};
+
+    #[test]
+    fn dual_of_covering_is_packing_shaped() {
+        let sets = vec![vec![0, 1], vec![1, 2], vec![0, 2]];
+        let primal = covering_lp(3, &sets);
+        let dual = dual_of(&primal).unwrap();
+        assert_eq!(dual.num_vars(), 3); // one per covering row
+        assert_eq!(dual.num_constraints(), 3); // one per element
+        assert_eq!(dual.objective_direction(), Objective::Maximize);
+        let ds = dual.solve().unwrap();
+        let ps = primal.solve().unwrap();
+        assert!((ds.objective - ps.objective).abs() < 1e-7);
+        assert!((ps.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dual_of_dual_recovers_primal_value() {
+        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]];
+        let primal = covering_lp(6, &sets);
+        let dual = dual_of(&primal).unwrap();
+        let double_dual = dual_of(&dual).unwrap();
+        let a = primal.solve().unwrap().objective;
+        let b = double_dual.solve().unwrap().objective;
+        assert!((a - b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn strong_duality_on_random_covering_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(3..10);
+            let rows = rng.gen_range(2..12);
+            let sets: Vec<Vec<usize>> = (0..rows)
+                .map(|_| {
+                    let k = rng.gen_range(1..4.min(n + 1));
+                    let mut s: Vec<usize> = (0..k).map(|_| rng.gen_range(0..n)).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let primal = covering_lp(n, &sets);
+            let report = solve_with_dual(&primal).unwrap();
+            assert!(report.certifies_optimality(1e-6), "seed {seed}: gap {}", report.gap);
+        }
+    }
+
+    #[test]
+    fn covering_dual_matches_packing_constructor() {
+        // The hand-built packing LP and the mechanically derived dual agree in value.
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]];
+        let primal = covering_lp(4, &sets);
+        let derived = dual_of(&primal).unwrap().solve().unwrap();
+        let packing = packing_lp(4, &sets, 4).solve().unwrap();
+        assert!((derived.objective - packing.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unsupported_forms_are_rejected() {
+        // Mixing a ≤ row into a minimisation problem.
+        let mut p = Problem::new(Objective::Minimize, 2);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        p.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(dual_of(&p).unwrap_err(), DualityError::UnsupportedForm);
+        // Upper bounds also block the construction.
+        let mut q = Problem::new(Objective::Maximize, 1);
+        q.set_objective(0, 1.0);
+        q.set_upper_bound(0, 1.0);
+        q.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 2.0);
+        assert!(dual_of(&q).is_err());
+        assert!(format!("{}", DualityError::UnsupportedForm).contains("inequality"));
+    }
+
+    #[test]
+    fn maximization_primal_gets_minimization_dual() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 — optimum 36.
+        let mut p = Problem::new(Objective::Maximize, 2);
+        p.set_objective(0, 3.0);
+        p.set_objective(1, 5.0);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let report = solve_with_dual(&p).unwrap();
+        assert_eq!(dual_of(&p).unwrap().objective_direction(), Objective::Minimize);
+        assert!((report.primal.objective - 36.0).abs() < 1e-6);
+        assert!(report.certifies_optimality(1e-6));
+    }
+}

@@ -1,0 +1,335 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! The implementation favours robustness over raw speed: Bland's anti-cycling rule is
+//! used for pivot selection (after an initial Dantzig phase), every pivot is performed
+//! with full row elimination, and a configurable iteration budget guards against
+//! pathological inputs.  The LPs solved in this project (covering / packing relaxations
+//! of support measures) have at most a few thousand rows and columns, for which this is
+//! more than sufficient.
+
+use crate::standard::StandardForm;
+use crate::{LpError, EPS};
+
+/// Options controlling the simplex solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard cap on the number of pivots across both phases.
+    pub max_pivots: usize,
+    /// Number of initial pivots that use Dantzig's rule (most-negative reduced cost)
+    /// before switching to Bland's rule.  Dantzig is usually much faster; Bland
+    /// guarantees termination.
+    pub dantzig_pivots: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions { max_pivots: 200_000, dantzig_pivots: 20_000 }
+    }
+}
+
+/// Final status of a simplex run (used internally; the public API surfaces errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The problem is infeasible.
+    Infeasible,
+    /// The problem is unbounded.
+    Unbounded,
+}
+
+/// Raw solution of a standard-form LP: values for *all* variables (structural and
+/// auxiliary) plus pivot count.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSolution {
+    pub values: Vec<f64>,
+    pub pivots: usize,
+}
+
+struct Tableau {
+    /// rows × (num_vars + 1); the last column is the right-hand side.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length num_vars + 1; last entry is -objective.
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    num_vars: usize,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn new(sf: &StandardForm) -> Tableau {
+        let m = sf.num_rows();
+        let num_vars = sf.num_vars;
+        let mut rows = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut row = Vec::with_capacity(num_vars + 1);
+            row.extend_from_slice(&sf.a[i]);
+            row.push(sf.b[i]);
+            rows.push(row);
+        }
+        Tableau { rows, obj: vec![0.0; num_vars + 1], basis: sf.initial_basis.clone(), num_vars, pivots: 0 }
+    }
+
+    /// Install an objective `costs` (length num_vars) and price it out with respect to
+    /// the current basis so that reduced costs of basic variables are zero.
+    fn set_objective(&mut self, costs: &[f64]) {
+        self.obj = vec![0.0; self.num_vars + 1];
+        self.obj[..self.num_vars].copy_from_slice(costs);
+        // Price out basic variables: obj -= cost(basic) * row
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cost = costs[b];
+            if cost.abs() > EPS {
+                let row = &self.rows[i];
+                for j in 0..=self.num_vars {
+                    self.obj[j] -= cost * row[j];
+                }
+            }
+        }
+    }
+
+    /// Current objective value (for the minimisation orientation of the tableau).
+    fn objective_value(&self) -> f64 {
+        -self.obj[self.num_vars]
+    }
+
+    /// Choose the entering column: Dantzig (most negative reduced cost) for the first
+    /// `dantzig_pivots`, then Bland (lowest index with negative reduced cost).
+    fn choose_entering(&self, allow: &dyn Fn(usize) -> bool, opts: &SimplexOptions) -> Option<usize> {
+        if self.pivots < opts.dantzig_pivots {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.num_vars {
+                if !allow(j) {
+                    continue;
+                }
+                let rc = self.obj[j];
+                if rc < -EPS {
+                    match best {
+                        Some((_, b)) if rc >= b => {}
+                        _ => best = Some((j, rc)),
+                    }
+                }
+            }
+            best.map(|(j, _)| j)
+        } else {
+            (0..self.num_vars).find(|&j| allow(j) && self.obj[j] < -EPS)
+        }
+    }
+
+    /// Ratio test: choose the leaving row for entering column `col`.
+    /// Returns `None` if the column is unbounded.  Ties are broken by smallest basic
+    /// variable index (Bland).
+    fn choose_leaving(&self, col: usize) -> Option<usize> {
+        let rhs_col = self.num_vars;
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.rows.len() {
+            let a = self.rows[i][col];
+            if a > EPS {
+                let ratio = self.rows[i][rhs_col] / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS
+                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Perform a pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS);
+        let inv = 1.0 / pivot_val;
+        for x in self.rows[row].iter_mut() {
+            *x *= inv;
+        }
+        // snapshot pivot row to avoid borrow issues
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > EPS {
+                for (x, p) in r.iter_mut().zip(pivot_row.iter()) {
+                    *x -= factor * p;
+                }
+                r[col] = 0.0; // kill numerical dust
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for (x, p) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                *x -= factor * p;
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Run the simplex loop until optimal / unbounded / iteration limit.
+    fn optimize(&mut self, allow: &dyn Fn(usize) -> bool, opts: &SimplexOptions) -> Result<SolveStatus, LpError> {
+        loop {
+            if self.pivots > opts.max_pivots {
+                return Err(LpError::IterationLimit);
+            }
+            let Some(col) = self.choose_entering(allow, opts) else {
+                return Ok(SolveStatus::Optimal);
+            };
+            let Some(row) = self.choose_leaving(col) else {
+                return Ok(SolveStatus::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Extract the value of every variable from the current basis.
+    fn values(&self) -> Vec<f64> {
+        let mut vals = vec![0.0; self.num_vars];
+        let rhs_col = self.num_vars;
+        for (i, &b) in self.basis.iter().enumerate() {
+            vals[b] = self.rows[i][rhs_col].max(0.0);
+        }
+        vals
+    }
+}
+
+/// Solve a standard-form LP with the two-phase simplex method.
+pub(crate) fn solve_standard(sf: &StandardForm, opts: &SimplexOptions) -> Result<RawSolution, LpError> {
+    let mut tab = Tableau::new(sf);
+    let is_artificial = {
+        let mut flags = vec![false; sf.num_vars];
+        for &a in &sf.artificial {
+            flags[a] = true;
+        }
+        flags
+    };
+
+    // ---- Phase 1: minimise the sum of artificial variables. ----
+    if !sf.artificial.is_empty() {
+        let mut phase1_costs = vec![0.0; sf.num_vars];
+        for &a in &sf.artificial {
+            phase1_costs[a] = 1.0;
+        }
+        tab.set_objective(&phase1_costs);
+        let status = tab.optimize(&|_| true, opts)?;
+        if status == SolveStatus::Unbounded {
+            // Phase-1 objective is bounded below by zero; unbounded cannot happen.
+            return Err(LpError::Infeasible);
+        }
+        if tab.objective_value() > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables that remain basic (at value 0) out of the
+        // basis so that phase 2 never re-increases them.
+        for i in 0..tab.basis.len() {
+            if is_artificial[tab.basis[i]] {
+                // Find a non-artificial column with a nonzero coefficient in this row.
+                let col = (0..sf.num_vars)
+                    .find(|&j| !is_artificial[j] && tab.rows[i][j].abs() > EPS);
+                if let Some(col) = col {
+                    tab.pivot(i, col);
+                }
+                // If no such column exists the row is redundant; the artificial stays
+                // basic at value zero, which is harmless as long as it is never allowed
+                // to enter (guaranteed by the phase-2 `allow` filter below never letting
+                // it *re-enter*; it is already basic and its value is 0).
+            }
+        }
+    }
+
+    // ---- Phase 2: minimise the real objective over non-artificial columns. ----
+    tab.set_objective(&sf.c);
+    let allow = |j: usize| !is_artificial[j];
+    let status = tab.optimize(&allow, opts)?;
+    match status {
+        SolveStatus::Optimal => Ok(RawSolution { values: tab.values(), pivots: tab.pivots }),
+        SolveStatus::Unbounded => Err(LpError::Unbounded),
+        SolveStatus::Infeasible => Err(LpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{ConstraintOp, Objective, Problem};
+
+    fn solve(p: &Problem) -> crate::Solution {
+        p.solve().expect("solvable")
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A degenerate LP known to cycle under naive Dantzig without anti-cycling.
+        // (Beale's example.)
+        let mut p = Problem::new(Objective::Minimize, 4);
+        p.set_objective(0, -0.75);
+        p.set_objective(1, 150.0);
+        p.set_objective(2, -0.02);
+        p.set_objective(3, 6.0);
+        p.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = solve(&p);
+        assert!((sol.objective - (-0.05)).abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; max x.
+        let mut p = Problem::new(Objective::Maximize, 2);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        let sol = solve(&p);
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn larger_random_covering_lp_consistency() {
+        // Fractional covering optimum must always be <= integral greedy cover size and
+        // >= (number of disjoint sets).  Deterministic pseudo-random instance.
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let n_elem = 30;
+        let mut sets = Vec::new();
+        for _ in 0..40 {
+            let len = 2 + next() % 4;
+            let mut s: Vec<usize> = (0..len).map(|_| next() % n_elem).collect();
+            s.sort_unstable();
+            s.dedup();
+            sets.push(s);
+        }
+        let cover = crate::covering_lp(n_elem, &sets).solve().unwrap();
+        let pack = crate::packing_lp(sets.len(), &sets, n_elem).solve().unwrap();
+        assert!((cover.objective - pack.objective).abs() < 1e-6);
+        assert!(cover.objective > 0.0);
+        assert!(cover.objective <= n_elem as f64 + 1e-9);
+    }
+
+    #[test]
+    fn values_are_within_bounds() {
+        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]];
+        let sol = crate::covering_lp(4, &sets).solve().unwrap();
+        for &v in &sol.values {
+            assert!(v >= -1e-9 && v <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Conversion of a [`Problem`](crate::Problem) into standard form for the simplex
+//! method.
+//!
+//! Standard form used here:
+//!
+//! * minimise `c·x`
+//! * `A x = b`, with `b ≥ 0`
+//! * `x ≥ 0`
+//!
+//! Slack, surplus and artificial variables are appended after the structural
+//! variables.  Rows are scaled so that every right-hand side is non-negative, which is
+//! the precondition for the phase-1 artificial basis.
+
+use crate::problem::{ConstraintOp, Objective, Problem};
+
+/// A linear program in equality standard form, ready for the simplex tableau.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of structural (original) variables.
+    pub num_structural: usize,
+    /// Total number of variables (structural + slack/surplus + artificial).
+    pub num_vars: usize,
+    /// Dense constraint matrix, row major: `rows × num_vars`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides, all non-negative.
+    pub b: Vec<f64>,
+    /// Minimisation costs over all variables (zero for slack/artificial columns).
+    pub c: Vec<f64>,
+    /// Column indices of artificial variables (one per `≥` / `=` row).
+    pub artificial: Vec<usize>,
+    /// Initial basis: for every row, the column that starts basic in it.
+    pub initial_basis: Vec<usize>,
+    /// `true` if the original problem was a maximisation (costs were negated).
+    pub negated_objective: bool,
+}
+
+impl StandardForm {
+    /// Build the standard form of `problem`.
+    pub fn from_problem(problem: &Problem) -> StandardForm {
+        let n = problem.num_vars();
+        // Materialise all rows: explicit constraints plus upper-bound rows.
+        struct Row {
+            dense: Vec<f64>,
+            op: ConstraintOp,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(problem.num_constraints());
+        for c in problem.constraints() {
+            let mut dense = vec![0.0; n];
+            for &(v, coeff) in &c.coeffs {
+                dense[v] += coeff;
+            }
+            rows.push(Row { dense, op: c.op, rhs: c.rhs });
+        }
+        for (v, ub) in problem.upper_bounds().iter().enumerate() {
+            if let Some(bound) = ub {
+                let mut dense = vec![0.0; n];
+                dense[v] = 1.0;
+                rows.push(Row { dense, op: ConstraintOp::Le, rhs: *bound });
+            }
+        }
+
+        // Normalise signs so that rhs >= 0.
+        for row in rows.iter_mut() {
+            if row.rhs < 0.0 {
+                row.rhs = -row.rhs;
+                for x in row.dense.iter_mut() {
+                    *x = -*x;
+                }
+                row.op = match row.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+        }
+
+        // Count auxiliary columns.
+        let mut num_slack = 0usize; // one per Le or Ge row
+        let mut num_artificial = 0usize; // one per Ge or Eq row
+        for row in &rows {
+            match row.op {
+                ConstraintOp::Le => num_slack += 1,
+                ConstraintOp::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                ConstraintOp::Eq => num_artificial += 1,
+            }
+        }
+        let num_vars = n + num_slack + num_artificial;
+
+        let negated_objective = problem.objective_direction() == Objective::Maximize;
+        let mut c = vec![0.0; num_vars];
+        for (v, &cost) in problem.costs().iter().enumerate() {
+            c[v] = if negated_objective { -cost } else { cost };
+        }
+
+        let mut a: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+        let mut b: Vec<f64> = Vec::with_capacity(rows.len());
+        let mut artificial = Vec::with_capacity(num_artificial);
+        let mut initial_basis = Vec::with_capacity(rows.len());
+
+        let mut next_slack = n;
+        let mut next_artificial = n + num_slack;
+        for row in &rows {
+            let mut dense = vec![0.0; num_vars];
+            dense[..n].copy_from_slice(&row.dense);
+            match row.op {
+                ConstraintOp::Le => {
+                    dense[next_slack] = 1.0;
+                    initial_basis.push(next_slack);
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    dense[next_slack] = -1.0;
+                    next_slack += 1;
+                    dense[next_artificial] = 1.0;
+                    artificial.push(next_artificial);
+                    initial_basis.push(next_artificial);
+                    next_artificial += 1;
+                }
+                ConstraintOp::Eq => {
+                    dense[next_artificial] = 1.0;
+                    artificial.push(next_artificial);
+                    initial_basis.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+            a.push(dense);
+            b.push(row.rhs);
+        }
+
+        StandardForm {
+            num_structural: n,
+            num_vars,
+            a,
+            b,
+            c,
+            artificial,
+            initial_basis,
+            negated_objective,
+        }
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.a.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Objective, Problem};
+
+    #[test]
+    fn le_row_gets_slack_only() {
+        let mut p = Problem::new(Objective::Minimize, 2);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 5.0);
+        let sf = StandardForm::from_problem(&p);
+        assert_eq!(sf.num_rows(), 1);
+        assert_eq!(sf.num_vars, 3);
+        assert!(sf.artificial.is_empty());
+        assert_eq!(sf.initial_basis, vec![2]);
+    }
+
+    #[test]
+    fn ge_row_gets_surplus_and_artificial() {
+        let mut p = Problem::new(Objective::Minimize, 1);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 5.0);
+        let sf = StandardForm::from_problem(&p);
+        assert_eq!(sf.num_vars, 3); // x, surplus, artificial
+        assert_eq!(sf.artificial, vec![2]);
+        assert_eq!(sf.a[0], vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn negative_rhs_flips_row() {
+        let mut p = Problem::new(Objective::Minimize, 1);
+        p.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, -3.0);
+        let sf = StandardForm::from_problem(&p);
+        // Becomes -x >= 3 after flip i.e. Ge row with rhs 3.
+        assert!(sf.b[0] >= 0.0);
+        assert_eq!(sf.artificial.len(), 1);
+    }
+
+    #[test]
+    fn maximization_negates_costs() {
+        let mut p = Problem::new(Objective::Maximize, 1);
+        p.set_objective(0, 7.0);
+        let sf = StandardForm::from_problem(&p);
+        assert!(sf.negated_objective);
+        assert_eq!(sf.c[0], -7.0);
+    }
+
+    #[test]
+    fn upper_bounds_become_rows() {
+        let mut p = Problem::new(Objective::Maximize, 1);
+        p.set_upper_bound(0, 2.5);
+        let sf = StandardForm::from_problem(&p);
+        assert_eq!(sf.num_rows(), 1);
+        assert_eq!(sf.b[0], 2.5);
+    }
+}

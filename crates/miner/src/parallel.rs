@@ -1,0 +1,250 @@
+//! Level-synchronous parallel mining.
+//!
+//! The sequential [`crate::Miner`] evaluates one candidate at a time.  Candidate
+//! support evaluations at the same search level are independent (each enumerates its
+//! own occurrences and builds its own hypergraph), so the frontier can be evaluated on
+//! worker threads — this is the practical payoff of the paper's "additiveness /
+//! parallel computation" extension (Section 6, item 4) at the *miner* level, on top of
+//! the per-component decomposition that `ffsm-core::decompose` offers per measure.
+//!
+//! The implementation is deliberately simple and deterministic:
+//!
+//! 1. collect the current level's deduplicated candidates;
+//! 2. split them round-robin over `num_threads` scoped workers, each computing
+//!    `(support, occurrence count)` for its share;
+//! 3. merge results in candidate order, apply the threshold and emit the next level.
+//!
+//! Because the partition and the merge order are fixed, the output is identical to
+//! the sequential miner's (same patterns, same supports, same order per level).
+
+use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
+use crate::miner::{FrequentPattern, MiningResult, MiningStats};
+use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasures};
+use ffsm_graph::canonical::CanonicalCode;
+use ffsm_graph::{LabeledGraph, Pattern};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Configuration of a parallel mining run.
+#[derive(Debug, Clone)]
+pub struct ParallelMinerConfig {
+    /// Support threshold τ.
+    pub min_support: f64,
+    /// Which support measure to use.
+    pub measure: MeasureKind,
+    /// Measure configuration.
+    pub measure_config: MeasureConfig,
+    /// Stop growing patterns beyond this many edges.
+    pub max_pattern_edges: usize,
+    /// Number of worker threads (0 or 1 = sequential; values above the available
+    /// parallelism are clamped).
+    pub num_threads: usize,
+    /// Safety cap on the number of support evaluations.
+    pub max_evaluations: usize,
+}
+
+impl Default for ParallelMinerConfig {
+    fn default() -> Self {
+        ParallelMinerConfig {
+            min_support: 2.0,
+            measure: MeasureKind::Mni,
+            measure_config: MeasureConfig::default(),
+            max_pattern_edges: 4,
+            num_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_evaluations: 100_000,
+        }
+    }
+}
+
+/// Evaluate the support of every candidate, in order, using `num_threads` workers.
+fn evaluate_level(
+    graph: &LabeledGraph,
+    candidates: &[Pattern],
+    config: &ParallelMinerConfig,
+) -> Vec<(f64, usize)> {
+    let evaluate = |pattern: &Pattern| -> (f64, usize) {
+        let occ = OccurrenceSet::enumerate(pattern, graph, config.measure_config.iso_config);
+        let n = occ.num_occurrences();
+        let measures = SupportMeasures::new(occ, config.measure_config.clone());
+        (measures.compute(config.measure), n)
+    };
+    let workers = config
+        .num_threads
+        .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .min(candidates.len());
+    if workers <= 1 {
+        return candidates.iter().map(evaluate).collect();
+    }
+    let mut results = vec![(0.0, 0usize); candidates.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let evaluate = &evaluate;
+            handles.push(scope.spawn(move || {
+                candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == w)
+                    .map(|(i, p)| (i, evaluate(p)))
+                    .collect::<Vec<(usize, (f64, usize))>>()
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("mining worker panicked") {
+                results[i] = r;
+            }
+        }
+    });
+    results
+}
+
+/// Run the level-synchronous parallel miner.
+pub fn mine_parallel(graph: &LabeledGraph, config: &ParallelMinerConfig) -> MiningResult {
+    let start = Instant::now();
+    let mut stats = MiningStats::default();
+    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let alphabet = graph.distinct_labels();
+
+    let seeds = seed_patterns(graph);
+    stats.candidates_generated += seeds.len();
+    let mut level: Vec<Pattern> = dedupe_by_canonical_code(seeds, &mut seen);
+
+    while !level.is_empty() && !stats.truncated {
+        // Respect the evaluation cap by trimming the level.
+        let remaining = config.max_evaluations.saturating_sub(stats.candidates_evaluated);
+        if level.len() > remaining {
+            level.truncate(remaining);
+            stats.truncated = true;
+        }
+        if level.is_empty() {
+            break;
+        }
+        let supports = evaluate_level(graph, &level, config);
+        stats.candidates_evaluated += level.len();
+        let mut survivors: Vec<Pattern> = Vec::new();
+        for (pattern, (support, num_occurrences)) in level.into_iter().zip(supports) {
+            if support >= config.min_support {
+                survivors.push(pattern.clone());
+                frequent.push(FrequentPattern { pattern, support, num_occurrences });
+            } else {
+                stats.candidates_pruned += 1;
+            }
+        }
+        // Next level: one-edge extensions of every surviving pattern.
+        let mut next: Vec<Pattern> = Vec::new();
+        for pattern in &survivors {
+            if pattern.num_edges() >= config.max_pattern_edges {
+                continue;
+            }
+            let candidates = extensions(pattern, &alphabet);
+            stats.candidates_generated += candidates.len();
+            next.extend(dedupe_by_canonical_code(candidates, &mut seen));
+        }
+        level = next;
+    }
+
+    stats.elapsed = start.elapsed();
+    MiningResult { patterns: frequent, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{Miner, MinerConfig};
+    use ffsm_graph::canonical::canonical_code;
+    use ffsm_graph::generators;
+
+    fn workload() -> LabeledGraph {
+        let triangle = ffsm_graph::LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        generators::replicated(&triangle, 5, true)
+    }
+
+    fn pattern_set(result: &MiningResult) -> std::collections::BTreeSet<Vec<u64>> {
+        result
+            .patterns
+            .iter()
+            .map(|p| canonical_code(&p.pattern).as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let graph = workload();
+        let tau = 5.0;
+        let sequential = Miner::new(
+            &graph,
+            MinerConfig { min_support: tau, max_pattern_edges: 3, ..Default::default() },
+        )
+        .mine();
+        let parallel = mine_parallel(
+            &graph,
+            &ParallelMinerConfig {
+                min_support: tau,
+                max_pattern_edges: 3,
+                num_threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pattern_set(&sequential), pattern_set(&parallel));
+        assert_eq!(sequential.len(), parallel.len());
+        // Supports agree pattern by pattern.
+        for p in &parallel.patterns {
+            let code = canonical_code(&p.pattern);
+            let s = sequential
+                .patterns
+                .iter()
+                .find(|q| canonical_code(&q.pattern) == code)
+                .expect("pattern found by both miners");
+            assert!((p.support - s.support).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_thread_config_still_works() {
+        let graph = workload();
+        let result = mine_parallel(
+            &graph,
+            &ParallelMinerConfig { min_support: 5.0, num_threads: 1, max_pattern_edges: 3, ..Default::default() },
+        );
+        assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let graph = generators::community_graph(2, 10, 0.4, 0.05, 3, 9);
+        let base = mine_parallel(
+            &graph,
+            &ParallelMinerConfig { min_support: 3.0, num_threads: 1, max_pattern_edges: 2, ..Default::default() },
+        );
+        for threads in [2, 3, 8] {
+            let other = mine_parallel(
+                &graph,
+                &ParallelMinerConfig {
+                    min_support: 3.0,
+                    num_threads: threads,
+                    max_pattern_edges: 2,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(pattern_set(&base), pattern_set(&other), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn evaluation_cap_truncates() {
+        let graph = generators::gnm_random(60, 180, 2, 8);
+        let result = mine_parallel(
+            &graph,
+            &ParallelMinerConfig { min_support: 1.0, max_evaluations: 4, ..Default::default() },
+        );
+        assert!(result.stats.truncated);
+        assert!(result.stats.candidates_evaluated <= 4);
+    }
+
+    #[test]
+    fn empty_graph_mines_nothing() {
+        let result = mine_parallel(&LabeledGraph::new(), &ParallelMinerConfig::default());
+        assert!(result.is_empty());
+    }
+}

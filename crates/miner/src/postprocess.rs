@@ -1,0 +1,214 @@
+//! Post-processing of mining results: maximal patterns, closed patterns and the
+//! pattern lattice.
+//!
+//! Mining with an over-estimating measure (MNI) at a low threshold produces large,
+//! highly redundant result sets.  The classic condensations are:
+//!
+//! * **maximal** frequent patterns — no frequent superpattern exists in the result;
+//! * **closed** frequent patterns (CloseGraph, Yan & Han 2003) — no superpattern in
+//!   the result has the *same* support;
+//! * the **pattern lattice** — the subpattern/superpattern Hasse diagram over the
+//!   result, which the experiments use to show how each support measure prunes
+//!   different parts of the search space.
+//!
+//! Subpattern checks use subgraph isomorphism between patterns (`p ⊑ P` iff `p` has
+//! an embedding in `P`), which is exact and cheap at the pattern sizes the miner
+//! produces (≤ a handful of edges).
+
+use crate::miner::{FrequentPattern, MiningResult};
+use ffsm_graph::isomorphism::has_embedding;
+
+/// `true` if `small` is a subpattern of `big` (has a label-preserving embedding and
+/// no more vertices/edges).
+pub fn is_subpattern(small: &ffsm_graph::Pattern, big: &ffsm_graph::Pattern) -> bool {
+    small.num_vertices() <= big.num_vertices()
+        && small.num_edges() <= big.num_edges()
+        && has_embedding(small, big)
+}
+
+/// Indices of the *maximal* patterns of `result`: patterns with no proper
+/// superpattern in the result set.
+pub fn maximal_pattern_indices(result: &MiningResult) -> Vec<usize> {
+    let patterns = &result.patterns;
+    (0..patterns.len())
+        .filter(|&i| {
+            !patterns.iter().enumerate().any(|(j, candidate)| {
+                j != i
+                    && candidate.pattern.num_edges() > patterns[i].pattern.num_edges()
+                    && is_subpattern(&patterns[i].pattern, &candidate.pattern)
+            })
+        })
+        .collect()
+}
+
+/// The maximal frequent patterns of `result` (cloned out of the result set).
+pub fn maximal_patterns(result: &MiningResult) -> Vec<FrequentPattern> {
+    maximal_pattern_indices(result).into_iter().map(|i| result.patterns[i].clone()).collect()
+}
+
+/// Indices of the *closed* patterns of `result`: patterns with no proper superpattern
+/// of equal (or, for a non-monotone reported value, larger) support in the result set.
+pub fn closed_pattern_indices(result: &MiningResult) -> Vec<usize> {
+    let patterns = &result.patterns;
+    (0..patterns.len())
+        .filter(|&i| {
+            !patterns.iter().enumerate().any(|(j, candidate)| {
+                j != i
+                    && candidate.pattern.num_edges() > patterns[i].pattern.num_edges()
+                    && candidate.support >= patterns[i].support - 1e-9
+                    && is_subpattern(&patterns[i].pattern, &candidate.pattern)
+            })
+        })
+        .collect()
+}
+
+/// The closed frequent patterns of `result`.
+pub fn closed_patterns(result: &MiningResult) -> Vec<FrequentPattern> {
+    closed_pattern_indices(result).into_iter().map(|i| result.patterns[i].clone()).collect()
+}
+
+/// The subpattern/superpattern Hasse diagram of a mining result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternLattice {
+    /// `(parent, child)` pairs of indices into the originating result's `patterns`,
+    /// where `child` extends `parent` by exactly one edge.
+    pub edges: Vec<(usize, usize)>,
+    /// Number of patterns (lattice nodes).
+    pub num_nodes: usize,
+}
+
+impl PatternLattice {
+    /// Build the lattice of `result`.
+    pub fn build(result: &MiningResult) -> Self {
+        let patterns = &result.patterns;
+        let mut edges = Vec::new();
+        for (i, parent) in patterns.iter().enumerate() {
+            for (j, child) in patterns.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if child.pattern.num_edges() == parent.pattern.num_edges() + 1
+                    && is_subpattern(&parent.pattern, &child.pattern)
+                {
+                    edges.push((i, j));
+                }
+            }
+        }
+        PatternLattice { edges, num_nodes: patterns.len() }
+    }
+
+    /// Children (one-edge extensions) of pattern `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.edges.iter().filter(|&&(p, _)| p == i).map(|&(_, c)| c).collect()
+    }
+
+    /// Parents (one-edge reductions) of pattern `i`.
+    pub fn parents(&self, i: usize) -> Vec<usize> {
+        self.edges.iter().filter(|&&(_, c)| c == i).map(|&(p, _)| p).collect()
+    }
+
+    /// Indices with no children — by construction these are exactly the patterns with
+    /// no one-edge-larger superpattern in the result.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.num_nodes).filter(|&i| self.children(i).is_empty()).collect()
+    }
+
+    /// `true` when every lattice edge is support-non-increasing (the anti-monotonicity
+    /// check the experiments run on real mining output).
+    pub fn is_anti_monotone(&self, result: &MiningResult) -> bool {
+        self.edges.iter().all(|&(p, c)| {
+            result.patterns[p].support >= result.patterns[c].support - 1e-9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{Miner, MinerConfig};
+    use ffsm_core::MeasureKind;
+    use ffsm_graph::{generators, patterns, LabeledGraph, Label};
+
+    fn mined_triangles() -> MiningResult {
+        let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        let graph = generators::replicated(&triangle, 5, false);
+        let config = MinerConfig {
+            min_support: 5.0,
+            measure: MeasureKind::Mni,
+            max_pattern_edges: 3,
+            ..Default::default()
+        };
+        Miner::new(&graph, config).mine()
+    }
+
+    #[test]
+    fn subpattern_checks() {
+        let edge = patterns::single_edge(Label(0), Label(1));
+        let tri = patterns::triangle(Label(0), Label(1), Label(2));
+        assert!(is_subpattern(&edge, &tri));
+        assert!(!is_subpattern(&tri, &edge));
+        assert!(is_subpattern(&tri, &tri));
+        let other = patterns::single_edge(Label(3), Label(4));
+        assert!(!is_subpattern(&other, &tri));
+    }
+
+    #[test]
+    fn maximal_patterns_of_triangle_forest() {
+        let result = mined_triangles();
+        let maximal = maximal_patterns(&result);
+        assert!(!maximal.is_empty());
+        // The full labelled triangle is the unique maximal pattern.
+        assert!(maximal.iter().all(|p| p.pattern.num_edges() == 3));
+        assert!(maximal.len() < result.len());
+    }
+
+    #[test]
+    fn closed_patterns_drop_equal_support_subpatterns() {
+        let result = mined_triangles();
+        let closed = closed_patterns(&result);
+        // Every subpattern of the triangle has the same support (5), so only the
+        // triangle itself is closed.
+        assert!(closed.iter().all(|p| p.pattern.num_edges() == 3));
+        assert!(closed.len() <= maximal_patterns(&result).len() + 1);
+        // Maximal ⊆ closed always holds.
+        let closed_idx = closed_pattern_indices(&result);
+        for i in maximal_pattern_indices(&result) {
+            assert!(closed_idx.contains(&i));
+        }
+    }
+
+    #[test]
+    fn lattice_structure_of_triangle_results() {
+        let result = mined_triangles();
+        let lattice = PatternLattice::build(&result);
+        assert_eq!(lattice.num_nodes, result.len());
+        assert!(!lattice.edges.is_empty());
+        assert!(lattice.is_anti_monotone(&result));
+        // Single-edge patterns have no parents among the results.
+        for (i, p) in result.patterns.iter().enumerate() {
+            if p.pattern.num_edges() == 1 {
+                assert!(lattice.parents(i).is_empty());
+            }
+        }
+        // Leaves of the lattice are exactly the maximal patterns here (every maximal
+        // pattern has no superpattern at all in the result).
+        let leaves = lattice.leaves();
+        let maximal = maximal_pattern_indices(&result);
+        for i in &maximal {
+            assert!(leaves.contains(i));
+        }
+    }
+
+    #[test]
+    fn empty_result_post_processing() {
+        let graph = LabeledGraph::new();
+        let result = Miner::new(&graph, MinerConfig::default()).mine();
+        assert!(maximal_patterns(&result).is_empty());
+        assert!(closed_patterns(&result).is_empty());
+        let lattice = PatternLattice::build(&result);
+        assert_eq!(lattice.num_nodes, 0);
+        assert!(lattice.edges.is_empty());
+        assert!(lattice.leaves().is_empty());
+        assert!(lattice.is_anti_monotone(&result));
+    }
+}

@@ -1,0 +1,248 @@
+//! Top-k frequent-pattern mining.
+//!
+//! Instead of fixing a support threshold τ up front (hard to choose on an unknown
+//! graph), top-k mining asks for the `k` patterns of highest support.  The search
+//! exploits anti-monotonicity as a branch-and-bound rule: the running k-th best
+//! support is a *rising* threshold, and any candidate below it can be pruned together
+//! with all of its extensions — exactly the pruning argument of Definition 2.2.2, so
+//! the algorithm is correct for every measure exposed by `ffsm-core` (MNI, MI, MVC,
+//! MIS/MIES, the relaxations and MCP).
+//!
+//! A floor threshold (`min_support`) is still applied so that patterns that occur
+//! essentially never are not reported even when `k` is larger than the number of
+//! interesting patterns.
+
+use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
+use crate::miner::{FrequentPattern, MiningStats};
+use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasures};
+use ffsm_graph::canonical::CanonicalCode;
+use ffsm_graph::LabeledGraph;
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+/// Configuration of a top-k mining run.
+#[derive(Debug, Clone)]
+pub struct TopKConfig {
+    /// How many patterns to return.
+    pub k: usize,
+    /// Floor threshold: patterns below this support are never reported, even if
+    /// fewer than `k` patterns qualify.
+    pub min_support: f64,
+    /// Support measure to rank by.
+    pub measure: MeasureKind,
+    /// Measure configuration.
+    pub measure_config: MeasureConfig,
+    /// Stop growing patterns beyond this many edges.
+    pub max_pattern_edges: usize,
+    /// Safety cap on support evaluations.
+    pub max_evaluations: usize,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 10,
+            min_support: 1.0,
+            measure: MeasureKind::Mni,
+            measure_config: MeasureConfig::default(),
+            max_pattern_edges: 3,
+            max_evaluations: 50_000,
+        }
+    }
+}
+
+/// Result of a top-k run: at most `k` patterns, sorted by descending support (ties by
+/// fewer edges first, then insertion order).
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// The best patterns found.
+    pub patterns: Vec<FrequentPattern>,
+    /// The threshold in force when the search finished (the k-th best support, or the
+    /// floor if fewer than `k` patterns were found).
+    pub final_threshold: f64,
+    /// Search statistics.
+    pub stats: MiningStats,
+}
+
+/// Mine the top-k patterns of `graph` under `config`.
+pub fn mine_top_k(graph: &LabeledGraph, config: &TopKConfig) -> TopKResult {
+    let start = Instant::now();
+    let mut stats = MiningStats::default();
+    let mut best: Vec<FrequentPattern> = Vec::new();
+    let mut threshold = config.min_support;
+    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut queue: VecDeque<ffsm_graph::Pattern> = VecDeque::new();
+    let alphabet = graph.distinct_labels();
+
+    let support_of = |pattern: &ffsm_graph::Pattern, stats: &mut MiningStats| -> (f64, usize) {
+        stats.candidates_evaluated += 1;
+        let occ = OccurrenceSet::enumerate(pattern, graph, config.measure_config.iso_config);
+        let n = occ.num_occurrences();
+        let measures = SupportMeasures::new(occ, config.measure_config.clone());
+        (measures.compute(config.measure), n)
+    };
+
+    // Insert a pattern into the running top-k list, returning the updated threshold.
+    let insert = |best: &mut Vec<FrequentPattern>, found: FrequentPattern, k: usize, floor: f64| -> f64 {
+        best.push(found);
+        best.sort_by(|a, b| {
+            b.support
+                .partial_cmp(&a.support)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.pattern.num_edges().cmp(&b.pattern.num_edges()))
+        });
+        if best.len() > k {
+            best.truncate(k);
+        }
+        if best.len() == k {
+            best.last().map(|p| p.support).unwrap_or(floor).max(floor)
+        } else {
+            floor
+        }
+    };
+
+    let seeds = seed_patterns(graph);
+    stats.candidates_generated += seeds.len();
+    for seed in dedupe_by_canonical_code(seeds, &mut seen) {
+        if stats.candidates_evaluated >= config.max_evaluations {
+            stats.truncated = true;
+            break;
+        }
+        let (support, num_occurrences) = support_of(&seed, &mut stats);
+        if support >= threshold {
+            queue.push_back(seed.clone());
+            threshold = insert(
+                &mut best,
+                FrequentPattern { pattern: seed, support, num_occurrences },
+                config.k,
+                config.min_support,
+            );
+        } else {
+            stats.candidates_pruned += 1;
+        }
+    }
+
+    while let Some(pattern) = queue.pop_front() {
+        if stats.truncated || pattern.num_edges() >= config.max_pattern_edges {
+            continue;
+        }
+        let candidates = extensions(&pattern, &alphabet);
+        stats.candidates_generated += candidates.len();
+        for candidate in dedupe_by_canonical_code(candidates, &mut seen) {
+            if stats.candidates_evaluated >= config.max_evaluations {
+                stats.truncated = true;
+                break;
+            }
+            let (support, num_occurrences) = support_of(&candidate, &mut stats);
+            // Anti-monotonic pruning against the *current* threshold: extensions of a
+            // below-threshold candidate can never re-enter the top k.
+            if support >= threshold && support >= config.min_support {
+                queue.push_back(candidate.clone());
+                threshold = insert(
+                    &mut best,
+                    FrequentPattern { pattern: candidate, support, num_occurrences },
+                    config.k,
+                    config.min_support,
+                );
+            } else {
+                stats.candidates_pruned += 1;
+            }
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    TopKResult { patterns: best, final_threshold: threshold, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{Miner, MinerConfig};
+    use ffsm_graph::{generators, LabeledGraph};
+
+    fn triangle_forest(copies: usize) -> LabeledGraph {
+        let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        generators::replicated(&triangle, copies, false)
+    }
+
+    #[test]
+    fn returns_at_most_k_patterns_sorted() {
+        let graph = triangle_forest(6);
+        let result = mine_top_k(&graph, &TopKConfig { k: 4, ..Default::default() });
+        assert!(result.patterns.len() <= 4);
+        assert!(!result.patterns.is_empty());
+        for w in result.patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn top_k_supports_match_threshold_mining() {
+        // The k best supports found by top-k must equal the k best supports in an
+        // exhaustive run at the floor threshold.
+        let graph = triangle_forest(5);
+        let k = 5;
+        let topk = mine_top_k(
+            &graph,
+            &TopKConfig { k, min_support: 1.0, max_pattern_edges: 3, ..Default::default() },
+        );
+        let full = Miner::new(
+            &graph,
+            MinerConfig { min_support: 1.0, max_pattern_edges: 3, ..Default::default() },
+        )
+        .mine();
+        let mut full_supports: Vec<f64> = full.patterns.iter().map(|p| p.support).collect();
+        full_supports.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        full_supports.truncate(k);
+        let topk_supports: Vec<f64> = topk.patterns.iter().map(|p| p.support).collect();
+        assert_eq!(topk_supports, full_supports);
+    }
+
+    #[test]
+    fn rising_threshold_prunes_more_than_floor() {
+        let graph = generators::community_graph(3, 10, 0.35, 0.02, 4, 11);
+        let topk = mine_top_k(
+            &graph,
+            &TopKConfig { k: 3, min_support: 1.0, max_pattern_edges: 2, ..Default::default() },
+        );
+        let full = Miner::new(
+            &graph,
+            MinerConfig { min_support: 1.0, max_pattern_edges: 2, ..Default::default() },
+        )
+        .mine();
+        // Top-k evaluates no more candidates than the exhaustive run and usually fewer.
+        assert!(topk.stats.candidates_evaluated <= full.stats.candidates_evaluated);
+        assert!(topk.final_threshold >= 1.0);
+        assert_eq!(topk.patterns.len(), 3);
+    }
+
+    #[test]
+    fn floor_threshold_limits_results() {
+        let graph = triangle_forest(2);
+        let result = mine_top_k(
+            &graph,
+            &TopKConfig { k: 50, min_support: 10.0, ..Default::default() },
+        );
+        // Nothing reaches support 10 with only two copies.
+        assert!(result.patterns.is_empty());
+        assert_eq!(result.final_threshold, 10.0);
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let result = mine_top_k(&LabeledGraph::new(), &TopKConfig::default());
+        assert!(result.patterns.is_empty());
+        assert_eq!(result.stats.candidates_evaluated, 0);
+    }
+
+    #[test]
+    fn evaluation_cap_truncates() {
+        let graph = generators::gnm_random(60, 200, 2, 4);
+        let result = mine_top_k(
+            &graph,
+            &TopKConfig { k: 10, max_evaluations: 3, ..Default::default() },
+        );
+        assert!(result.stats.truncated);
+        assert!(result.stats.candidates_evaluated <= 3);
+    }
+}

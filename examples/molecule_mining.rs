@@ -1,0 +1,58 @@
+//! Frequent-substructure mining in a chemical-compound-like graph — the classic
+//! motivating workload for single-graph frequent pattern mining.
+//!
+//! The example mines the same graph with MNI (fast but over-counting) and MI
+//! (fast *and* topology-aware) and shows how the reported pattern sets differ.
+//!
+//! Run with: `cargo run --release --example molecule_mining`
+
+use ffsm::core::measures::MeasureKind;
+use ffsm::graph::datasets;
+use ffsm::graph::io::to_lg_string;
+use ffsm::miner::{Miner, MinerConfig};
+
+fn main() {
+    let dataset = datasets::chemical_like(60, 2024);
+    println!("{}", dataset.description);
+
+    let tau = 20.0;
+    for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc] {
+        let config = MinerConfig {
+            min_support: tau,
+            measure,
+            max_pattern_edges: 4,
+            ..Default::default()
+        };
+        let miner = Miner::new(&dataset.graph, config);
+        let result = miner.mine();
+        println!(
+            "\n=== measure {} | tau = {tau} ===",
+            measure.name()
+        );
+        println!(
+            "{} frequent patterns ({} candidates evaluated, {} pruned, {:?})",
+            result.len(),
+            result.stats.candidates_evaluated,
+            result.stats.candidates_pruned,
+            result.stats.elapsed
+        );
+        // Print the largest frequent patterns (most informative substructures).
+        let mut patterns = result.patterns.clone();
+        patterns.sort_by(|a, b| {
+            b.pattern
+                .num_edges()
+                .cmp(&a.pattern.num_edges())
+                .then(b.support.partial_cmp(&a.support).unwrap())
+        });
+        for fp in patterns.iter().take(3) {
+            println!(
+                "--- pattern with {} edges, support {:.0}, {} occurrences:",
+                fp.pattern.num_edges(),
+                fp.support,
+                fp.num_occurrences
+            );
+            print!("{}", to_lg_string(&fp.pattern));
+        }
+    }
+    println!("\nBecause σMVC ≤ σMI ≤ σMNI, every MVC-frequent pattern is also MI-frequent and MNI-frequent.");
+}

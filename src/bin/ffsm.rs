@@ -1,0 +1,253 @@
+//! `ffsm` — command-line front end for the support-measure framework.
+//!
+//! Subcommands:
+//!
+//! * `stats <graph.lg>` — structural statistics of a labeled graph file;
+//! * `measure <graph.lg> --pattern <pattern.lg> [--measure NAME]` — compute one or all
+//!   support measures of a pattern in a data graph;
+//! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]` — run
+//!   the frequent-subgraph miner and print the frequent patterns;
+//! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
+//! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
+//!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
+//!
+//! Graphs use the plain-text `.lg` format of `ffsm_graph::io` (`v <id> <label>` /
+//! `e <u> <v>` lines).  Exit code 0 on success, 1 on a usage error, 2 on an I/O or
+//! parse error.
+
+use ffsm::core::measures::{MeasureConfig, MeasureKind};
+use ffsm::core::MeasureProfile;
+use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
+use ffsm::miner::postprocess::maximal_patterns;
+use ffsm::miner::{mine_parallel, mine_top_k, Miner, MinerConfig, ParallelMinerConfig, TopKConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let result = match command.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "measure" => cmd_measure(&args[1..]),
+        "mine" => cmd_mine(&args[1..]),
+        "topk" => cmd_topk(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(if message.contains("usage") { 1 } else { 2 })
+        }
+    }
+}
+
+const USAGE: &str = "usage: ffsm <command> [options]
+
+commands:
+  stats    <graph.lg>                              structural statistics of a graph
+  measure  <graph.lg> --pattern <p.lg> [--measure NAME]
+                                                   support measures of a pattern
+  mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]
+                                                   frequent-subgraph mining
+  topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
+                                                   top-k pattern mining
+  generate <kind> <out.lg> [--seed S]              write a synthetic dataset
+                                                   (chemical|social|citation|protein|grid|star-overlap)
+
+measure names: MNI, MI, MVC, MIS, MIES, nuMVC, nuMIES, MCP (default: all)";
+
+fn load_graph(path: &str) -> Result<LabeledGraph, String> {
+    io::load_lg(Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_measure(name: &str) -> Result<MeasureKind, String> {
+    match name.to_ascii_uppercase().as_str() {
+        "MNI" => Ok(MeasureKind::Mni),
+        "MI" => Ok(MeasureKind::Mi),
+        "MVC" => Ok(MeasureKind::Mvc),
+        "MIS" => Ok(MeasureKind::Mis),
+        "MIES" => Ok(MeasureKind::Mies),
+        "NUMVC" => Ok(MeasureKind::RelaxedMvc),
+        "NUMIES" => Ok(MeasureKind::RelaxedMies),
+        "MCP" => Ok(MeasureKind::Mcp),
+        other => Err(format!("unknown measure {other:?} (expected MNI, MI, MVC, MIS, MIES, nuMVC, nuMIES or MCP)")),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("usage: ffsm stats <graph.lg>".into());
+    };
+    let graph = load_graph(path)?;
+    println!("graph: {path}");
+    println!("{}", GraphStatistics::compute(&graph));
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> Result<(), String> {
+    let Some(graph_path) = args.first() else {
+        return Err("usage: ffsm measure <graph.lg> --pattern <pattern.lg> [--measure NAME]".into());
+    };
+    let pattern_path = flag_value(args, "--pattern")
+        .ok_or_else(|| "usage: --pattern <pattern.lg> is required".to_string())?;
+    let graph = load_graph(graph_path)?;
+    let pattern: Pattern = load_graph(pattern_path)?;
+    let config = MeasureConfig::default();
+    let profile = MeasureProfile::compute_labeled(
+        format!("{pattern_path} in {graph_path}"),
+        &pattern,
+        &graph,
+        &config,
+    );
+    match flag_value(args, "--measure") {
+        Some(name) => {
+            let kind = parse_measure(name)?;
+            let value = profile
+                .value_of(kind)
+                .ok_or_else(|| format!("measure {name} was not profiled"))?;
+            println!("{} = {}", kind.name(), value);
+        }
+        None => {
+            print!("{profile}");
+            println!(
+                "bounding chain holds: {}",
+                if profile.chain_holds() { "yes" } else { "NO" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn mining_params(args: &[String]) -> Result<(MeasureKind, usize), String> {
+    let measure = match flag_value(args, "--measure") {
+        Some(name) => parse_measure(name)?,
+        None => MeasureKind::Mni,
+    };
+    let max_edges = match flag_value(args, "--max-edges") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("invalid --max-edges {v:?}"))?,
+        None => 3,
+    };
+    Ok((measure, max_edges))
+}
+
+fn print_frequent(patterns: &[ffsm::miner::FrequentPattern]) {
+    println!("{:<6} {:>8} {:>6} {:>6} {:>12}", "rank", "support", "nodes", "edges", "occurrences");
+    for (rank, p) in patterns.iter().enumerate() {
+        println!(
+            "{:<6} {:>8.1} {:>6} {:>6} {:>12}",
+            rank + 1,
+            p.support,
+            p.pattern.num_vertices(),
+            p.pattern.num_edges(),
+            p.num_occurrences
+        );
+    }
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let Some(graph_path) = args.first() else {
+        return Err("usage: ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]".into());
+    };
+    let tau: f64 = flag_value(args, "--tau")
+        .ok_or_else(|| "usage: --tau <threshold> is required".to_string())?
+        .parse()
+        .map_err(|_| "invalid --tau value".to_string())?;
+    let (measure, max_edges) = mining_params(args)?;
+    let graph = load_graph(graph_path)?;
+    let result = if args.iter().any(|a| a == "--parallel") {
+        mine_parallel(
+            &graph,
+            &ParallelMinerConfig {
+                min_support: tau,
+                measure,
+                max_pattern_edges: max_edges,
+                ..Default::default()
+            },
+        )
+    } else {
+        Miner::new(
+            &graph,
+            MinerConfig { min_support: tau, measure, max_pattern_edges: max_edges, ..Default::default() },
+        )
+        .mine()
+    };
+    println!(
+        "{} frequent patterns under {} at tau = {tau} ({} maximal), {} candidates evaluated in {:?}",
+        result.len(),
+        measure.name(),
+        maximal_patterns(&result).len(),
+        result.stats.candidates_evaluated,
+        result.stats.elapsed
+    );
+    print_frequent(&result.patterns);
+    Ok(())
+}
+
+fn cmd_topk(args: &[String]) -> Result<(), String> {
+    let Some(graph_path) = args.first() else {
+        return Err("usage: ffsm topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]".into());
+    };
+    let k: usize = flag_value(args, "--k")
+        .ok_or_else(|| "usage: --k <count> is required".to_string())?
+        .parse()
+        .map_err(|_| "invalid --k value".to_string())?;
+    let (measure, max_edges) = mining_params(args)?;
+    let graph = load_graph(graph_path)?;
+    let result = mine_top_k(
+        &graph,
+        &TopKConfig { k, measure, max_pattern_edges: max_edges, ..Default::default() },
+    );
+    println!(
+        "top-{k} patterns under {} (final threshold {:.1}, {} candidates evaluated)",
+        measure.name(),
+        result.final_threshold,
+        result.stats.candidates_evaluated
+    );
+    print_frequent(&result.patterns);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (Some(kind), Some(out)) = (args.first(), args.get(1)) else {
+        return Err("usage: ffsm generate <kind> <out.lg> [--seed S]".into());
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| "invalid --seed value".to_string())?,
+        None => 42,
+    };
+    let graph = match kind.as_str() {
+        "chemical" => datasets::chemical_like(80, seed).graph,
+        "social" => datasets::social_like(400, seed).graph,
+        "citation" => datasets::citation_like(400, seed).graph,
+        "protein" => datasets::protein_like(10, 8, seed).graph,
+        "grid" => generators::grid(20, 20, 4),
+        "star-overlap" => generators::star_overlap(8, 32),
+        other => {
+            return Err(format!(
+                "unknown dataset kind {other:?} (expected chemical, social, citation, protein, grid or star-overlap)"
+            ))
+        }
+    };
+    io::save_lg(&graph, Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} ({} vertices, {} edges, {} labels)",
+        out,
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.distinct_labels().len()
+    );
+    Ok(())
+}

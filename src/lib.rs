@@ -1,0 +1,29 @@
+//! # ffsm — Flexible and Feasible Support Measures for frequent pattern mining
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`graph`] — labeled-graph substrate, subgraph isomorphism, generators.
+//! * [`hypergraph`] — hypergraph substrate, vertex cover, independent edge sets.
+//! * [`lp`] — linear-programming solver used by the relaxed measures.
+//! * [`core`] — the paper's contribution: the occurrence/instance hypergraph framework
+//!   and the MNI, MI, MVC, MIS/MIES and relaxed support measures.
+//! * [`miner`] — a single-graph frequent-subgraph miner with pluggable measures.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use ffsm_core as core;
+pub use ffsm_graph as graph;
+pub use ffsm_hypergraph as hypergraph;
+pub use ffsm_lp as lp;
+pub use ffsm_miner as miner;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use ffsm_core::{
+        measures::{MeasureConfig, MeasureKind, SupportMeasures},
+        occurrences::OccurrenceSet,
+        MeasureProfile, OverlapAnalysis, OverlapKind,
+    };
+    pub use ffsm_graph::{GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
+    pub use ffsm_miner::{mine_parallel, mine_top_k, Miner, MinerConfig, TopKConfig};
+}

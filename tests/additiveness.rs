@@ -1,0 +1,122 @@
+//! Additiveness (per-component decomposition) of the hypergraph-based measures —
+//! the Section 6 "parallel computation" extension — checked end to end: build a data
+//! graph as a disjoint union of blocks, enumerate occurrences through the public API,
+//! and verify that the decomposed value equals the direct value for every additive
+//! measure, while MNI / MI are correctly flagged as non-additive.
+
+use ffsm::core::decompose::{
+    mcp_by_components, mies_by_components, mis_by_components, mvc_by_components,
+    relaxed_mies_by_components, relaxed_mvc_by_components, DecompositionConfig,
+};
+use ffsm::core::measures::{MeasureConfig, MvcAlgorithm, SupportMeasures};
+use ffsm::core::{HypergraphBasis, OccurrenceSet};
+use ffsm::graph::isomorphism::IsoConfig;
+use ffsm::graph::{generators, patterns, transform, Label, LabeledGraph, Pattern};
+use proptest::prelude::*;
+
+fn union_workload(blocks: &[LabeledGraph]) -> LabeledGraph {
+    transform::disjoint_union_all(blocks)
+}
+
+fn calculator(pattern: &Pattern, graph: &LabeledGraph) -> SupportMeasures {
+    let occ = OccurrenceSet::enumerate(pattern, graph, IsoConfig::default());
+    SupportMeasures::new(occ, MeasureConfig::default())
+}
+
+#[test]
+fn all_additive_measures_decompose_exactly() {
+    // Mixed blocks: star overlaps of different shapes plus a triangle block.
+    let blocks = vec![
+        generators::star_overlap(2, 3),
+        generators::star_overlap(3, 2),
+        generators::star_overlap(1, 4),
+        transform::map_labels(&patterns::uniform_clique(3, Label(0)), |_| Label(0)),
+    ];
+    let graph = union_workload(&blocks);
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    let m = calculator(&pattern, &graph);
+    let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+    let h = occ.hypergraph(HypergraphBasis::Occurrence);
+    let config = DecompositionConfig::default();
+
+    assert_eq!(mvc_by_components(&h, MvcAlgorithm::Exact, config).value, m.mvc().value as f64);
+    assert_eq!(mies_by_components(&h, config).value, m.mies().value as f64);
+    assert_eq!(mis_by_components(&h, config).value, m.mis().value as f64);
+    assert_eq!(mcp_by_components(&h, config).value, m.mcp().value as f64);
+    assert!((relaxed_mvc_by_components(&h, config).value - m.relaxed_mvc()).abs() < 1e-6);
+    assert!((relaxed_mies_by_components(&h, config).value - m.relaxed_mies()).abs() < 1e-6);
+}
+
+#[test]
+fn parallel_decomposition_equals_sequential_on_large_union() {
+    let block = generators::star_overlap(2, 4);
+    let graph = generators::replicated(&block, 24, false);
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+    let h = occ.hypergraph(HypergraphBasis::Occurrence);
+    let seq = DecompositionConfig { parallel: false, ..Default::default() };
+    let par = DecompositionConfig { parallel: true, ..Default::default() };
+    assert_eq!(
+        mvc_by_components(&h, MvcAlgorithm::Exact, seq),
+        mvc_by_components(&h, MvcAlgorithm::Exact, par)
+    );
+    assert_eq!(mies_by_components(&h, seq), mies_by_components(&h, par));
+    assert_eq!(mis_by_components(&h, seq).value, mis_by_components(&h, par).value);
+    assert_eq!(mvc_by_components(&h, MvcAlgorithm::Exact, seq).num_components, 24);
+}
+
+#[test]
+fn union_value_equals_sum_of_block_values_for_additive_measures() {
+    // Compute per-block supports through completely separate occurrence sets and
+    // check the union's support is their sum (the defining property of additiveness).
+    let blocks = vec![
+        generators::star_overlap(2, 2),
+        generators::star_overlap(1, 3),
+        generators::star_overlap(3, 3),
+    ];
+    let pattern = patterns::single_edge(Label(0), Label(1));
+    let union = union_workload(&blocks);
+    let whole = calculator(&pattern, &union);
+    let block_mvc: usize = blocks.iter().map(|b| calculator(&pattern, b).mvc().value).sum();
+    let block_mis: usize = blocks.iter().map(|b| calculator(&pattern, b).mis().value).sum();
+    let block_relaxed: f64 = blocks.iter().map(|b| calculator(&pattern, b).relaxed_mvc()).sum();
+    assert_eq!(whole.mvc().value, block_mvc);
+    assert_eq!(whole.mis().value, block_mis);
+    assert!((whole.relaxed_mvc() - block_relaxed).abs() < 1e-6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random unions of random blocks: decomposed MVC/MIES always equal the direct
+    /// values and the bounding chain keeps holding on the union.
+    #[test]
+    fn decomposition_is_exact_on_random_unions(
+        num_blocks in 1usize..5,
+        hubs in 1usize..3,
+        leaves in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut blocks = Vec::new();
+        for i in 0..num_blocks {
+            // Alternate star-overlap blocks and small random graphs.
+            if i % 2 == 0 {
+                blocks.push(generators::star_overlap(hubs, leaves));
+            } else {
+                blocks.push(generators::gnm_random(8, 12, 2, seed + i as u64));
+            }
+        }
+        let graph = union_workload(&blocks);
+        let pattern = patterns::single_edge(Label(0), Label(1));
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::default());
+        if occ.num_occurrences() == 0 {
+            return Ok(());
+        }
+        let h = occ.hypergraph(HypergraphBasis::Occurrence);
+        let m = SupportMeasures::new(occ, MeasureConfig::default());
+        let config = DecompositionConfig::default();
+        prop_assert_eq!(mvc_by_components(&h, MvcAlgorithm::Exact, config).value, m.mvc().value as f64);
+        prop_assert_eq!(mies_by_components(&h, config).value, m.mies().value as f64);
+        prop_assert!((relaxed_mvc_by_components(&h, config).value - m.relaxed_mvc()).abs() < 1e-6);
+    }
+}

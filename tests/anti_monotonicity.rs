@@ -1,0 +1,177 @@
+//! Anti-monotonicity property tests (Theorems 3.2, 3.5, 4.2, 4.3 and the
+//! anti-monotonicity of MNI recalled in Section 2.2).
+//!
+//! For a pattern `p` and a superpattern `P` (built by extending `p` with one edge or
+//! one vertex), every anti-monotonic measure must satisfy σ(p, G) ≥ σ(P, G).
+
+use ffsm::core::measures::{MeasureConfig, MeasureKind, MiStrategy, SupportMeasures};
+use ffsm::core::evaluate;
+use ffsm::core::occurrences::OccurrenceSet;
+use ffsm::graph::{generators, patterns, Label, LabeledGraph, Pattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extend `pattern` by one random edge or vertex (labels drawn from `alphabet`).
+fn random_extension(pattern: &Pattern, alphabet: &[Label], seed: u64) -> Option<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pattern.num_vertices() as u32;
+    for _ in 0..40 {
+        if rng.gen_bool(0.4) && n >= 2 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if let Some(p) = patterns::extend_with_edge(pattern, u, v) {
+                return Some(p);
+            }
+        } else {
+            let at = rng.gen_range(0..n);
+            let label = alphabet[rng.gen_range(0..alphabet.len())];
+            if let Some(p) = patterns::extend_with_vertex(pattern, at, label) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+fn anti_monotonic_kinds() -> Vec<MeasureKind> {
+    vec![
+        MeasureKind::Mni,
+        MeasureKind::Mi,
+        MeasureKind::Mvc,
+        MeasureKind::Mis,
+        MeasureKind::Mies,
+        MeasureKind::RelaxedMvc,
+        MeasureKind::RelaxedMies,
+    ]
+}
+
+/// Evaluate every anti-monotonic measure from a single occurrence enumeration.
+/// Returns `None` when the enumeration hits its budget: truncated occurrence sets do
+/// not carry the anti-monotonicity guarantee (and would also make the NP-hard
+/// measures needlessly expensive in a property test).
+fn measure_vector(pattern: &Pattern, graph: &LabeledGraph, config: &MeasureConfig) -> Option<Vec<f64>> {
+    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+    if !occ.is_complete() {
+        return None;
+    }
+    let m = SupportMeasures::new(occ, config.clone());
+    Some(anti_monotonic_kinds().iter().map(|&k| m.compute(k)).collect())
+}
+
+fn check_chain(graph: &LabeledGraph, seed: u64, config: &MeasureConfig) -> Result<(), String> {
+    let alphabet = graph.distinct_labels();
+    let Some((mut pattern, _)) = generators::sample_pattern(graph, 1, seed) else {
+        return Ok(());
+    };
+    let kinds = anti_monotonic_kinds();
+    let Some(mut previous) = measure_vector(&pattern, graph, config) else {
+        return Ok(());
+    };
+    for step in 0..2u64 {
+        let Some(next) = random_extension(&pattern, &alphabet, seed ^ (step + 1) * 7919) else {
+            break;
+        };
+        let Some(current) = measure_vector(&next, graph, config) else {
+            break;
+        };
+        for (i, kind) in kinds.iter().enumerate() {
+            if current[i] > previous[i] + 1e-6 {
+                return Err(format!(
+                    "{} increased from {} to {} when extending a {}-edge pattern (seed {seed}, step {step})",
+                    kind.name(),
+                    previous[i],
+                    current[i],
+                    pattern.num_edges()
+                ));
+            }
+        }
+        pattern = next;
+        previous = current;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn all_measures_are_anti_monotonic_on_random_graphs(
+        n in 16usize..40,
+        labels in 1u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let graph = generators::gnm_random(n, n * 2, labels, seed);
+        prop_assume!(graph.num_edges() > 0);
+        // The occurrence cap keeps the exact MIS/MVC searches (quadratic overlap graph
+        // plus branch-and-bound) at property-test scale; chains whose enumeration
+        // would be truncated are skipped instead of producing bogus comparisons.
+        let config = MeasureConfig {
+            iso_config: ffsm::graph::isomorphism::IsoConfig::with_limit(250),
+            search_budget: ffsm::hypergraph::SearchBudget(30_000),
+            ..MeasureConfig::default()
+        };
+        if let Err(msg) = check_chain(&graph, seed, &config) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn label_class_mi_is_anti_monotonic(
+        n in 20usize..60,
+        seed in 0u64..10_000,
+    ) {
+        // The LabelClasses strategy has the cleanest theoretical guarantee (its subset
+        // family is closed under pattern extension); check it separately.
+        let graph = generators::community_graph(3, n / 3 + 1, 0.3, 0.02, 3, seed);
+        prop_assume!(graph.num_edges() > 0);
+        let config = MeasureConfig {
+            iso_config: ffsm::graph::isomorphism::IsoConfig::with_limit(2_000),
+            mi_strategy: MiStrategy::LabelClasses,
+            ..MeasureConfig::default()
+        };
+        let alphabet = graph.distinct_labels();
+        let Some((pattern, _)) = generators::sample_pattern(&graph, 2, seed) else { return Ok(()); };
+        let base = evaluate(&pattern, &graph, MeasureKind::Mi, &config);
+        if let Some(extended) = random_extension(&pattern, &alphabet, seed ^ 0xfeed) {
+            let ext = evaluate(&extended, &graph, MeasureKind::Mi, &config);
+            prop_assert!(ext <= base + 1e-9, "LabelClasses MI rose from {base} to {ext}");
+        }
+    }
+}
+
+#[test]
+fn figure2_to_figure5_extension_is_anti_monotonic_for_all_measures() {
+    // The paper's own extension example: triangle -> triangle + pendant vertex.
+    let config = MeasureConfig::default();
+    let fig2 = ffsm::graph::figures::figure2();
+    let fig5 = ffsm::graph::figures::figure5();
+    for kind in anti_monotonic_kinds() {
+        let small = evaluate(&fig2.pattern, &fig2.graph, kind, &config);
+        let large = evaluate(&fig5.pattern, &fig5.graph, kind, &config);
+        assert!(
+            large <= small + 1e-9,
+            "{} increased from {small} to {large} on the Figure 5 extension",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn occurrence_and_instance_counts_are_not_anti_monotonic() {
+    // The paper's motivation for needing dedicated support measures: raw counts can
+    // grow when a pattern is extended.  Exhibit a concrete witness.
+    let graph = LabeledGraph::from_edges(
+        &[0, 1, 1, 1, 1],
+        &[(0, 1), (0, 2), (0, 3), (0, 4)],
+    );
+    let config = MeasureConfig::default();
+    let small = patterns::single_edge(Label(0), Label(1));
+    let large = patterns::uniform_star(2, Label(0), Label(1));
+    let small_occ = evaluate(&small, &graph, MeasureKind::OccurrenceCount, &config);
+    let large_occ = evaluate(&large, &graph, MeasureKind::OccurrenceCount, &config);
+    assert!(large_occ > small_occ, "expected occurrence count to grow: {small_occ} -> {large_occ}");
+    let small_inst = evaluate(&small, &graph, MeasureKind::InstanceCount, &config);
+    let large_inst = evaluate(&large, &graph, MeasureKind::InstanceCount, &config);
+    assert!(large_inst > small_inst, "expected instance count to grow: {small_inst} -> {large_inst}");
+}

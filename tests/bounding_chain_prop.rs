@@ -1,0 +1,130 @@
+//! Property-based integration tests for the bounding chain (Theorem 4.5/4.6 and the
+//! summary formula at the end of Section 4.4):
+//!
+//! σMIS = σMIES ≤ νMIES = νMVC ≤ σMVC ≤ σMI ≤ σMNI
+//!
+//! The properties are exercised on randomly generated data graphs and randomly
+//! sampled connected patterns, across generator families and MI strategies.
+
+use ffsm::core::measures::{MeasureConfig, MiStrategy, SupportMeasures};
+use ffsm::core::occurrences::{HypergraphBasis, OccurrenceSet};
+use ffsm::core::verify_bounding_chain;
+use ffsm::graph::isomorphism::IsoConfig;
+use ffsm::graph::{generators, LabeledGraph};
+use proptest::prelude::*;
+
+/// Build a random data graph from a compact parameter tuple.
+fn build_graph(family: u8, n: usize, m: usize, labels: u32, seed: u64) -> LabeledGraph {
+    match family % 3 {
+        0 => generators::gnm_random(n, m, labels, seed),
+        1 => generators::barabasi_albert(n, 2 + (seed % 3) as usize, labels, seed),
+        _ => generators::community_graph(3, n / 3 + 1, 0.25, 0.02, labels, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn chain_holds_on_random_workloads(
+        family in 0u8..3,
+        n in 16usize..50,
+        density in 1usize..4,
+        labels in 1u32..4,
+        seed in 0u64..10_000,
+        pattern_edges in 1usize..4,
+    ) {
+        let graph = build_graph(family, n, n * density, labels, seed);
+        prop_assume!(graph.num_edges() > 0);
+        let Some((pattern, _)) = generators::sample_pattern(&graph, pattern_edges, seed ^ 0xabcd) else {
+            return Ok(());
+        };
+        // The chain relations hold for whatever (possibly truncated) occurrence set is
+        // enumerated; the cap only bounds the cost of the exact MIS/MVC searches
+        // (quadratic overlap graph + branch-and-bound) at property-test scale.
+        let config = MeasureConfig {
+            iso_config: IsoConfig::with_limit(300),
+            search_budget: ffsm::hypergraph::SearchBudget(30_000),
+            ..MeasureConfig::default()
+        };
+        let report = verify_bounding_chain(&pattern, &graph, &config);
+        prop_assert!(
+            report.holds(),
+            "chain violated (family {family}, seed {seed}): {:?} | {}",
+            report.violations(),
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn mi_is_sandwiched_for_every_strategy(
+        n in 16usize..50,
+        labels in 1u32..4,
+        seed in 0u64..10_000,
+        pattern_edges in 1usize..4,
+    ) {
+        let graph = generators::gnm_random(n, n * 2, labels, seed);
+        prop_assume!(graph.num_edges() > 0);
+        let Some((pattern, _)) = generators::sample_pattern(&graph, pattern_edges, seed ^ 0x77) else {
+            return Ok(());
+        };
+        // MVC's exact search is the expensive part; cap the occurrence count so the
+        // property stays cheap (the theorems hold for any occurrence set).
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(400));
+        prop_assume!(occ.num_occurrences() > 0);
+        let m = SupportMeasures::new(occ, MeasureConfig::default());
+        let mvc = m.mvc().value;
+        let mni = m.mni();
+        for strategy in [MiStrategy::Singletons, MiStrategy::AutomorphismOrbits, MiStrategy::LabelClasses] {
+            let mi = m.mi_with(strategy);
+            // Theorem 3.4 and Theorem 3.6: σMVC ≤ σMI ≤ σMNI for every strategy.
+            prop_assert!(mi <= mni, "MI ({strategy:?}) = {mi} > MNI = {mni}");
+            prop_assert!(mvc <= mi, "MVC = {mvc} > MI ({strategy:?}) = {mi}");
+        }
+    }
+
+    #[test]
+    fn mis_equals_mies_on_both_bases(
+        n in 15usize..60,
+        labels in 1u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let graph = generators::gnm_random(n, n * 2, labels, seed);
+        prop_assume!(graph.num_edges() > 0);
+        let Some((pattern, _)) = generators::sample_pattern(&graph, 2, seed ^ 0x3333) else {
+            return Ok(());
+        };
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(2_000));
+        prop_assume!(occ.num_occurrences() > 0 && occ.num_occurrences() < 400);
+        for basis in [HypergraphBasis::Occurrence, HypergraphBasis::Instance] {
+            let config = MeasureConfig { basis, ..MeasureConfig::default() };
+            let m = SupportMeasures::new(occ.clone(), config);
+            let mis = m.mis();
+            let mies = m.mies();
+            if mis.optimal && mies.optimal {
+                // Theorem 4.1.
+                prop_assert_eq!(mis.value, mies.value, "basis {:?}", basis);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_duality_holds(
+        n in 15usize..60,
+        labels in 1u32..3,
+        seed in 0u64..10_000,
+    ) {
+        let graph = generators::gnm_random(n, n * 2, labels, seed);
+        prop_assume!(graph.num_edges() > 0);
+        let Some((pattern, _)) = generators::sample_pattern(&graph, 2, seed ^ 0x9999) else {
+            return Ok(());
+        };
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(500));
+        prop_assume!(occ.num_occurrences() > 0);
+        let m = SupportMeasures::new(occ, MeasureConfig::default());
+        let cover = m.relaxed_mvc();
+        let pack = m.relaxed_mies();
+        // Theorem 4.6 (LP duality).
+        prop_assert!((cover - pack).abs() < 1e-5, "duality gap: {cover} vs {pack}");
+    }
+}

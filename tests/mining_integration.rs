@@ -1,0 +1,130 @@
+//! End-to-end mining integration tests: the miner, the measures and the substrates
+//! working together on structured inputs with known ground truth.
+
+use ffsm::core::measures::MeasureKind;
+use ffsm::graph::canonical::canonical_code;
+use ffsm::graph::{generators, patterns, Label, LabeledGraph};
+use ffsm::miner::{Miner, MinerConfig};
+use std::collections::HashSet;
+
+/// `copies` disjoint labelled triangles (labels 0-1-2), optionally chained together.
+fn triangle_forest(copies: usize, connected: bool) -> LabeledGraph {
+    let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+    generators::replicated(&triangle, copies, connected)
+}
+
+#[test]
+fn mining_finds_known_frequent_triangle_with_every_measure() {
+    let copies = 6;
+    let graph = triangle_forest(copies, false);
+    // Disjoint copies: every measure counts each copy once, so the triangle's support
+    // is exactly `copies` under MNI, MI, MVC, MIS alike.
+    for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mis] {
+        let config = MinerConfig {
+            min_support: copies as f64,
+            measure,
+            max_pattern_edges: 3,
+            ..Default::default()
+        };
+        let result = Miner::new(&graph, config).mine();
+        let triangle_pattern = patterns::triangle(Label(0), Label(1), Label(2));
+        let triangle_code = canonical_code(&triangle_pattern);
+        let found = result
+            .patterns
+            .iter()
+            .find(|p| canonical_code(&p.pattern) == triangle_code)
+            .unwrap_or_else(|| panic!("triangle not frequent under {}", measure.name()));
+        assert_eq!(found.support, copies as f64, "wrong support under {}", measure.name());
+        // Nothing with 4+ edges exists in this graph at this threshold.
+        assert_eq!(result.max_edges(), 3);
+    }
+}
+
+#[test]
+fn threshold_one_above_copy_count_prunes_everything() {
+    let copies = 4;
+    let graph = triangle_forest(copies, false);
+    let config = MinerConfig {
+        min_support: (copies + 1) as f64,
+        measure: MeasureKind::Mis,
+        max_pattern_edges: 3,
+        ..Default::default()
+    };
+    let result = Miner::new(&graph, config).mine();
+    assert!(result.is_empty(), "found {} patterns above an impossible threshold", result.len());
+}
+
+#[test]
+fn frequent_pattern_sets_are_nested_across_the_chain() {
+    // σMIS ≤ σMVC ≤ σMI ≤ σMNI implies the frequent-pattern sets are nested the same
+    // way at any common threshold.
+    let graph = generators::community_graph(3, 14, 0.35, 0.03, 3, 13);
+    let tau = 5.0;
+    let mut sets: Vec<HashSet<_>> = Vec::new();
+    for measure in [MeasureKind::Mis, MeasureKind::Mvc, MeasureKind::Mi, MeasureKind::Mni] {
+        let config = MinerConfig {
+            min_support: tau,
+            measure,
+            max_pattern_edges: 3,
+            ..Default::default()
+        };
+        let result = Miner::new(&graph, config).mine();
+        sets.push(result.patterns.iter().map(|p| canonical_code(&p.pattern)).collect());
+    }
+    for w in sets.windows(2) {
+        assert!(
+            w[0].is_subset(&w[1]),
+            "conservative measure found a pattern the permissive one missed"
+        );
+    }
+}
+
+#[test]
+fn mining_respects_max_pattern_edges() {
+    let graph = triangle_forest(5, true);
+    let config = MinerConfig {
+        min_support: 2.0,
+        measure: MeasureKind::Mni,
+        max_pattern_edges: 2,
+        ..Default::default()
+    };
+    let result = Miner::new(&graph, config).mine();
+    assert!(result.max_edges() <= 2);
+    assert!(!result.is_empty());
+}
+
+#[test]
+fn reported_supports_match_direct_evaluation() {
+    let graph = triangle_forest(3, false);
+    let config = MinerConfig {
+        min_support: 2.0,
+        measure: MeasureKind::Mvc,
+        max_pattern_edges: 3,
+        ..Default::default()
+    };
+    let result = Miner::new(&graph, config.clone()).mine();
+    assert!(!result.is_empty());
+    for fp in result.patterns.iter().take(5) {
+        let direct = ffsm::core::evaluate(&fp.pattern, &graph, MeasureKind::Mvc, &config.measure_config);
+        assert_eq!(fp.support, direct, "miner-reported support disagrees with direct evaluation");
+    }
+}
+
+#[test]
+fn grid_graph_mining_finds_square_cycles() {
+    // A 4x4 single-label grid: the 4-cycle (unit square) is a frequent pattern.
+    let graph = generators::grid(4, 4, 1);
+    let config = MinerConfig {
+        min_support: 4.0,
+        measure: MeasureKind::Mni,
+        max_pattern_edges: 4,
+        ..Default::default()
+    };
+    let result = Miner::new(&graph, config).mine();
+    let square = patterns::cycle(&[Label(0); 4]);
+    let square_code = canonical_code(&square);
+    assert!(
+        result.patterns.iter().any(|p| canonical_code(&p.pattern) == square_code),
+        "unit square not reported as frequent in the grid"
+    );
+}

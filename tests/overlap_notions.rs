@@ -1,0 +1,85 @@
+//! Integration tests for Section 4.5: simple vs harmful vs structural overlap, and
+//! the overlap-graph variants they induce.
+
+use ffsm::core::measures::MeasureConfig;
+use ffsm::core::occurrences::OccurrenceSet;
+use ffsm::core::overlap::{OverlapAnalysis, OverlapKind};
+use ffsm::core::SupportMeasures;
+use ffsm::graph::isomorphism::IsoConfig;
+use ffsm::graph::{figures, generators};
+use ffsm::hypergraph::SearchBudget;
+use proptest::prelude::*;
+
+#[test]
+fn figure9_and_10_statements() {
+    // Figure 9: SO(g1,g2) holds, HO(g1,g2) does not; SO and HO both hold for (g1,g3).
+    let ex9 = figures::figure9();
+    let occ9 = OccurrenceSet::enumerate(&ex9.pattern, &ex9.graph, IsoConfig::default());
+    let a9 = OverlapAnalysis::new(&occ9);
+    let emb9 = occ9.embeddings();
+    let g1 = emb9.iter().position(|e| e == &vec![0, 1, 2]).unwrap();
+    let g2 = emb9.iter().position(|e| e == &vec![4, 2, 3]).unwrap();
+    let g3 = emb9.iter().position(|e| e == &vec![4, 2, 1]).unwrap();
+    assert!(a9.structural_overlap(g1, g2) && !a9.harmful_overlap(g1, g2));
+    assert!(a9.structural_overlap(g1, g3) && a9.harmful_overlap(g1, g3));
+
+    // Figure 10: HO(f1,f2) without SO; (f2,f3) overlap simply with neither HO nor SO.
+    let ex10 = figures::figure10();
+    let occ10 = OccurrenceSet::enumerate(&ex10.pattern, &ex10.graph, IsoConfig::default());
+    let a10 = OverlapAnalysis::new(&occ10);
+    let emb10 = occ10.embeddings();
+    let f1 = emb10.iter().position(|e| e == &vec![0, 1, 2, 3]).unwrap();
+    let f2 = emb10.iter().position(|e| e == &vec![3, 4, 5, 0]).unwrap();
+    let f3 = emb10.iter().position(|e| e == &vec![6, 7, 8, 3]).unwrap();
+    assert!(a10.harmful_overlap(f1, f2) && !a10.structural_overlap(f1, f2));
+    assert!(a10.simple_overlap(f2, f3));
+    assert!(!a10.harmful_overlap(f2, f3) && !a10.structural_overlap(f2, f3));
+}
+
+#[test]
+fn mis_under_weaker_overlap_is_between_mis_and_occurrence_count() {
+    for example in figures::all_figures() {
+        let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        let total = occ.num_occurrences();
+        let m = SupportMeasures::new(occ.clone(), MeasureConfig::default());
+        let classic = m.mis().value;
+        let analysis = OverlapAnalysis::new(&occ);
+        for kind in [OverlapKind::Harmful, OverlapKind::Structural] {
+            let relaxed = analysis.mis_under(kind, SearchBudget::default());
+            assert!(relaxed >= classic, "{:?} MIS below classic MIS on {}", kind, example.name);
+            assert!(relaxed <= total, "{:?} MIS above occurrence count on {}", kind, example.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn overlap_implications_on_random_workloads(seed in 0u64..5_000) {
+        let graph = generators::gnm_random(30, 70, 2, seed);
+        let Some((pattern, _)) = generators::sample_pattern(&graph, 2, seed ^ 0xd1) else { return Ok(()); };
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(400));
+        prop_assume!(occ.num_occurrences() >= 2);
+        let analysis = OverlapAnalysis::new(&occ);
+        let m = occ.num_occurrences();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let simple = analysis.simple_overlap(i, j);
+                let harmful = analysis.harmful_overlap(i, j);
+                let structural = analysis.structural_overlap(i, j);
+                // Both new notions are weaker than (imply) simple overlap.
+                prop_assert!(!harmful || simple);
+                prop_assert!(!structural || simple);
+                // Symmetry of all three relations.
+                prop_assert_eq!(simple, analysis.simple_overlap(j, i));
+                prop_assert_eq!(harmful, analysis.harmful_overlap(j, i));
+                prop_assert_eq!(structural, analysis.structural_overlap(j, i));
+            }
+        }
+        // Overlap-graph edge counts respect the implication order.
+        let e_simple = analysis.overlap_edge_count(OverlapKind::Simple);
+        prop_assert!(analysis.overlap_edge_count(OverlapKind::Harmful) <= e_simple);
+        prop_assert!(analysis.overlap_edge_count(OverlapKind::Structural) <= e_simple);
+    }
+}

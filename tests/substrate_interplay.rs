@@ -1,0 +1,121 @@
+//! Integration tests that cut across the substrate crates: the hypergraph solvers,
+//! the LP solver and the occurrence machinery must agree with each other on derived
+//! quantities (weak/strong duality, reduction soundness, dual-hypergraph semantics).
+
+use ffsm::core::occurrences::OccurrenceSet;
+use ffsm::graph::isomorphism::IsoConfig;
+use ffsm::graph::{generators, patterns, Label};
+use ffsm::hypergraph::independent_set::{exact_max_independent_set, SimpleGraph};
+use ffsm::hypergraph::matching::exact_independent_edge_set;
+use ffsm::hypergraph::vertex_cover::{exact_vertex_cover, is_vertex_cover};
+use ffsm::hypergraph::{Hypergraph, SearchBudget};
+use ffsm::lp::{covering_lp, packing_lp};
+use proptest::prelude::*;
+
+/// Build the occurrence hypergraph of a sampled pattern in a random graph.
+fn random_occurrence_hypergraph(seed: u64, pattern_edges: usize) -> Option<Hypergraph> {
+    let graph = generators::gnm_random(40, 90, 2, seed);
+    let (pattern, _) = generators::sample_pattern(&graph, pattern_edges, seed ^ 0xc0ffee)?;
+    let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(2_000));
+    if occ.num_occurrences() == 0 {
+        return None;
+    }
+    Some(occ.occurrence_hypergraph())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn weak_and_lp_duality_sandwich(seed in 0u64..5_000, pattern_edges in 1usize..3) {
+        let Some(h) = random_occurrence_hypergraph(seed, pattern_edges) else { return Ok(()); };
+        prop_assume!(h.num_edges() <= 300);
+        let budget = SearchBudget::default();
+        let matching = exact_independent_edge_set(&h, budget);
+        let cover = exact_vertex_cover(&h, budget);
+        prop_assume!(matching.optimal && cover.optimal);
+        let sets: Vec<Vec<usize>> = h.edges().map(|(_, e)| e.to_vec()).collect();
+        let lp_cover = covering_lp(h.num_vertices(), &sets).solve().unwrap().objective;
+        let lp_pack = packing_lp(sets.len(), &sets, h.num_vertices()).solve().unwrap().objective;
+        // integral packing <= fractional packing = fractional covering <= integral cover
+        prop_assert!((lp_cover - lp_pack).abs() < 1e-5);
+        prop_assert!(matching.value as f64 <= lp_pack + 1e-6);
+        prop_assert!(lp_cover <= cover.value as f64 + 1e-6);
+        // and the k-uniform bound: cover <= k * matching
+        if let Some(k) = h.uniform_rank() {
+            prop_assert!(cover.value <= k * matching.value.max(1));
+        }
+    }
+
+    #[test]
+    fn minimal_edge_reduction_preserves_cover_size(seed in 0u64..5_000) {
+        let Some(h) = random_occurrence_hypergraph(seed, 2) else { return Ok(()); };
+        prop_assume!(h.num_edges() <= 200);
+        let reduced = h.restrict_to_edges(&h.minimal_edge_indices());
+        let budget = SearchBudget::default();
+        let full = exact_vertex_cover(&h, budget);
+        let red = exact_vertex_cover(&reduced, budget);
+        prop_assume!(full.optimal && red.optimal);
+        prop_assert_eq!(full.value, red.value);
+        // A cover of the reduced hypergraph covers the full one too.
+        prop_assert!(is_vertex_cover(&h, &red.witness));
+    }
+
+    #[test]
+    fn dual_hypergraph_mis_equals_matching(seed in 0u64..5_000) {
+        // A maximum independent edge set of H is a maximum independent vertex set of
+        // the overlap graph derived from H (the computational content of Theorem 4.1).
+        let Some(h) = random_occurrence_hypergraph(seed, 2) else { return Ok(()); };
+        prop_assume!(h.num_edges() <= 120);
+        let budget = SearchBudget::default();
+        let matching = exact_independent_edge_set(&h, budget);
+        let overlap = SimpleGraph::from_adjacency(h.overlap_adjacency());
+        let mis = exact_max_independent_set(&overlap, budget);
+        prop_assume!(matching.optimal && mis.optimal);
+        prop_assert_eq!(matching.value, mis.value);
+    }
+}
+
+#[test]
+fn dual_hypergraph_of_figure8_matches_paper_description() {
+    // Figure 8: each dual-hypergraph edge corresponds to a data vertex and contains
+    // the two instances meeting at that vertex; the dual is 2-uniform (a 4-cycle).
+    let example = ffsm::graph::figures::figure8();
+    let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+    let h = occ.instance_hypergraph();
+    let dual = h.dual();
+    assert_eq!(dual.num_vertices(), 4); // one per instance
+    assert_eq!(dual.num_edges(), 4); // one per data vertex
+    assert_eq!(dual.uniform_rank(), Some(2));
+}
+
+#[test]
+fn occurrence_hypergraph_uniformity_matches_pattern_size() {
+    // Section 4.4: occurrence hypergraphs are k-uniform with k = |V_P|.
+    for (pattern, edges) in [
+        (patterns::single_edge(Label(0), Label(1)), 2usize),
+        (patterns::uniform_path(3, Label(0)), 3),
+        (patterns::uniform_clique(3, Label(0)), 3),
+    ] {
+        let graph = generators::gnm_random(40, 120, 2, 3);
+        let occ = OccurrenceSet::enumerate(&pattern, &graph, IsoConfig::with_limit(10_000));
+        if occ.num_occurrences() == 0 {
+            continue;
+        }
+        assert_eq!(occ.occurrence_hypergraph().uniform_rank(), Some(edges));
+    }
+}
+
+#[test]
+fn greedy_matching_cover_certifies_k_approximation() {
+    // The greedy matching cover is simultaneously (i) a vertex cover and (ii) the
+    // union of a maximal matching, so |cover| <= k·|matching| <= k·MVC.
+    let example = ffsm::graph::figures::figure6();
+    let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+    let h = occ.occurrence_hypergraph();
+    let cover = ffsm::hypergraph::vertex_cover::greedy_matching_cover(&h);
+    assert!(is_vertex_cover(&h, &cover));
+    let exact = exact_vertex_cover(&h, SearchBudget::default());
+    let k = h.uniform_rank().unwrap();
+    assert!(cover.len() <= k * exact.value);
+}
