@@ -20,7 +20,7 @@ use ffsm_graph::figures;
 use ffsm_graph::isomorphism::IsoConfig;
 use ffsm_graph::{generators, LabeledGraph, Pattern};
 use ffsm_hypergraph::SearchBudget;
-use ffsm_miner::{Miner, MinerConfig};
+use ffsm_miner::MiningSession;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,7 +92,18 @@ fn e2_bounding_chain(quick: bool) {
     let trials = if quick { 8 } else { 30 };
     let mut table = Table::new(
         "E2 — bounding chain σMIS=σMIES ≤ νMIES=νMVC ≤ σMVC ≤ σMI ≤ σMNI on random workloads",
-        &["graph", "pattern edges", "occ", "MIS", "MIES", "nuMVC", "MVC", "MI", "MNI", "chain holds"],
+        &[
+            "graph",
+            "pattern edges",
+            "occ",
+            "MIS",
+            "MIES",
+            "nuMVC",
+            "MVC",
+            "MI",
+            "MNI",
+            "chain holds",
+        ],
     );
     let mut violations = 0usize;
     for seed in 0..trials as u64 {
@@ -102,7 +113,8 @@ fn e2_bounding_chain(quick: bool) {
             _ => generators::community_graph(4, 25, 0.25, 0.01, 6, seed),
         };
         let pattern_edges = 2 + (seed % 3) as usize;
-        let Some((pattern, _)) = generators::sample_pattern(&graph, pattern_edges, seed * 7 + 1) else {
+        let Some((pattern, _)) = generators::sample_pattern(&graph, pattern_edges, seed * 7 + 1)
+        else {
             continue;
         };
         let config = MeasureConfig {
@@ -132,7 +144,8 @@ fn e2_bounding_chain(quick: bool) {
 
 /// E3: support value spectrum across pattern shapes and datasets.
 fn e3_value_spectrum(quick: bool) {
-    let suite = if quick { workloads::small_dataset_suite(42) } else { workloads::dataset_suite(42) };
+    let suite =
+        if quick { workloads::small_dataset_suite(42) } else { workloads::dataset_suite(42) };
     for dataset in suite {
         let mut table = Table::new(
             &format!("E3 — value spectrum on `{}` ({})", dataset.name, dataset.description),
@@ -202,16 +215,17 @@ fn e5_mining(quick: bool) {
         &format!("E5 — frequent patterns mined from `{}` ({})", dataset.name, dataset.description),
         &["tau", "measure", "#frequent", "max edges", "evaluated", "pruned", "time"],
     );
+    // `MeasureKind: Eq + Hash` lets the report key its summary directly by measure.
+    let mut total_frequent: std::collections::HashMap<MeasureKind, usize> =
+        std::collections::HashMap::new();
     for &tau in &thresholds {
         for &measure in &measures {
-            let config = MinerConfig {
-                min_support: tau,
-                measure,
-                max_pattern_edges: if quick { 3 } else { 4 },
-                ..Default::default()
-            };
-            let miner = Miner::new(&dataset.graph, config);
-            let (result, elapsed) = timed(|| miner.mine());
+            let session = MiningSession::on(&dataset.graph)
+                .measure(measure)
+                .min_support(tau)
+                .max_edges(if quick { 3 } else { 4 });
+            let (result, elapsed) = timed(|| session.run().expect("valid session"));
+            *total_frequent.entry(measure).or_insert(0) += result.len();
             table.add_row(vec![
                 fmt_value(tau),
                 measure.name(),
@@ -224,6 +238,11 @@ fn e5_mining(quick: bool) {
         }
     }
     table.print();
+    let summary: Vec<String> = measures
+        .iter()
+        .map(|m| format!("{m}: {}", total_frequent.get(m).copied().unwrap_or(0)))
+        .collect();
+    println!("total frequent patterns across thresholds — {}", summary.join(", "));
     println!("expected shape: at a fixed tau, #frequent(MNI) >= #frequent(MI) >= #frequent(MVC) >= #frequent(MIS).\n");
 }
 
@@ -282,14 +301,30 @@ fn e6_anti_monotonicity(quick: bool) {
 
 /// E7: MI strategy ablation and MVC approximation quality / LP integrality gap.
 fn e7_ablation(quick: bool) {
-    let suite = if quick { workloads::small_dataset_suite(21) } else { workloads::dataset_suite(21) };
+    let suite =
+        if quick { workloads::small_dataset_suite(21) } else { workloads::dataset_suite(21) };
     let mut mi_table = Table::new(
         "E7a — MI strategy ablation (value per coarse-grained subset strategy)",
-        &["dataset", "pattern", "MNI (Singletons)", "MI Orbits", "MI LabelClasses", "MNI-2 (ConnectedK)"],
+        &[
+            "dataset",
+            "pattern",
+            "MNI (Singletons)",
+            "MI Orbits",
+            "MI LabelClasses",
+            "MNI-2 (ConnectedK)",
+        ],
     );
     let mut approx_table = Table::new(
         "E7b — MVC approximation quality and LP integrality gap",
-        &["dataset", "pattern", "MVC exact", "MVC greedy-matching", "MVC greedy-degree", "nuMVC (LP)", "MIES"],
+        &[
+            "dataset",
+            "pattern",
+            "MVC exact",
+            "MVC greedy-matching",
+            "MVC greedy-degree",
+            "nuMVC (LP)",
+            "MIES",
+        ],
     );
     for dataset in &suite {
         for np in workloads::pattern_suite().into_iter().take(6) {
@@ -325,7 +360,16 @@ fn e7_ablation(quick: bool) {
 fn e8_overlap(quick: bool) {
     let mut table = Table::new(
         "E8 — simple vs harmful vs structural overlap (Figures 9, 10 + random workloads)",
-        &["workload", "occ", "edges simple", "edges harmful", "edges structural", "MIS simple", "MIS harmful", "MIS structural"],
+        &[
+            "workload",
+            "occ",
+            "edges simple",
+            "edges harmful",
+            "edges structural",
+            "MIS simple",
+            "MIS harmful",
+            "MIS structural",
+        ],
     );
     let mut workload_list: Vec<(String, LabeledGraph, Pattern)> = vec![
         ("figure9".into(), figures::figure9().graph, figures::figure9().pattern),
@@ -365,7 +409,15 @@ fn e8_overlap(quick: bool) {
 fn e9_hypergraphs() {
     let mut table = Table::new(
         "E9 — occurrence vs instance hypergraphs (Figures 3, 5, 7): automorphisms collapse edges",
-        &["workload", "pattern automorphisms", "occurrences", "instances", "HO edges", "HI edges", "images"],
+        &[
+            "workload",
+            "pattern automorphisms",
+            "occurrences",
+            "instances",
+            "HO edges",
+            "HI edges",
+            "images",
+        ],
     );
     for example in figures::all_figures() {
         let occ = workloads::enumerate(&example.pattern, &example.graph, 100_000);
@@ -531,9 +583,11 @@ fn e12_reduction(quick: bool) {
         let (reduced, t_reduced) = timed(|| reduced_exact_vertex_cover(&h, budget));
         // LP presolve comparison.
         let sets: Vec<Vec<usize>> = h.edges().map(|(_, e)| e.to_vec()).collect();
-        let direct_lp = covering_lp(h.num_vertices(), &sets).solve().map(|s| s.objective).unwrap_or(f64::NAN);
+        let direct_lp =
+            covering_lp(h.num_vertices(), &sets).solve().map(|s| s.objective).unwrap_or(f64::NAN);
         let presolved = presolve_covering(h.num_vertices(), &sets);
-        let presolved_lp = presolved.solve(h.num_vertices()).map(|s| s.objective).unwrap_or(f64::NAN);
+        let presolved_lp =
+            presolved.solve(h.num_vertices()).map(|s| s.objective).unwrap_or(f64::NAN);
         table.add_row(vec![
             format!("star-overlap({target})"),
             h.num_edges().to_string(),
@@ -554,7 +608,8 @@ fn e12_reduction(quick: bool) {
 /// E13: MCP in the value spectrum — where the clique-partition measure falls relative
 /// to MIS and MVC across the dataset suite.
 fn e13_mcp_spectrum(quick: bool) {
-    let suite = if quick { workloads::small_dataset_suite(77) } else { workloads::dataset_suite(77) };
+    let suite =
+        if quick { workloads::small_dataset_suite(77) } else { workloads::dataset_suite(77) };
     let mut table = Table::new(
         "E13 — MCP relative to MIS / MVC / MI / MNI",
         &["dataset", "pattern", "occ", "MIS", "MCP", "MVC", "MI", "MNI", "MIS<=MCP"],
@@ -584,14 +639,15 @@ fn e13_mcp_spectrum(quick: bool) {
         }
     }
     table.print();
-    println!("expected shape: σMIS <= σMCP on every row; MCP usually sits between MIS and MVC/MI.\n");
+    println!(
+        "expected shape: σMIS <= σMCP on every row; MCP usually sits between MIS and MVC/MI.\n"
+    );
 }
 
 /// E14: search schemes — the sequential miner, the level-parallel miner and top-k
 /// mining on the same workload, plus the maximal / closed condensations.
 fn e14_search_schemes(quick: bool) {
     use ffsm_miner::postprocess::{closed_patterns, maximal_patterns};
-    use ffsm_miner::{mine_parallel, mine_top_k, ParallelMinerConfig, TopKConfig};
 
     let dataset = ffsm_graph::datasets::chemical_like(if quick { 25 } else { 60 }, 19);
     let tau = if quick { 8.0 } else { 12.0 };
@@ -601,13 +657,14 @@ fn e14_search_schemes(quick: bool) {
         &["scheme", "#patterns", "#maximal", "#closed", "evaluated", "time"],
     );
 
-    let sequential_config = MinerConfig {
-        min_support: tau,
-        measure: MeasureKind::Mni,
-        max_pattern_edges: max_edges,
-        ..Default::default()
-    };
-    let (sequential, t_seq) = timed(|| Miner::new(&dataset.graph, sequential_config).mine());
+    let (sequential, t_seq) = timed(|| {
+        MiningSession::on(&dataset.graph)
+            .measure(MeasureKind::Mni)
+            .min_support(tau)
+            .max_edges(max_edges)
+            .run()
+            .expect("valid session")
+    });
     table.add_row(vec![
         "sequential".into(),
         sequential.len().to_string(),
@@ -617,15 +674,18 @@ fn e14_search_schemes(quick: bool) {
         format_duration(t_seq),
     ]);
 
-    let parallel_config = ParallelMinerConfig {
-        min_support: tau,
-        measure: MeasureKind::Mni,
-        max_pattern_edges: max_edges,
-        ..Default::default()
-    };
-    let (parallel, t_par) = timed(|| mine_parallel(&dataset.graph, &parallel_config));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (parallel, t_par) = timed(|| {
+        MiningSession::on(&dataset.graph)
+            .measure(MeasureKind::Mni)
+            .min_support(tau)
+            .max_edges(max_edges)
+            .threads(threads)
+            .run()
+            .expect("valid session")
+    });
     table.add_row(vec![
-        format!("parallel x{}", parallel_config.num_threads),
+        format!("parallel x{threads}"),
         parallel.len().to_string(),
         maximal_patterns(&parallel).len().to_string(),
         closed_patterns(&parallel).len().to_string(),
@@ -634,14 +694,15 @@ fn e14_search_schemes(quick: bool) {
     ]);
 
     let k = 10;
-    let topk_config = TopKConfig {
-        k,
-        min_support: 2.0,
-        measure: MeasureKind::Mni,
-        max_pattern_edges: max_edges,
-        ..Default::default()
-    };
-    let (topk, t_topk) = timed(|| mine_top_k(&dataset.graph, &topk_config));
+    let (topk, t_topk) = timed(|| {
+        MiningSession::on(&dataset.graph)
+            .measure(MeasureKind::Mni)
+            .min_support(2.0)
+            .max_edges(max_edges)
+            .top_k(k)
+            .run()
+            .expect("valid session")
+    });
     table.add_row(vec![
         format!("top-{k}"),
         topk.patterns.len().to_string(),

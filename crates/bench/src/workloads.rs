@@ -34,7 +34,10 @@ pub fn pattern_suite() -> Vec<NamedPattern> {
         NamedPattern::new("star3(0;1)", patterns::uniform_star(3, Label(0), Label(1))),
         NamedPattern::new("triangle(0,0,0)", patterns::uniform_clique(3, Label(0))),
         NamedPattern::new("path4(0-0-0-0)", patterns::uniform_path(4, Label(0))),
-        NamedPattern::new("cycle4(0,1,0,1)", patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)])),
+        NamedPattern::new(
+            "cycle4(0,1,0,1)",
+            patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)]),
+        ),
     ]
 }
 
@@ -55,7 +58,10 @@ pub fn star_overlap_workload(occurrences: usize) -> (LabeledGraph, Pattern) {
     // hubs * leaves = occurrences, keep the shape roughly square.
     let hubs = (occurrences as f64).sqrt().ceil() as usize;
     let leaves = occurrences.div_ceil(hubs.max(1));
-    (generators::star_overlap(hubs.max(1), leaves.max(1)), patterns::single_edge(Label(0), Label(1)))
+    (
+        generators::star_overlap(hubs.max(1), leaves.max(1)),
+        patterns::single_edge(Label(0), Label(1)),
+    )
 }
 
 /// Enumerate the occurrences of `pattern` in `graph` with a bounded budget (shared by

@@ -58,10 +58,7 @@ impl BoundsReport {
             ));
         }
         if self.all_exact && (self.mies as f64) > self.relaxed_mies + TOLERANCE {
-            out.push(format!(
-                "MIES {} exceeds its relaxation {}",
-                self.mies, self.relaxed_mies
-            ));
+            out.push(format!("MIES {} exceeds its relaxation {}", self.mies, self.relaxed_mies));
         }
         if self.all_exact && self.relaxed_mvc > self.mvc as f64 + TOLERANCE {
             out.push(format!("relaxed MVC {} exceeds MVC {}", self.relaxed_mvc, self.mvc));
@@ -128,7 +125,11 @@ pub fn bounding_chain_for(occurrences: OccurrenceSet, config: &MeasureConfig) ->
 }
 
 /// Convenience wrapper with the default configuration and a custom embedding budget.
-pub fn verify_with_limit(pattern: &Pattern, graph: &LabeledGraph, max_embeddings: usize) -> BoundsReport {
+pub fn verify_with_limit(
+    pattern: &Pattern,
+    graph: &LabeledGraph,
+    max_embeddings: usize,
+) -> BoundsReport {
     let config = MeasureConfig {
         iso_config: IsoConfig::with_limit(max_embeddings),
         ..MeasureConfig::default()
@@ -161,7 +162,8 @@ mod tests {
     #[test]
     fn figure6_report_values() {
         let example = figures::figure6();
-        let report = verify_bounding_chain(&example.pattern, &example.graph, &MeasureConfig::default());
+        let report =
+            verify_bounding_chain(&example.pattern, &example.graph, &MeasureConfig::default());
         assert_eq!(report.mis, 2);
         assert_eq!(report.mies, 2);
         assert_eq!(report.mvc, 2);

@@ -22,7 +22,7 @@ use ffsm_hypergraph::connectivity::{connected_components, Component};
 use ffsm_hypergraph::{Hypergraph, SearchBudget};
 
 /// How the per-component sub-problems are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DecompositionConfig {
     /// Solve components on `std::thread` workers (one per component, capped at the
     /// number of available CPUs).  With few or tiny components the sequential path is
@@ -31,12 +31,6 @@ pub struct DecompositionConfig {
     pub parallel: bool,
     /// Budget applied to *each* component's exact search.
     pub budget: SearchBudget,
-}
-
-impl Default for DecompositionConfig {
-    fn default() -> Self {
-        DecompositionConfig { parallel: false, budget: SearchBudget::default() }
-    }
 }
 
 /// Result of an additive evaluation.
@@ -152,7 +146,10 @@ pub fn relaxed_mvc_by_components(h: &Hypergraph, config: DecompositionConfig) ->
 }
 
 /// νMIES (the LP relaxation) computed additively over components.
-pub fn relaxed_mies_by_components(h: &Hypergraph, config: DecompositionConfig) -> DecomposedOutcome {
+pub fn relaxed_mies_by_components(
+    h: &Hypergraph,
+    config: DecompositionConfig,
+) -> DecomposedOutcome {
     evaluate_components(h, config, |c| (relaxed::relaxed_mies(c), true))
 }
 

@@ -1,0 +1,74 @@
+//! The workspace-wide typed error, [`FfsmError`].
+//!
+//! Every public fallible surface of the framework — graph loading and parsing
+//! (`ffsm-graph::io`), measure selection (`MeasureKind::from_str`), and mining
+//! session configuration / execution (`ffsm-miner`) — reports through this one enum,
+//! so callers match on variants instead of scraping strings or catching panics.
+
+use ffsm_graph::GraphError;
+
+/// Errors produced by the support-measure framework and the miner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FfsmError {
+    /// A graph-layer error: unknown vertex, self loop, `.lg` parse or I/O failure.
+    Graph(GraphError),
+    /// A configuration value that makes the requested computation meaningless
+    /// (zero-vertex pattern budget, `top_k(0)`, `MNI-0`, …).  The message names the
+    /// offending parameter.
+    InvalidConfig(String),
+    /// A measure name that [`crate::MeasureKind`] does not know.
+    UnknownMeasure(String),
+    /// A measure that is not anti-monotone was requested for threshold pruning,
+    /// which would make the miner unsound (Definition 2.2.2 of the paper).  The
+    /// payload is the measure's display name.
+    NotAntiMonotone(String),
+}
+
+impl std::fmt::Display for FfsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FfsmError::Graph(e) => write!(f, "{e}"),
+            FfsmError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            FfsmError::UnknownMeasure(name) => write!(
+                f,
+                "unknown measure {name:?} (expected MNI, MNI-k, MI, MVC, MIS, MIES, nuMVC, nuMIES or MCP)"
+            ),
+            FfsmError::NotAntiMonotone(name) => write!(
+                f,
+                "measure {name} is not anti-monotone, so threshold pruning would be unsound; \
+                 pick an anti-monotone measure for mining"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FfsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FfsmError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for FfsmError {
+    fn from(e: GraphError) -> Self {
+        FfsmError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FfsmError::UnknownMeasure("bogus".into());
+        assert!(e.to_string().contains("bogus"));
+        let e = FfsmError::NotAntiMonotone("occurrences".into());
+        assert!(e.to_string().contains("anti-monotone"));
+        let e: FfsmError = GraphError::SelfLoop(3).into();
+        assert!(matches!(e, FfsmError::Graph(GraphError::SelfLoop(3))));
+        assert!(e.to_string().contains("self loop"));
+    }
+}

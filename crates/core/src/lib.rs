@@ -28,6 +28,7 @@
 
 pub mod bounds;
 pub mod decompose;
+pub mod error;
 pub mod measures;
 pub mod occurrences;
 pub mod overlap;
@@ -35,7 +36,10 @@ pub mod profile;
 
 pub use bounds::{verify_bounding_chain, BoundsReport};
 pub use decompose::{DecomposedOutcome, DecompositionConfig};
-pub use measures::{MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasures};
+pub use error::FfsmError;
+pub use measures::{
+    MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
+};
 pub use occurrences::{HypergraphBasis, Instance, OccurrenceSet};
 pub use overlap::{OverlapAnalysis, OverlapCensus, OverlapKind};
 pub use profile::{MeasureProfile, ProfileEntry};

@@ -29,11 +29,7 @@ pub fn mi(occurrences: &OccurrenceSet, strategy: MiStrategy) -> usize {
         return 0;
     }
     let candidates = candidate_subsets(occurrences, strategy);
-    candidates
-        .iter()
-        .map(|t| occurrences.subset_image_count(t))
-        .min()
-        .unwrap_or(0)
+    candidates.iter().map(|t| occurrences.subset_image_count(t)).min().unwrap_or(0)
 }
 
 /// The coarse-grained node subsets considered by `strategy` (always non-empty for a
@@ -47,7 +43,8 @@ pub fn candidate_subsets(occurrences: &OccurrenceSet, strategy: MiStrategy) -> V
             out.extend(singletons);
         }
         MiStrategy::ConnectedK(k) => {
-            let subsets = connected_subsets_of_size(occurrences, k.clamp(1, pattern.num_vertices().max(1)));
+            let subsets =
+                connected_subsets_of_size(occurrences, k.clamp(1, pattern.num_vertices().max(1)));
             if subsets.is_empty() {
                 out.extend(singletons);
             } else {
@@ -93,7 +90,8 @@ fn extend_with_subsets(out: &mut BTreeSet<Vec<VertexId>>, base: &[VertexId]) {
         if mask.count_ones() < 2 {
             continue;
         }
-        let subset: Vec<VertexId> = (0..k).filter(|&i| mask & (1 << i) != 0).map(|i| base[i]).collect();
+        let subset: Vec<VertexId> =
+            (0..k).filter(|&i| mask & (1 << i) != 0).map(|i| base[i]).collect();
         out.insert(subset);
     }
 }
@@ -145,16 +143,10 @@ mod tests {
         for example in ffsm_graph::figures::all_figures() {
             let occ = occ_of(&example);
             let mni = super::super::mni::mni(&occ);
-            for strategy in [
-                MiStrategy::Singletons,
-                MiStrategy::AutomorphismOrbits,
-                MiStrategy::LabelClasses,
-            ] {
-                assert!(
-                    mi(&occ, strategy) <= mni,
-                    "MI ({strategy:?}) > MNI on {}",
-                    example.name
-                );
+            for strategy in
+                [MiStrategy::Singletons, MiStrategy::AutomorphismOrbits, MiStrategy::LabelClasses]
+            {
+                assert!(mi(&occ, strategy) <= mni, "MI ({strategy:?}) > MNI on {}", example.name);
             }
         }
     }
@@ -199,7 +191,9 @@ mod tests {
     #[test]
     fn candidate_subsets_always_include_singletons() {
         let occ = occ_of(&figures::figure2());
-        for strategy in [MiStrategy::Singletons, MiStrategy::AutomorphismOrbits, MiStrategy::LabelClasses] {
+        for strategy in
+            [MiStrategy::Singletons, MiStrategy::AutomorphismOrbits, MiStrategy::LabelClasses]
+        {
             let candidates = candidate_subsets(&occ, strategy);
             for v in occ.pattern().vertices() {
                 assert!(candidates.contains(&vec![v]), "{strategy:?} misses {{{v}}}");

@@ -21,11 +21,7 @@ pub fn mni(occurrences: &OccurrenceSet) -> usize {
     if occurrences.num_occurrences() == 0 || pattern.num_vertices() == 0 {
         return 0;
     }
-    pattern
-        .vertices()
-        .map(|v| occurrences.node_images(v).len())
-        .min()
-        .unwrap_or(0)
+    pattern.vertices().map(|v| occurrences.node_images(v).len()).min().unwrap_or(0)
 }
 
 /// Minimum k-image-based support (Definition 2.2.9): the minimum, over *connected*
@@ -41,21 +37,17 @@ pub fn mni_k(occurrences: &OccurrenceSet, k: usize) -> usize {
         return 0;
     }
     let subsets = connected_subsets_of_size(occurrences, k.min(n));
-    let candidates: Vec<Vec<VertexId>> = if subsets.is_empty() {
-        vec![pattern.vertices().collect()]
-    } else {
-        subsets
-    };
-    candidates
-        .iter()
-        .map(|s| occurrences.subset_image_count(s))
-        .min()
-        .unwrap_or(0)
+    let candidates: Vec<Vec<VertexId>> =
+        if subsets.is_empty() { vec![pattern.vertices().collect()] } else { subsets };
+    candidates.iter().map(|s| occurrences.subset_image_count(s)).min().unwrap_or(0)
 }
 
 /// All connected node subsets of the pattern with exactly `k` vertices
 /// (connectivity in the subgraph induced by the subset).
-pub(crate) fn connected_subsets_of_size(occurrences: &OccurrenceSet, k: usize) -> Vec<Vec<VertexId>> {
+pub(crate) fn connected_subsets_of_size(
+    occurrences: &OccurrenceSet,
+    k: usize,
+) -> Vec<Vec<VertexId>> {
     let pattern = occurrences.pattern();
     let n = pattern.num_vertices();
     if k == 0 || k > n {

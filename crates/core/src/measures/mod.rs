@@ -50,7 +50,13 @@ pub enum MvcAlgorithm {
 }
 
 /// Identifies a support measure for generic computation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `MeasureKind` is the *factory* for the built-in measures: [`MeasureKind::measure`]
+/// packages a kind plus a [`MeasureConfig`] into an `Arc<dyn SupportMeasure>` that the
+/// miner, CLI and bench harness dispatch through.  Parsing (`FromStr`) and display
+/// use the paper's measure names (`MNI`, `MI`, `MVC`, `MIS`, `MIES`, `nuMVC`,
+/// `nuMIES`, `MCP`, `MNI-k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasureKind {
     /// Number of occurrences (not anti-monotonic; for reference only).
     OccurrenceCount,
@@ -91,20 +97,146 @@ impl MeasureKind {
         ]
     }
 
-    /// Short name used in experiment tables.
+    /// Short name used in experiment tables (same text as the `Display` impl).
     pub fn name(&self) -> String {
+        self.to_string()
+    }
+
+    /// `true` when the measure is anti-monotone (Definition 2.2.2), i.e. sound for
+    /// threshold pruning.  Only the raw occurrence and instance counts are not.
+    pub fn is_anti_monotone(&self) -> bool {
+        !matches!(self, MeasureKind::OccurrenceCount | MeasureKind::InstanceCount)
+    }
+
+    /// Build the measure as a pluggable [`SupportMeasure`] under `config`.
+    ///
+    /// This is the factory the mining session, CLI and bench harness go through; a
+    /// user-defined measure implements [`SupportMeasure`] directly instead.
+    pub fn measure(self, config: MeasureConfig) -> std::sync::Arc<dyn SupportMeasure> {
+        std::sync::Arc::new(BuiltinMeasure { kind: self, name: self.name(), config })
+    }
+}
+
+impl std::fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Route through `pad` so width/alignment specs like `{:<4}` are honoured.
         match self {
-            MeasureKind::OccurrenceCount => "occurrences".to_string(),
-            MeasureKind::InstanceCount => "instances".to_string(),
-            MeasureKind::Mni => "MNI".to_string(),
-            MeasureKind::MniK(k) => format!("MNI-{k}"),
-            MeasureKind::Mi => "MI".to_string(),
-            MeasureKind::Mvc => "MVC".to_string(),
-            MeasureKind::Mis => "MIS".to_string(),
-            MeasureKind::Mies => "MIES".to_string(),
-            MeasureKind::RelaxedMvc => "nuMVC".to_string(),
-            MeasureKind::RelaxedMies => "nuMIES".to_string(),
-            MeasureKind::Mcp => "MCP".to_string(),
+            MeasureKind::OccurrenceCount => f.pad("occurrences"),
+            MeasureKind::InstanceCount => f.pad("instances"),
+            MeasureKind::Mni => f.pad("MNI"),
+            MeasureKind::MniK(k) => f.pad(&format!("MNI-{k}")),
+            MeasureKind::Mi => f.pad("MI"),
+            MeasureKind::Mvc => f.pad("MVC"),
+            MeasureKind::Mis => f.pad("MIS"),
+            MeasureKind::Mies => f.pad("MIES"),
+            MeasureKind::RelaxedMvc => f.pad("nuMVC"),
+            MeasureKind::RelaxedMies => f.pad("nuMIES"),
+            MeasureKind::Mcp => f.pad("MCP"),
+        }
+    }
+}
+
+impl std::str::FromStr for MeasureKind {
+    type Err = crate::FfsmError;
+
+    /// Parse a measure name, case-insensitively.  Accepts the paper's names (`MNI`,
+    /// `MI`, `MVC`, `MIS`, `MIES`, `nuMVC`, `nuMIES`, `MCP`), the parameterised
+    /// `MNI-k` form, and `occurrences` / `instances` for the raw counts.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.trim().to_ascii_uppercase();
+        if let Some(k) = upper.strip_prefix("MNI-") {
+            let k: usize =
+                k.parse().map_err(|_| crate::FfsmError::UnknownMeasure(s.trim().to_string()))?;
+            if k == 0 {
+                return Err(crate::FfsmError::InvalidConfig("MNI-k needs k >= 1".into()));
+            }
+            return Ok(MeasureKind::MniK(k));
+        }
+        match upper.as_str() {
+            "OCCURRENCES" => Ok(MeasureKind::OccurrenceCount),
+            "INSTANCES" => Ok(MeasureKind::InstanceCount),
+            "MNI" => Ok(MeasureKind::Mni),
+            "MI" => Ok(MeasureKind::Mi),
+            "MVC" => Ok(MeasureKind::Mvc),
+            "MIS" => Ok(MeasureKind::Mis),
+            "MIES" => Ok(MeasureKind::Mies),
+            "NUMVC" => Ok(MeasureKind::RelaxedMvc),
+            "NUMIES" => Ok(MeasureKind::RelaxedMies),
+            "MCP" => Ok(MeasureKind::Mcp),
+            _ => Err(crate::FfsmError::UnknownMeasure(s.trim().to_string())),
+        }
+    }
+}
+
+/// A pluggable support measure: the paper's central abstraction, as a trait.
+///
+/// The miner never inspects *how* support is computed — it only needs a value per
+/// occurrence set plus the promise that the measure is anti-monotone so threshold
+/// pruning is sound.  The built-in measures come from [`MeasureKind::measure`];
+/// user-defined measures implement this trait and plug in through
+/// `MiningSession::measure` unchanged.
+///
+/// The trait is object-safe and implementations must be `Send + Sync`, because the
+/// level-parallel miner evaluates candidates through one `Arc<dyn SupportMeasure>`
+/// shared across worker threads.
+pub trait SupportMeasure: Send + Sync {
+    /// The support of the pattern whose occurrences are `occurrences`.
+    fn support(&self, occurrences: &OccurrenceSet) -> f64;
+
+    /// Whether the measure is anti-monotone (Definition 2.2.2).  The miner refuses to
+    /// threshold-prune with a measure that answers `false`.
+    fn is_anti_monotone(&self) -> bool;
+
+    /// Short human-readable name, used in tables and error messages.
+    fn name(&self) -> &str;
+}
+
+/// A built-in measure: a [`MeasureKind`] bound to a [`MeasureConfig`].
+#[derive(Debug, Clone)]
+struct BuiltinMeasure {
+    kind: MeasureKind,
+    name: String,
+    config: MeasureConfig,
+}
+
+impl SupportMeasure for BuiltinMeasure {
+    fn support(&self, occurrences: &OccurrenceSet) -> f64 {
+        compute_kind(occurrences, &self.config, self.kind)
+    }
+
+    fn is_anti_monotone(&self) -> bool {
+        self.kind.is_anti_monotone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Compute one measure of `occ` directly, without the cached-hypergraph calculator
+/// (each call builds the hypergraph it needs, which is the right trade-off when only
+/// one measure is evaluated per occurrence set — the miner's access pattern).
+fn compute_kind(occ: &OccurrenceSet, config: &MeasureConfig, kind: MeasureKind) -> f64 {
+    match kind {
+        MeasureKind::OccurrenceCount => occ.num_occurrences() as f64,
+        MeasureKind::InstanceCount => occ.num_instances() as f64,
+        MeasureKind::Mni => mni::mni(occ) as f64,
+        MeasureKind::MniK(k) => mni::mni_k(occ, k) as f64,
+        MeasureKind::Mi => mi::mi(occ, config.mi_strategy) as f64,
+        MeasureKind::Mvc => {
+            mvc::mvc(&occ.hypergraph(config.basis), config.mvc_algorithm, config.search_budget)
+                .value as f64
+        }
+        MeasureKind::Mis => {
+            mis::mis(&occ.hypergraph(config.basis), config.search_budget).value as f64
+        }
+        MeasureKind::Mies => {
+            mis::mies(&occ.hypergraph(config.basis), config.search_budget).value as f64
+        }
+        MeasureKind::RelaxedMvc => relaxed::relaxed_mvc(&occ.hypergraph(config.basis)),
+        MeasureKind::RelaxedMies => relaxed::relaxed_mies(&occ.hypergraph(config.basis)),
+        MeasureKind::Mcp => {
+            mcp::mcp(&occ.hypergraph(config.basis), config.search_budget).value as f64
         }
     }
 }
@@ -121,7 +253,7 @@ pub struct MeasureOutcome {
 }
 
 /// Configuration shared by all measures.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MeasureConfig {
     /// Occurrence-enumeration settings (embedding budget, induced flag).
     pub iso_config: IsoConfig,
@@ -133,18 +265,6 @@ pub struct MeasureConfig {
     pub basis: HypergraphBasis,
     /// Node budget for exact branch-and-bound searches.
     pub search_budget: SearchBudget,
-}
-
-impl Default for MeasureConfig {
-    fn default() -> Self {
-        MeasureConfig {
-            iso_config: IsoConfig::default(),
-            mi_strategy: MiStrategy::default(),
-            mvc_algorithm: MvcAlgorithm::default(),
-            basis: HypergraphBasis::default(),
-            search_budget: SearchBudget::default(),
-        }
-    }
 }
 
 /// Calculator for every support measure over one pattern/data-graph pair.
@@ -180,12 +300,12 @@ impl SupportMeasures {
     /// The (cached) hypergraph for `basis`.
     pub fn hypergraph(&self, basis: HypergraphBasis) -> &Hypergraph {
         match basis {
-            HypergraphBasis::Occurrence => self
-                .occurrence_hg
-                .get_or_init(|| self.occurrences.occurrence_hypergraph()),
-            HypergraphBasis::Instance => self
-                .instance_hg
-                .get_or_init(|| self.occurrences.instance_hypergraph()),
+            HypergraphBasis::Occurrence => {
+                self.occurrence_hg.get_or_init(|| self.occurrences.occurrence_hypergraph())
+            }
+            HypergraphBasis::Instance => {
+                self.instance_hg.get_or_init(|| self.occurrences.instance_hypergraph())
+            }
         }
     }
 
@@ -371,5 +491,61 @@ mod tests {
         assert_eq!(MeasureKind::MniK(3).name(), "MNI-3");
         assert_eq!(MeasureKind::RelaxedMvc.name(), "nuMVC");
         assert_eq!(MeasureKind::bounding_chain().len(), 7);
+    }
+
+    #[test]
+    fn measure_kind_parses_its_own_display() {
+        let kinds = [
+            MeasureKind::OccurrenceCount,
+            MeasureKind::InstanceCount,
+            MeasureKind::Mni,
+            MeasureKind::MniK(4),
+            MeasureKind::Mi,
+            MeasureKind::Mvc,
+            MeasureKind::Mis,
+            MeasureKind::Mies,
+            MeasureKind::RelaxedMvc,
+            MeasureKind::RelaxedMies,
+            MeasureKind::Mcp,
+        ];
+        for kind in kinds {
+            let parsed: MeasureKind = kind.to_string().parse().expect("round trip");
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("mvc".parse::<MeasureKind>().unwrap(), MeasureKind::Mvc);
+        assert_eq!(" nuMVC ".parse::<MeasureKind>().unwrap(), MeasureKind::RelaxedMvc);
+        assert!(matches!("bogus".parse::<MeasureKind>(), Err(crate::FfsmError::UnknownMeasure(_))));
+        assert!(matches!("MNI-0".parse::<MeasureKind>(), Err(crate::FfsmError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn measure_kind_is_usable_as_map_key() {
+        let mut table = std::collections::HashMap::new();
+        table.insert(MeasureKind::Mni, 5.0);
+        table.insert(MeasureKind::MniK(2), 4.0);
+        assert_eq!(table[&MeasureKind::Mni], 5.0);
+        assert_eq!(table[&MeasureKind::MniK(2)], 4.0);
+    }
+
+    #[test]
+    fn factory_measure_matches_calculator() {
+        let example = figures::figure6();
+        let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        let calc = SupportMeasures::new(occ.clone(), MeasureConfig::default());
+        for kind in [
+            MeasureKind::Mni,
+            MeasureKind::Mi,
+            MeasureKind::Mvc,
+            MeasureKind::Mis,
+            MeasureKind::Mies,
+            MeasureKind::RelaxedMvc,
+            MeasureKind::Mcp,
+        ] {
+            let measure = kind.measure(MeasureConfig::default());
+            assert_eq!(measure.support(&occ), calc.compute(kind), "kind {kind}");
+            assert!(measure.is_anti_monotone());
+            assert_eq!(measure.name(), kind.name());
+        }
+        assert!(!MeasureKind::OccurrenceCount.measure(MeasureConfig::default()).is_anti_monotone());
     }
 }

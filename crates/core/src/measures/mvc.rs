@@ -8,7 +8,9 @@
 //! Halperin for k-uniform hypergraphs).
 
 use super::{MeasureOutcome, MvcAlgorithm};
-use ffsm_hypergraph::vertex_cover::{exact_vertex_cover, greedy_degree_cover, greedy_matching_cover};
+use ffsm_hypergraph::vertex_cover::{
+    exact_vertex_cover, greedy_degree_cover, greedy_matching_cover,
+};
 use ffsm_hypergraph::{Hypergraph, SearchBudget};
 
 /// Minimum vertex cover support of `hypergraph` under `algorithm`.
@@ -16,7 +18,11 @@ use ffsm_hypergraph::{Hypergraph, SearchBudget};
 /// For the greedy algorithms `optimal` is always `false` (the value is an upper bound
 /// on σMVC); for the exact algorithm it reports whether the branch-and-bound search
 /// finished within its budget.
-pub fn mvc(hypergraph: &Hypergraph, algorithm: MvcAlgorithm, budget: SearchBudget) -> MeasureOutcome {
+pub fn mvc(
+    hypergraph: &Hypergraph,
+    algorithm: MvcAlgorithm,
+    budget: SearchBudget,
+) -> MeasureOutcome {
     if hypergraph.is_empty() {
         return MeasureOutcome { value: 0, optimal: true };
     }
@@ -84,7 +90,8 @@ mod tests {
     #[test]
     fn empty_hypergraph_is_zero() {
         let h = Hypergraph::new(0);
-        for algo in [MvcAlgorithm::Exact, MvcAlgorithm::GreedyMatching, MvcAlgorithm::GreedyDegree] {
+        for algo in [MvcAlgorithm::Exact, MvcAlgorithm::GreedyMatching, MvcAlgorithm::GreedyDegree]
+        {
             assert_eq!(mvc(&h, algo, SearchBudget::default()).value, 0);
         }
     }

@@ -15,10 +15,7 @@ pub fn relaxed_mvc(hypergraph: &Hypergraph) -> f64 {
         return 0.0;
     }
     let sets: Vec<Vec<usize>> = hypergraph.edges().map(|(_, e)| e.to_vec()).collect();
-    covering_lp(hypergraph.num_vertices(), &sets)
-        .solve()
-        .map(|s| s.objective)
-        .unwrap_or(f64::NAN)
+    covering_lp(hypergraph.num_vertices(), &sets).solve().map(|s| s.objective).unwrap_or(f64::NAN)
 }
 
 /// Fractional maximum independent edge set νMIES (Definition 4.3.2) of the hypergraph.
@@ -70,7 +67,8 @@ mod tests {
         for example in ffsm_graph::figures::all_figures() {
             let h = occurrence_hypergraph(&example);
             let mies = mis::mies(&h, SearchBudget::default()).value as f64;
-            let exact_cover = mvc::mvc(&h, MvcAlgorithm::Exact, SearchBudget::default()).value as f64;
+            let exact_cover =
+                mvc::mvc(&h, MvcAlgorithm::Exact, SearchBudget::default()).value as f64;
             let nu = relaxed_mvc(&h);
             assert!(mies <= nu + 1e-6, "MIES > relaxation on {}", example.name);
             assert!(nu <= exact_cover + 1e-6, "relaxation > MVC on {}", example.name);

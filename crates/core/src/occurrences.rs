@@ -174,7 +174,8 @@ impl OccurrenceSet {
     pub fn instance_hypergraph(&self) -> Hypergraph {
         let mut h = Hypergraph::new(self.num_images());
         for inst in self.instances() {
-            let edge: Vec<usize> = inst.vertices.iter().map(|v| self.data_to_hg_vertex[v]).collect();
+            let edge: Vec<usize> =
+                inst.vertices.iter().map(|v| self.data_to_hg_vertex[v]).collect();
             h.add_edge(edge).expect("instance edge is valid");
         }
         h
@@ -232,7 +233,7 @@ mod tests {
         assert_eq!(occ.node_images(0).len(), 2); // v1 -> {1, 4}
         assert_eq!(occ.node_images(1).len(), 2); // v2 -> {2, 3}
         assert_eq!(occ.node_images(2).len(), 2); // v3 -> {3, 2}
-        // The transitive subset {v2, v3} has a single image set {2, 3}.
+                                                 // The transitive subset {v2, v3} has a single image set {2, 3}.
         assert_eq!(occ.subset_image_count(&[1, 2]), 1);
         assert_eq!(occ.subset_image_count(&[0]), 2);
         assert_eq!(occ.subset_image_count(&[0, 1, 2]), 2);

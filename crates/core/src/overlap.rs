@@ -78,13 +78,12 @@ impl<'a> OverlapAnalysis<'a> {
         let fj = self.embedding(j);
         let si: BTreeSet<_> = fi.iter().copied().collect();
         let sj: BTreeSet<_> = fj.iter().copied().collect();
-        for v in 0..fi.len() {
-            for w in 0..fj.len() {
+        for (v, &shared) in fi.iter().enumerate() {
+            for (w, &fjw) in fj.iter().enumerate() {
                 if !self.transitive[v][w] {
                     continue;
                 }
-                let shared = fi[v];
-                if fj[w] == shared && si.contains(&shared) && sj.contains(&shared) {
+                if fjw == shared && si.contains(&shared) && sj.contains(&shared) {
                     return true;
                 }
             }
@@ -159,8 +158,7 @@ impl<'a> OverlapAnalysis<'a> {
     /// behind Figures 9/10-style comparisons (experiment E8).
     pub fn overlap_census(&self) -> OverlapCensus {
         let m = self.occurrences.num_occurrences();
-        let mut census = OverlapCensus::default();
-        census.num_occurrences = m;
+        let mut census = OverlapCensus { num_occurrences: m, ..OverlapCensus::default() };
         for i in 0..m {
             for j in (i + 1)..m {
                 if self.simple_overlap(i, j) {
@@ -223,10 +221,7 @@ mod tests {
 
     /// Index of the occurrence with the given image tuple.
     fn index_of(embeddings: &[ffsm_graph::isomorphism::Embedding], image: &[u32]) -> usize {
-        embeddings
-            .iter()
-            .position(|e| e.as_slice() == image)
-            .expect("occurrence present")
+        embeddings.iter().position(|e| e.as_slice() == image).expect("occurrence present")
     }
 
     #[test]
@@ -312,7 +307,10 @@ mod tests {
             for i in 0..m {
                 for j in (i + 1)..m {
                     if analysis.edge_overlap(i, j) {
-                        assert!(analysis.simple_overlap(i, j), "edge overlap without vertex overlap");
+                        assert!(
+                            analysis.simple_overlap(i, j),
+                            "edge overlap without vertex overlap"
+                        );
                     }
                 }
             }

@@ -153,9 +153,15 @@ impl MeasureProfile {
         }
         out.push_str(&format!(
             "occurrences: {} (complete: {}), instances: {}, enumeration: {:?}\n",
-            self.num_occurrences, self.enumeration_complete, self.num_instances, self.enumeration_time
+            self.num_occurrences,
+            self.enumeration_complete,
+            self.num_instances,
+            self.enumeration_time
         ));
-        out.push_str(&format!("{:<14} {:>12} {:>12} {:>9}\n", "measure", "value", "time", "optimal"));
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>9}\n",
+            "measure", "value", "time", "optimal"
+        ));
         for e in &self.entries {
             out.push_str(&format!(
                 "{:<14} {:>12.3} {:>12.2?} {:>9}\n",
@@ -213,7 +219,8 @@ mod tests {
     #[test]
     fn chain_holds_on_every_figure() {
         for fig in figures::all_figures() {
-            let profile = MeasureProfile::compute(&fig.pattern, &fig.graph, &MeasureConfig::default());
+            let profile =
+                MeasureProfile::compute(&fig.pattern, &fig.graph, &MeasureConfig::default());
             assert!(
                 profile.chain_holds(),
                 "chain violated on {}: {:?}",

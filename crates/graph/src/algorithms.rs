@@ -92,11 +92,7 @@ pub fn shortest_path(
 /// Eccentricity of `source`: the largest finite BFS distance from it.
 /// Returns 0 for an isolated vertex.
 pub fn eccentricity(graph: &LabeledGraph, source: VertexId) -> usize {
-    bfs_distances(graph, source)
-        .into_iter()
-        .filter(|&d| d != usize::MAX)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(graph, source).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
 }
 
 /// Exact diameter (largest eccentricity over all vertices) of the graph, ignoring

@@ -80,7 +80,8 @@ pub fn orbits(pattern: &Pattern) -> Vec<Vec<VertexId>> {
 }
 
 fn group_by_root(uf: &mut UnionFind, n: usize) -> Vec<Vec<VertexId>> {
-    let mut groups: std::collections::BTreeMap<usize, Vec<VertexId>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<VertexId>> =
+        std::collections::BTreeMap::new();
     for v in 0..n {
         let root = uf.find(v);
         groups.entry(root).or_default().push(v as VertexId);
@@ -119,15 +120,11 @@ pub fn connected_subgraph_orbits(pattern: &Pattern) -> Vec<Vec<VertexId>> {
 
     let consider = |edge_subset: &[(VertexId, VertexId)],
                     result: &mut std::collections::BTreeSet<Vec<VertexId>>| {
-        let mut vertex_set: Vec<VertexId> = edge_subset
-            .iter()
-            .flat_map(|&(u, v)| [u, v])
-            .collect();
+        let mut vertex_set: Vec<VertexId> = edge_subset.iter().flat_map(|&(u, v)| [u, v]).collect();
         vertex_set.sort_unstable();
         vertex_set.dedup();
-        let (sub, back) = pattern
-            .subgraph_with_edges(&vertex_set, edge_subset)
-            .expect("pattern edges are valid");
+        let (sub, back) =
+            pattern.subgraph_with_edges(&vertex_set, edge_subset).expect("pattern edges are valid");
         if !sub.is_connected() {
             return;
         }
@@ -143,10 +140,8 @@ pub fn connected_subgraph_orbits(pattern: &Pattern) -> Vec<Vec<VertexId>> {
     if m <= MAX_EXHAUSTIVE_SUBGRAPH_EDGES {
         // Enumerate all non-empty edge subsets.
         for mask in 1u32..(1u32 << m) {
-            let subset: Vec<(VertexId, VertexId)> = (0..m)
-                .filter(|&e| mask & (1 << e) != 0)
-                .map(|e| edges[e])
-                .collect();
+            let subset: Vec<(VertexId, VertexId)> =
+                (0..m).filter(|&e| mask & (1 << e) != 0).map(|e| edges[e]).collect();
             consider(&subset, &mut result);
         }
     } else {
@@ -244,9 +239,9 @@ mod tests {
         let sets = connected_subgraph_orbits(&p);
         assert!(sets.is_empty());
         let m = transitive_pair_matrix(&p);
-        for u in 0..3 {
-            for v in 0..3 {
-                assert_eq!(m[u][v], u == v);
+        for (u, row) in m.iter().enumerate().take(3) {
+            for (v, &cell) in row.iter().enumerate().take(3) {
+                assert_eq!(cell, u == v);
             }
         }
     }

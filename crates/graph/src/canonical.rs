@@ -74,9 +74,7 @@ impl<'a> CanonSearch<'a> {
             let mut child_tight = false;
             if tight {
                 if let Some(best) = &self.best {
-                    let cmp = words[0]
-                        .cmp(&best[pos])
-                        .then_with(|| words[1].cmp(&best[pos + 1]));
+                    let cmp = words[0].cmp(&best[pos]).then_with(|| words[1].cmp(&best[pos + 1]));
                     match cmp {
                         std::cmp::Ordering::Greater => continue,
                         std::cmp::Ordering::Equal => child_tight = true,

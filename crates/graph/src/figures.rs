@@ -81,24 +81,26 @@ pub fn figure3() -> FigureExample {
     // paper vertex k -> index k-1.  Labels: 0 = "A", 1 = "B", 2 = "C", 3 = filler.
     let mut labels = vec![3u32; 20];
     let assign: &[(usize, u32)] = &[
-        (1, 0), (2, 1), (3, 2), // triangle {1,2,3}
-        (4, 0), (5, 1), (6, 2), // triangle {4,5,6}
+        (1, 0),
+        (2, 1),
+        (3, 2), // triangle {1,2,3}
+        (4, 0),
+        (5, 1),
+        (6, 2), // triangle {4,5,6}
         (8, 1), // triangle {4,6,8}: 4=A, 6=C, 8=B
-        (9, 0), (10, 2), // triangle {8,9,10}
-        (11, 0), (13, 1), (17, 2), // triangle {11,13,17}
-        (15, 1), (16, 2), // triangle {11,15,16}
+        (9, 0),
+        (10, 2), // triangle {8,9,10}
+        (11, 0),
+        (13, 1),
+        (17, 2), // triangle {11,13,17}
+        (15, 1),
+        (16, 2), // triangle {11,15,16}
     ];
     for &(v, l) in assign {
         labels[v - 1] = l;
     }
-    let triangles: &[[usize; 3]] = &[
-        [1, 2, 3],
-        [4, 5, 6],
-        [4, 6, 8],
-        [8, 9, 10],
-        [11, 13, 17],
-        [11, 15, 16],
-    ];
+    let triangles: &[[usize; 3]] =
+        &[[1, 2, 3], [4, 5, 6], [4, 6, 8], [8, 9, 10], [11, 13, 17], [11, 15, 16]];
     let mut edges = Vec::new();
     for t in triangles {
         edges.push(((t[0] - 1) as u32, (t[1] - 1) as u32));
@@ -130,12 +132,7 @@ pub fn figure3() -> FigureExample {
 pub fn figure4() -> FigureExample {
     let graph = LabeledGraph::from_edges(&[0, 1, 1, 0], &[(0, 1), (1, 2), (2, 3)]);
     let pattern = patterns::path(&[Label(0), Label(1), Label(1)]);
-    FigureExample {
-        name: "figure4",
-        graph,
-        pattern,
-        notes: "2 occurrences; MNI = 2, MI = 1",
-    }
+    FigureExample { name: "figure4", graph, pattern, notes: "2 occurrences; MNI = 2, MI = 1" }
 }
 
 /// Figure 5: the Figure 2 data graph with the triangle pattern extended by a fourth

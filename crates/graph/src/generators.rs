@@ -66,7 +66,12 @@ pub fn gnp_random(n: usize, p: f64, num_labels: u32, seed: u64) -> LabeledGraph 
 
 /// Barabási–Albert preferential-attachment graph: power-law degree distribution,
 /// `edges_per_node` new edges per arriving vertex.  Models social / citation graphs.
-pub fn barabasi_albert(n: usize, edges_per_node: usize, num_labels: u32, seed: u64) -> LabeledGraph {
+pub fn barabasi_albert(
+    n: usize,
+    edges_per_node: usize,
+    num_labels: u32,
+    seed: u64,
+) -> LabeledGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = edges_per_node.max(1);
     let labels = random_labels(n, num_labels, &mut rng);
@@ -574,9 +579,7 @@ mod tests {
         assert_eq!(plc.num_vertices(), 200);
         assert!(plc.is_connected());
         // Triad formation should produce noticeably more triangles than plain BA.
-        assert!(
-            crate::algorithms::triangle_count(&plc) > crate::algorithms::triangle_count(&ba)
-        );
+        assert!(crate::algorithms::triangle_count(&plc) > crate::algorithms::triangle_count(&ba));
         assert_eq!(power_law_cluster(200, 2, 0.8, 4, 13), plc); // deterministic
     }
 

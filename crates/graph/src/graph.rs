@@ -36,7 +36,9 @@ impl std::fmt::Display for GraphError {
         match self {
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
             GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} is not allowed"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -68,11 +70,7 @@ impl LabeledGraph {
 
     /// Create an empty graph with capacity for `n` vertices.
     pub fn with_capacity(n: usize) -> Self {
-        LabeledGraph {
-            labels: Vec::with_capacity(n),
-            adj: Vec::with_capacity(n),
-            num_edges: 0,
-        }
+        LabeledGraph { labels: Vec::with_capacity(n), adj: Vec::with_capacity(n), num_edges: 0 }
     }
 
     /// Build a graph from a label slice and an edge list.  Convenience constructor
@@ -167,11 +165,8 @@ impl LabeledGraph {
             return false;
         }
         // search the shorter adjacency list
-        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
-            (u, v)
-        } else {
-            (v, u)
-        };
+        let (a, b) =
+            if self.adj[u as usize].len() <= self.adj[v as usize].len() { (u, v) } else { (v, u) };
         self.adj[a as usize].binary_search(&b).is_ok()
     }
 
@@ -195,7 +190,8 @@ impl LabeledGraph {
 
     /// Histogram of labels: `(label, count)` pairs sorted by label.
     pub fn label_histogram(&self) -> Vec<(Label, usize)> {
-        let mut counts: std::collections::BTreeMap<Label, usize> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<Label, usize> =
+            std::collections::BTreeMap::new();
         for &l in &self.labels {
             *counts.entry(l).or_insert(0) += 1;
         }
@@ -367,10 +363,7 @@ mod tests {
     fn label_queries() {
         let g = LabeledGraph::from_edges(&[1, 2, 1, 3], &[(0, 1), (1, 2), (2, 3)]);
         assert_eq!(g.vertices_with_label(Label(1)), vec![0, 2]);
-        assert_eq!(
-            g.label_histogram(),
-            vec![(Label(1), 2), (Label(2), 1), (Label(3), 1)]
-        );
+        assert_eq!(g.label_histogram(), vec![(Label(1), 2), (Label(2), 1), (Label(3), 1)]);
         assert_eq!(g.distinct_labels(), vec![Label(1), Label(2), Label(3)]);
     }
 

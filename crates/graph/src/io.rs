@@ -106,10 +106,8 @@ fn parse_field<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, GraphError> {
-    let raw = field.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what}"),
-    })?;
+    let raw =
+        field.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
     raw.parse().map_err(|_| GraphError::Parse {
         line,
         message: format!("cannot parse {what} from {raw:?}"),

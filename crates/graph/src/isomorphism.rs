@@ -79,17 +79,11 @@ fn search_order(pattern: &Pattern, graph: &LabeledGraph) -> Vec<VertexId> {
         *label_count.entry(graph.label(v)).or_insert(0usize) += 1;
     }
     let selectivity = |v: VertexId| -> (usize, std::cmp::Reverse<usize>) {
-        (
-            *label_count.get(&pattern.label(v)).unwrap_or(&0),
-            std::cmp::Reverse(pattern.degree(v)),
-        )
+        (*label_count.get(&pattern.label(v)).unwrap_or(&0), std::cmp::Reverse(pattern.degree(v)))
     };
     let mut order: Vec<VertexId> = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    let start = pattern
-        .vertices()
-        .min_by_key(|&v| selectivity(v))
-        .expect("non-empty pattern");
+    let start = pattern.vertices().min_by_key(|&v| selectivity(v)).expect("non-empty pattern");
     order.push(start);
     placed[start as usize] = true;
     while order.len() < n {
@@ -101,10 +95,7 @@ fn search_order(pattern: &Pattern, graph: &LabeledGraph) -> Vec<VertexId> {
             .min_by_key(|&v| selectivity(v))
             .or_else(|| {
                 // Disconnected pattern: fall back to any unplaced vertex.
-                pattern
-                    .vertices()
-                    .filter(|&v| !placed[v as usize])
-                    .min_by_key(|&v| selectivity(v))
+                pattern.vertices().filter(|&v| !placed[v as usize]).min_by_key(|&v| selectivity(v))
             })
             .expect("some vertex unplaced");
         order.push(next);
@@ -137,12 +128,7 @@ impl<'a> Search<'a> {
             .iter()
             .enumerate()
             .map(|(i, &v)| {
-                pattern
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&w| position[w as usize] < i)
-                    .collect()
+                pattern.neighbors(v).iter().copied().filter(|&w| position[w as usize] < i).collect()
             })
             .collect();
         Search {
@@ -209,11 +195,8 @@ impl<'a> Search<'a> {
             return;
         }
         if depth == self.order.len() {
-            let emb: Embedding = self
-                .assignment
-                .iter()
-                .map(|a| a.expect("complete assignment"))
-                .collect();
+            let emb: Embedding =
+                self.assignment.iter().map(|a| a.expect("complete assignment")).collect();
             self.out.push(emb);
             if self.out.len() >= self.config.max_embeddings {
                 self.truncated = true;
@@ -300,7 +283,10 @@ mod tests {
     fn triangle_has_six_occurrences_one_instance() {
         // Figure 2: the triangle pattern has 6 occurrences in the data graph (3! maps
         // onto the single triangle instance).
-        let g = LabeledGraph::from_edges(&[0, 0, 0, 0, 0, 0], &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5)]);
+        let g = LabeledGraph::from_edges(
+            &[0, 0, 0, 0, 0, 0],
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5)],
+        );
         let p = patterns::triangle(Label(0), Label(0), Label(0));
         let res = enumerate_embeddings(&p, &g, IsoConfig::default());
         assert_eq!(res.len(), 6);
@@ -363,7 +349,8 @@ mod tests {
         let p = patterns::path(&[Label(0), Label(0), Label(0)]);
         let open = enumerate_embeddings(&p, &g, IsoConfig::default());
         assert_eq!(open.len(), 6);
-        let induced = enumerate_embeddings(&p, &g, IsoConfig { induced: true, ..Default::default() });
+        let induced =
+            enumerate_embeddings(&p, &g, IsoConfig { induced: true, ..Default::default() });
         assert_eq!(induced.len(), 0);
     }
 

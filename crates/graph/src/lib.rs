@@ -56,7 +56,9 @@ pub type VertexId = u32;
 ///
 /// Labels are opaque small integers; generators and loaders map domain alphabets
 /// (atom types, entity classes, …) onto them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Label(pub u32);
 
 impl std::fmt::Display for Label {

@@ -96,13 +96,26 @@ impl std::fmt::Display for GraphStatistics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "vertices:            {}", self.num_vertices)?;
         writeln!(f, "edges:               {}", self.num_edges)?;
-        writeln!(f, "components:          {} (largest {})", self.num_components, self.largest_component)?;
-        writeln!(f, "labels:              {} (entropy {:.3} bits, dominant {:.1}%)",
-            self.num_labels, self.label_entropy, 100.0 * self.dominant_label_fraction)?;
+        writeln!(
+            f,
+            "components:          {} (largest {})",
+            self.num_components, self.largest_component
+        )?;
+        writeln!(
+            f,
+            "labels:              {} (entropy {:.3} bits, dominant {:.1}%)",
+            self.num_labels,
+            self.label_entropy,
+            100.0 * self.dominant_label_fraction
+        )?;
         writeln!(f, "avg / max degree:    {:.2} / {}", self.average_degree, self.max_degree)?;
         writeln!(f, "density:             {:.5}", self.density)?;
         writeln!(f, "triangles:           {}", self.triangles)?;
-        writeln!(f, "clustering avg/glob: {:.3} / {:.3}", self.average_clustering, self.global_clustering)?;
+        writeln!(
+            f,
+            "clustering avg/glob: {:.3} / {:.3}",
+            self.average_clustering, self.global_clustering
+        )?;
         writeln!(f, "degeneracy:          {}", self.degeneracy)?;
         write!(f, "diameter (≥):        {}", self.diameter_estimate)
     }

@@ -48,7 +48,10 @@ pub fn coarsen_labels(graph: &LabeledGraph, num_labels: u32) -> LabeledGraph {
 /// Rename vertices by the permutation `perm` (`perm[old] = new`); labels and edges
 /// follow their vertex.  Returns an error if `perm` is not a permutation of
 /// `0..num_vertices`.
-pub fn permute_vertices(graph: &LabeledGraph, perm: &[VertexId]) -> Result<LabeledGraph, GraphError> {
+pub fn permute_vertices(
+    graph: &LabeledGraph,
+    perm: &[VertexId],
+) -> Result<LabeledGraph, GraphError> {
     let n = graph.num_vertices();
     if perm.len() != n {
         return Err(GraphError::Io(format!(

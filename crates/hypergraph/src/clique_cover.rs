@@ -123,8 +123,7 @@ pub fn exact_clique_partition(g: &SimpleGraph, budget: SearchBudget) -> (CliqueP
             let v = self.order[index];
             // Try to add v to each existing class it is compatible with.
             for ci in 0..classes.len() {
-                let compatible =
-                    classes[ci].iter().all(|&u| self.g.neighbors(v).contains(&u));
+                let compatible = classes[ci].iter().all(|&u| self.g.neighbors(v).contains(&u));
                 if compatible {
                     classes[ci].push(v);
                     self.run(index + 1, classes);

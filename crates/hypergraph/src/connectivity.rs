@@ -26,7 +26,7 @@ fn vertex_partition(h: &Hypergraph) -> Vec<usize> {
     let n = h.num_vertices();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -68,7 +68,8 @@ pub fn connected_components(h: &Hypergraph) -> Vec<Component> {
             non_isolated[v] = true;
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for v in 0..h.num_vertices() {
         if non_isolated[v] {
             groups.entry(roots[v]).or_default().push(v);

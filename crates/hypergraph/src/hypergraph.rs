@@ -74,7 +74,10 @@ impl Hypergraph {
         }
         for &v in &vertices {
             if v >= self.num_vertices {
-                return Err(HypergraphError::UnknownVertex { vertex: v, num_vertices: self.num_vertices });
+                return Err(HypergraphError::UnknownVertex {
+                    vertex: v,
+                    num_vertices: self.num_vertices,
+                });
             }
         }
         vertices.sort_unstable();

@@ -155,7 +155,7 @@ mod tests {
         assert!(is_independent_edge_set(&h, &greedy));
         let exact = exact_independent_edge_set(&h, SearchBudget::default());
         assert!(greedy.len() <= exact.value);
-        assert!(greedy.len() >= 1);
+        assert!(!greedy.is_empty());
     }
 
     #[test]

@@ -64,8 +64,7 @@ impl ReducedCoverInstance {
     /// cover of the original hypergraph (original vertex ids, including the forced
     /// vertices).
     pub fn lift_cover(&self, reduced_cover: &[usize]) -> Vec<usize> {
-        let mut cover: Vec<usize> =
-            reduced_cover.iter().map(|&v| self.vertex_map[v]).collect();
+        let mut cover: Vec<usize> = reduced_cover.iter().map(|&v| self.vertex_map[v]).collect();
         cover.extend_from_slice(&self.forced);
         cover.sort_unstable();
         cover.dedup();
@@ -77,19 +76,15 @@ impl ReducedCoverInstance {
 pub fn reduce_for_vertex_cover(h: &Hypergraph) -> ReducedCoverInstance {
     let mut stats = ReductionStats::default();
     // Working representation: list of (original edge id, vertex set).
-    let mut edges: Vec<(EdgeId, Vec<usize>)> =
-        h.edges().map(|(id, e)| (id, e.to_vec())).collect();
+    let mut edges: Vec<(EdgeId, Vec<usize>)> = h.edges().map(|(id, e)| (id, e.to_vec())).collect();
     let mut forced: BTreeSet<usize> = BTreeSet::new();
 
     loop {
         let mut changed = false;
 
         // Rule 3: unit edges force their vertex.
-        let unit_vertices: BTreeSet<usize> = edges
-            .iter()
-            .filter(|(_, e)| e.len() == 1)
-            .map(|(_, e)| e[0])
-            .collect();
+        let unit_vertices: BTreeSet<usize> =
+            edges.iter().filter(|(_, e)| e.len() == 1).map(|(_, e)| e[0]).collect();
         if !unit_vertices.is_empty() {
             for &v in &unit_vertices {
                 if forced.insert(v) {
@@ -323,7 +318,10 @@ mod tests {
             let direct = exact_vertex_cover(&h, SearchBudget::default());
             let reduced = reduced_exact_vertex_cover(&h, SearchBudget::default());
             assert_eq!(direct.value, reduced.value, "seed {seed}");
-            assert!(is_vertex_cover(&h, &reduced.witness), "seed {seed}: lifted witness must cover");
+            assert!(
+                is_vertex_cover(&h, &reduced.witness),
+                "seed {seed}: lifted witness must cover"
+            );
         }
     }
 
@@ -338,7 +336,10 @@ mod tests {
         assert!(r.stats.dominated_vertices >= 1);
         // Optimum is 1 ({1}) both before and after.
         let direct = exact_vertex_cover(&h, SearchBudget::default());
-        assert_eq!(r.lift_value(exact_vertex_cover(&r.hypergraph, SearchBudget::default()).value), direct.value);
+        assert_eq!(
+            r.lift_value(exact_vertex_cover(&r.hypergraph, SearchBudget::default()).value),
+            direct.value
+        );
     }
 
     #[test]
@@ -372,6 +373,6 @@ mod tests {
         let inner = exact_vertex_cover(&r.hypergraph, SearchBudget::default());
         let lifted = r.lift_cover(&inner.witness);
         assert!(is_vertex_cover(&h, &lifted));
-        assert!(lifted.iter().all(|&v| v >= 7 && v <= 9));
+        assert!(lifted.iter().all(|&v| (7..=9).contains(&v)));
     }
 }

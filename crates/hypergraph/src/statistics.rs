@@ -46,7 +46,8 @@ impl HypergraphStatistics {
         let degrees: Vec<usize> = incidence.iter().map(Vec::len).collect();
         let covered = degrees.iter().filter(|&&d| d > 0).count();
         let edge_sizes: Vec<usize> = h.edges().map(|(_, e)| e.len()).collect();
-        let mut distinct: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+        let mut distinct: std::collections::BTreeSet<Vec<usize>> =
+            std::collections::BTreeSet::new();
         for (_, e) in h.edges() {
             distinct.insert(e.to_vec());
         }
@@ -72,7 +73,11 @@ impl HypergraphStatistics {
                 degrees.iter().sum::<usize>() as f64 / covered as f64
             },
             num_components: components.len(),
-            largest_component_edges: components.iter().map(|c| c.hypergraph.num_edges()).max().unwrap_or(0),
+            largest_component_edges: components
+                .iter()
+                .map(|c| c.hypergraph.num_edges())
+                .max()
+                .unwrap_or(0),
             overlapping_edge_pairs,
         }
     }
@@ -113,13 +118,30 @@ impl HypergraphStatistics {
 
 impl std::fmt::Display for HypergraphStatistics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "vertices (covered/total): {}/{}", self.num_covered_vertices, self.num_vertices)?;
+        writeln!(
+            f,
+            "vertices (covered/total): {}/{}",
+            self.num_covered_vertices, self.num_vertices
+        )?;
         writeln!(f, "edges (distinct):         {} ({})", self.num_edges, self.num_distinct_edges)?;
         writeln!(f, "uniform rank:             {:?}", self.uniform_rank)?;
         writeln!(f, "edge size mean/max:       {:.2}/{}", self.mean_edge_size, self.max_edge_size)?;
-        writeln!(f, "vertex degree mean/max:   {:.2}/{}", self.mean_vertex_degree, self.max_vertex_degree)?;
-        writeln!(f, "components (largest):     {} ({} edges)", self.num_components, self.largest_component_edges)?;
-        write!(f, "overlapping edge pairs:   {} (density {:.3})", self.overlapping_edge_pairs, self.overlap_density())
+        writeln!(
+            f,
+            "vertex degree mean/max:   {:.2}/{}",
+            self.mean_vertex_degree, self.max_vertex_degree
+        )?;
+        writeln!(
+            f,
+            "components (largest):     {} ({} edges)",
+            self.num_components, self.largest_component_edges
+        )?;
+        write!(
+            f,
+            "overlapping edge pairs:   {} (density {:.3})",
+            self.overlapping_edge_pairs,
+            self.overlap_density()
+        )
     }
 }
 

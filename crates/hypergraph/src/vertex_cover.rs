@@ -70,11 +70,8 @@ impl<'a> CoverSearch<'a> {
         let branch_vertices: Vec<usize> = self.h.edge(branch_edge).to_vec();
         for v in branch_vertices {
             // Choose v: cover all its incident edges.
-            let newly: Vec<usize> = self.incidence[v]
-                .iter()
-                .copied()
-                .filter(|&e| !covered[e])
-                .collect();
+            let newly: Vec<usize> =
+                self.incidence[v].iter().copied().filter(|&e| !covered[e]).collect();
             for &e in &newly {
                 covered[e] = true;
             }
@@ -153,11 +150,8 @@ pub fn greedy_degree_cover(h: &Hypergraph) -> Vec<usize> {
             .map(|(v, inc)| (v, inc.iter().filter(|&&e| !covered[e]).count()))
             .max_by_key(|&(_, cnt)| cnt)
             .expect("non-empty hypergraph");
-        let newly: Vec<usize> = incidence[best_v]
-            .iter()
-            .copied()
-            .filter(|&e| !covered[e])
-            .collect();
+        let newly: Vec<usize> =
+            incidence[best_v].iter().copied().filter(|&e| !covered[e]).collect();
         debug_assert!(!newly.is_empty());
         for e in newly {
             covered[e] = true;

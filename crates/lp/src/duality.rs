@@ -127,9 +127,9 @@ pub fn solve_with_dual(problem: &Problem) -> Result<DualityReport, LpError> {
             dual_row_activity[j] += a * dual.values[i];
         }
     }
-    for j in 0..problem.num_vars() {
+    for (j, &activity) in dual_row_activity.iter().enumerate().take(problem.num_vars()) {
         if primal.values[j] > EPS.sqrt() {
-            let slack = (problem.objective_coeff(j) - dual_row_activity[j]).abs();
+            let slack = (problem.objective_coeff(j) - activity).abs();
             max_violation = max_violation.max(slack);
         }
     }

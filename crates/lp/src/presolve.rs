@@ -136,7 +136,8 @@ pub fn presolve_covering(num_elements: usize, sets: &[Vec<usize>]) -> PresolvedC
     }
 
     // Rule 1: densify the surviving columns.
-    let mut column_map: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut column_map: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
     for r in &rows {
         for &v in r {
             let next = column_map.len();
@@ -151,18 +152,10 @@ pub fn presolve_covering(num_elements: usize, sets: &[Vec<usize>]) -> PresolvedC
         }
         cols
     };
-    let rows: Vec<Vec<usize>> = rows
-        .iter()
-        .map(|r| r.iter().map(|v| column_map[v]).collect())
-        .collect();
+    let rows: Vec<Vec<usize>> =
+        rows.iter().map(|r| r.iter().map(|v| column_map[v]).collect()).collect();
     fixed.sort_unstable();
-    PresolvedCovering {
-        offset: fixed.len() as f64,
-        rows,
-        columns,
-        fixed,
-        stats,
-    }
+    PresolvedCovering { offset: fixed.len() as f64, rows, columns, fixed, stats }
 }
 
 impl PresolvedCovering {
@@ -186,16 +179,15 @@ impl PresolvedCovering {
         for &v in &self.fixed {
             values[v] = 1.0;
         }
-        Ok(Solution {
-            objective: reduced.objective + self.offset,
-            values,
-            pivots: reduced.pivots,
-        })
+        Ok(Solution { objective: reduced.objective + self.offset, values, pivots: reduced.pivots })
     }
 }
 
 /// Convenience: presolve + solve a covering instance in one call.
-pub fn solve_covering_presolved(num_elements: usize, sets: &[Vec<usize>]) -> Result<Solution, LpError> {
+pub fn solve_covering_presolved(
+    num_elements: usize,
+    sets: &[Vec<usize>],
+) -> Result<Solution, LpError> {
     presolve_covering(num_elements, sets).solve(num_elements)
 }
 

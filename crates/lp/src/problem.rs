@@ -132,12 +132,7 @@ impl Problem {
         // orientation.
         let mut values = vec![0.0; self.num_vars()];
         values.copy_from_slice(&raw.values[..self.num_vars()]);
-        let mut objective: f64 = self
-            .costs
-            .iter()
-            .zip(values.iter())
-            .map(|(c, x)| c * x)
-            .sum();
+        let mut objective: f64 = self.costs.iter().zip(values.iter()).map(|(c, x)| c * x).sum();
         // Guard against -0.0 noise.
         if objective.abs() < crate::EPS {
             objective = 0.0;

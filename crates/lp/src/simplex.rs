@@ -68,7 +68,13 @@ impl Tableau {
             row.push(sf.b[i]);
             rows.push(row);
         }
-        Tableau { rows, obj: vec![0.0; num_vars + 1], basis: sf.initial_basis.clone(), num_vars, pivots: 0 }
+        Tableau {
+            rows,
+            obj: vec![0.0; num_vars + 1],
+            basis: sf.initial_basis.clone(),
+            num_vars,
+            pivots: 0,
+        }
     }
 
     /// Install an objective `costs` (length num_vars) and price it out with respect to
@@ -80,9 +86,8 @@ impl Tableau {
         for (i, &b) in self.basis.iter().enumerate() {
             let cost = costs[b];
             if cost.abs() > EPS {
-                let row = &self.rows[i];
-                for j in 0..=self.num_vars {
-                    self.obj[j] -= cost * row[j];
+                for (o, r) in self.obj.iter_mut().zip(self.rows[i].iter()) {
+                    *o -= cost * r;
                 }
             }
         }
@@ -95,7 +100,11 @@ impl Tableau {
 
     /// Choose the entering column: Dantzig (most negative reduced cost) for the first
     /// `dantzig_pivots`, then Bland (lowest index with negative reduced cost).
-    fn choose_entering(&self, allow: &dyn Fn(usize) -> bool, opts: &SimplexOptions) -> Option<usize> {
+    fn choose_entering(
+        &self,
+        allow: &dyn Fn(usize) -> bool,
+        opts: &SimplexOptions,
+    ) -> Option<usize> {
         if self.pivots < opts.dantzig_pivots {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..self.num_vars {
@@ -117,28 +126,36 @@ impl Tableau {
     }
 
     /// Ratio test: choose the leaving row for entering column `col`.
-    /// Returns `None` if the column is unbounded.  Ties are broken by smallest basic
-    /// variable index (Bland).
-    fn choose_leaving(&self, col: usize) -> Option<usize> {
+    /// Returns `None` if the column is unbounded.  Near-tied ratios are broken in
+    /// favour of the largest pivot element, which keeps the tableau numerically tame
+    /// on the massively degenerate covering/packing LPs this solver exists for
+    /// (index-based tie-breaking let rounding noise compound into garbage objectives).
+    /// The anti-cycling backstop is the `max_pivots` budget rather than Bland's
+    /// leaving rule.
+    ///
+    /// Only entries above `pivot_tol` qualify as pivots: dividing a row by a
+    /// near-epsilon element multiplies every entry by its reciprocal, and a handful of
+    /// such pivots is enough to blow the tableau up into garbage reduced costs.  The
+    /// caller retries with the raw feasibility epsilon before concluding a column is
+    /// an unbounded ray.
+    fn choose_leaving(&self, col: usize, pivot_tol: f64) -> Option<usize> {
         let rhs_col = self.num_vars;
-        let mut best: Option<(usize, f64)> = None;
+        let mut best: Option<(usize, f64, f64)> = None;
         for i in 0..self.rows.len() {
             let a = self.rows[i][col];
-            if a > EPS {
+            if a > pivot_tol {
                 let ratio = self.rows[i][rhs_col] / a;
                 match best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        if ratio < br - EPS
-                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
-                        {
-                            best = Some((i, ratio));
+                    None => best = Some((i, ratio, a)),
+                    Some((_, br, ba)) => {
+                        if ratio < br - EPS || (ratio < br + EPS && a > ba) {
+                            best = Some((i, ratio, a));
                         }
                     }
                 }
             }
         }
-        best.map(|(i, _)| i)
+        best.map(|(i, _, _)| i)
     }
 
     /// Perform a pivot on (row, col).
@@ -175,18 +192,41 @@ impl Tableau {
     }
 
     /// Run the simplex loop until optimal / unbounded / iteration limit.
-    fn optimize(&mut self, allow: &dyn Fn(usize) -> bool, opts: &SimplexOptions) -> Result<SolveStatus, LpError> {
+    fn optimize(
+        &mut self,
+        allow: &dyn Fn(usize) -> bool,
+        opts: &SimplexOptions,
+    ) -> Result<SolveStatus, LpError> {
+        // Reduced costs accumulate rounding noise over long runs; a column whose
+        // reduced cost is negative only at dust level (between -DUST and -EPS) and has
+        // no usable pivot row is numerical debris, not an improving ray.  Such columns
+        // are excluded for the rest of this optimize call instead of being reported as
+        // an unbounded direction.
+        const DUST: f64 = 1e-7;
+        const PIVOT_TOL: f64 = 1e-7;
+        let mut banned = vec![false; self.num_vars];
         loop {
             if self.pivots > opts.max_pivots {
                 return Err(LpError::IterationLimit);
             }
-            let Some(col) = self.choose_entering(allow, opts) else {
+            let usable = |j: usize| allow(j) && !banned[j];
+            let Some(col) = self.choose_entering(&usable, opts) else {
                 return Ok(SolveStatus::Optimal);
             };
-            let Some(row) = self.choose_leaving(col) else {
-                return Ok(SolveStatus::Unbounded);
-            };
-            self.pivot(row, col);
+            match self.choose_leaving(col, PIVOT_TOL) {
+                Some(row) => self.pivot(row, col),
+                None if self.obj[col] > -DUST => {
+                    banned[col] = true;
+                }
+                // The column improves the objective for real but has no entry above
+                // the preferred pivot tolerance.  Before declaring the LP unbounded,
+                // fall back to the raw feasibility threshold: a tiny pivot is better
+                // than a wrong verdict.
+                None => match self.choose_leaving(col, EPS) {
+                    Some(row) => self.pivot(row, col),
+                    None => return Ok(SolveStatus::Unbounded),
+                },
+            }
         }
     }
 
@@ -202,7 +242,10 @@ impl Tableau {
 }
 
 /// Solve a standard-form LP with the two-phase simplex method.
-pub(crate) fn solve_standard(sf: &StandardForm, opts: &SimplexOptions) -> Result<RawSolution, LpError> {
+pub(crate) fn solve_standard(
+    sf: &StandardForm,
+    opts: &SimplexOptions,
+) -> Result<RawSolution, LpError> {
     let mut tab = Tableau::new(sf);
     let is_artificial = {
         let mut flags = vec![false; sf.num_vars];
@@ -232,8 +275,8 @@ pub(crate) fn solve_standard(sf: &StandardForm, opts: &SimplexOptions) -> Result
         for i in 0..tab.basis.len() {
             if is_artificial[tab.basis[i]] {
                 // Find a non-artificial column with a nonzero coefficient in this row.
-                let col = (0..sf.num_vars)
-                    .find(|&j| !is_artificial[j] && tab.rows[i][j].abs() > EPS);
+                let col =
+                    (0..sf.num_vars).find(|&j| !is_artificial[j] && tab.rows[i][j].abs() > EPS);
                 if let Some(col) = col {
                     tab.pivot(i, col);
                 }
@@ -273,16 +316,8 @@ mod tests {
         p.set_objective(1, 150.0);
         p.set_objective(2, -0.02);
         p.set_objective(3, 6.0);
-        p.add_constraint(
-            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
-            ConstraintOp::Le,
-            0.0,
-        );
-        p.add_constraint(
-            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
-            ConstraintOp::Le,
-            0.0,
-        );
+        p.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], ConstraintOp::Le, 0.0);
         p.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
         let sol = solve(&p);
         assert!((sol.objective - (-0.05)).abs() < 1e-6, "got {}", sol.objective);
@@ -329,7 +364,7 @@ mod tests {
         let sets = vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]];
         let sol = crate::covering_lp(4, &sets).solve().unwrap();
         for &v in &sol.values {
-            assert!(v >= -1e-9 && v <= 1.0 + 1e-9);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v));
         }
     }
 }

@@ -1,0 +1,205 @@
+//! The unified mining engine behind [`crate::MiningSession`].
+//!
+//! One level-synchronous pattern-growth loop serves every mode the old API split
+//! across three entry points:
+//!
+//! * **threshold mining** (old `Miner::mine`) — fixed threshold τ, breadth-first
+//!   emission;
+//! * **parallel mining** (old `mine_parallel`) — the same loop with the level's
+//!   support evaluations fanned out over scoped worker threads; the partition and
+//!   merge order are fixed, so results are identical to a single-threaded run;
+//! * **top-k mining** (old `mine_top_k`) — the threshold starts at the floor and
+//!   rises to the running k-th best support, pruning branch-and-bound style; sound
+//!   for every anti-monotone measure (Definition 2.2.2 of the paper).
+//!
+//! Support is computed through an `Arc<dyn SupportMeasure>`, so built-in and
+//! user-defined measures take exactly the same path.
+
+use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
+use crate::types::{FrequentPattern, MiningResult, MiningStats};
+use ffsm_core::{OccurrenceSet, SupportMeasure};
+use ffsm_graph::isomorphism::IsoConfig;
+use ffsm_graph::{LabeledGraph, Pattern};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Canonical, validated configuration the engine runs from (the session builder's
+/// output).
+pub(crate) struct EngineConfig {
+    /// Support threshold τ (the floor threshold in top-k mode).
+    pub min_support: f64,
+    /// Occurrence-enumeration settings.
+    pub iso_config: IsoConfig,
+    /// Stop growing patterns beyond this many edges.
+    pub max_pattern_edges: usize,
+    /// Safety cap on reported patterns (threshold mode).
+    pub max_patterns: usize,
+    /// Safety cap on support evaluations.
+    pub max_evaluations: usize,
+    /// Worker threads for level evaluation (already resolved to >= 1).
+    pub threads: usize,
+    /// `Some(k)` switches to top-k mode.
+    pub top_k: Option<usize>,
+}
+
+/// Callback invoked per accepted pattern (threshold mode: every emitted pattern;
+/// top-k mode: every pattern entering the running top-k, which may later be evicted).
+pub(crate) type PatternCallback<'a> = Box<dyn FnMut(&FrequentPattern) + 'a>;
+
+/// Evaluate the support of every candidate, in order, on `threads` workers.
+///
+/// Candidates are split round-robin and merged back in candidate order, so the result
+/// does not depend on the thread count.
+fn evaluate_level(
+    graph: &LabeledGraph,
+    candidates: &[Pattern],
+    measure: &Arc<dyn SupportMeasure>,
+    config: &EngineConfig,
+) -> Vec<(f64, usize)> {
+    let evaluate = |pattern: &Pattern| -> (f64, usize) {
+        let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+        let num_occurrences = occ.num_occurrences();
+        (measure.support(&occ), num_occurrences)
+    };
+    let workers = config.threads.min(candidates.len());
+    if workers <= 1 {
+        return candidates.iter().map(evaluate).collect();
+    }
+    let mut results = vec![(0.0, 0usize); candidates.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let evaluate = &evaluate;
+            handles.push(scope.spawn(move || {
+                candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == w)
+                    .map(|(i, p)| (i, evaluate(p)))
+                    .collect::<Vec<(usize, (f64, usize))>>()
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("mining worker panicked") {
+                results[i] = r;
+            }
+        }
+    });
+    results
+}
+
+/// Insert `found` into the running top-k list (sorted by descending support, ties by
+/// fewer edges first) and return the updated rising threshold.
+fn insert_top_k(
+    best: &mut Vec<FrequentPattern>,
+    found: FrequentPattern,
+    k: usize,
+    floor: f64,
+) -> f64 {
+    best.push(found);
+    best.sort_by(|a, b| {
+        b.support
+            .partial_cmp(&a.support)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pattern.num_edges().cmp(&b.pattern.num_edges()))
+    });
+    if best.len() > k {
+        best.truncate(k);
+    }
+    if best.len() == k {
+        best.last().map(|p| p.support).unwrap_or(floor).max(floor)
+    } else {
+        floor
+    }
+}
+
+/// Run the mining loop.
+pub(crate) fn run_engine(
+    graph: &LabeledGraph,
+    measure: &Arc<dyn SupportMeasure>,
+    config: &EngineConfig,
+    mut on_pattern: Option<PatternCallback<'_>>,
+) -> MiningResult {
+    let start = Instant::now();
+    let mut stats = MiningStats::default();
+    let mut seen: HashSet<ffsm_graph::canonical::CanonicalCode> = HashSet::new();
+    let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let mut threshold = config.min_support;
+    let floor = config.min_support;
+    let alphabet = graph.distinct_labels();
+
+    let seeds = seed_patterns(graph);
+    stats.candidates_generated += seeds.len();
+    let mut level: Vec<Pattern> = dedupe_by_canonical_code(seeds, &mut seen);
+
+    while !level.is_empty() {
+        // Respect the evaluation cap by trimming the level.
+        let remaining = config.max_evaluations.saturating_sub(stats.candidates_evaluated);
+        if level.len() > remaining {
+            level.truncate(remaining);
+            stats.truncated = true;
+        }
+        if level.is_empty() {
+            break;
+        }
+        let supports = evaluate_level(graph, &level, measure, config);
+        stats.candidates_evaluated += level.len();
+
+        // Apply the (possibly rising) threshold in candidate order.
+        let mut survivors: Vec<Pattern> = Vec::new();
+        for (pattern, (support, num_occurrences)) in level.into_iter().zip(supports) {
+            match config.top_k {
+                None => {
+                    if support >= threshold {
+                        if frequent.len() >= config.max_patterns {
+                            stats.truncated = true;
+                            continue;
+                        }
+                        let found =
+                            FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
+                        if let Some(callback) = on_pattern.as_mut() {
+                            callback(&found);
+                        }
+                        frequent.push(found);
+                        survivors.push(pattern);
+                    } else {
+                        stats.candidates_pruned += 1;
+                    }
+                }
+                Some(k) => {
+                    if support >= threshold {
+                        let found =
+                            FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
+                        if let Some(callback) = on_pattern.as_mut() {
+                            callback(&found);
+                        }
+                        threshold = insert_top_k(&mut frequent, found, k, floor);
+                        survivors.push(pattern);
+                    } else {
+                        stats.candidates_pruned += 1;
+                    }
+                }
+            }
+        }
+        if stats.truncated {
+            break;
+        }
+
+        // Next level: one-edge extensions of every surviving pattern.  Pruned
+        // candidates are never extended — sound because the measure is anti-monotone.
+        let mut next: Vec<Pattern> = Vec::new();
+        for pattern in &survivors {
+            if pattern.num_edges() >= config.max_pattern_edges {
+                continue;
+            }
+            let candidates = extensions(pattern, &alphabet);
+            stats.candidates_generated += candidates.len();
+            next.extend(dedupe_by_canonical_code(candidates, &mut seen));
+        }
+        level = next;
+    }
+
+    stats.elapsed = start.elapsed();
+    MiningResult { patterns: frequent, final_threshold: threshold, stats }
+}

@@ -59,10 +59,7 @@ pub fn seed_patterns(graph: &ffsm_graph::LabeledGraph) -> Vec<Pattern> {
         let (a, b) = (graph.label(u), graph.label(v));
         pairs.insert(if a <= b { (a, b) } else { (b, a) });
     }
-    pairs
-        .into_iter()
-        .map(|(a, b)| patterns::single_edge(a, b))
-        .collect()
+    pairs.into_iter().map(|(a, b)| patterns::single_edge(a, b)).collect()
 }
 
 #[cfg(test)]

@@ -2,45 +2,111 @@
 //!
 //! A pattern-growth miner in the style of GraMi (Elseidy et al., VLDB 2014), the
 //! setting that motivates the paper: find all patterns whose support in a *single*
-//! large labeled graph reaches a threshold τ.  The miner is parameterised by any of
-//! the anti-monotonic support measures of `ffsm-core` (MNI, MI, MVC, MIS/MIES or the
-//! LP relaxations), which is exactly the comparison the paper's evaluation performs —
-//! the same threshold admits more patterns under an over-estimating measure (MNI)
-//! than under a conservative one (MIS/MVC).
+//! large labeled graph reaches a threshold τ.  The miner is parameterised by a
+//! pluggable [`SupportMeasure`](ffsm_core::SupportMeasure) — any of the anti-monotone
+//! measures of `ffsm-core` (MNI, MI, MVC, MIS/MIES, the LP relaxations, MCP) or a
+//! user-defined one — which is exactly the comparison the paper's evaluation
+//! performs: the same threshold admits more patterns under an over-estimating
+//! measure (MNI) than under a conservative one (MIS/MVC).
+//!
+//! [`MiningSession`] is the single entry point.  Sequential, level-parallel and
+//! top-k mining are modes of one engine:
+//!
+//! ```
+//! use ffsm_graph::{generators, LabeledGraph};
+//! use ffsm_core::MeasureKind;
+//! use ffsm_miner::MiningSession;
+//!
+//! // Five disjoint labelled triangles: the triangle is frequent at threshold 5.
+//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+//! let graph = generators::replicated(&triangle, 5, false);
+//! let result = MiningSession::on(&graph)
+//!     .measure(MeasureKind::Mni)
+//!     .min_support(5.0)
+//!     .max_edges(3)
+//!     .run()
+//!     .expect("valid session");
+//! assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
+//! ```
+//!
+//! ## User-defined measures
+//!
+//! Any type implementing [`SupportMeasure`](ffsm_core::SupportMeasure) plugs into a
+//! session — the engine treats it exactly like a built-in measure:
+//!
+//! ```
+//! use ffsm_core::{OccurrenceSet, SupportMeasure};
+//! use ffsm_graph::{generators, LabeledGraph};
+//! use ffsm_miner::MiningSession;
+//! use std::sync::Arc;
+//!
+//! /// Counts the distinct data vertices touched by any occurrence, scaled by the
+//! /// pattern size.  Smaller patterns touching the same vertices score higher, so
+//! /// the measure is anti-monotone and sound for pruning.
+//! struct ImageSpread;
+//!
+//! impl SupportMeasure for ImageSpread {
+//!     fn support(&self, occurrences: &OccurrenceSet) -> f64 {
+//!         occurrences.num_images() as f64 / occurrences.pattern().num_vertices().max(1) as f64
+//!     }
+//!     fn is_anti_monotone(&self) -> bool {
+//!         true
+//!     }
+//!     fn name(&self) -> &str {
+//!         "image-spread"
+//!     }
+//! }
+//!
+//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+//! let graph = generators::replicated(&triangle, 4, false);
+//! let measure: Arc<dyn SupportMeasure> = Arc::new(ImageSpread);
+//! let result = MiningSession::on(&graph)
+//!     .measure(measure)
+//!     .min_support(4.0)
+//!     .max_edges(3)
+//!     .run()
+//!     .expect("valid session");
+//! // Each of the 4 triangle copies contributes 3 vertices: the single-vertex-per-
+//! // pattern-node spread of every frequent pattern is 4.
+//! assert!(result.patterns.iter().all(|p| p.support >= 4.0));
+//! assert!(!result.is_empty());
+//! ```
 //!
 //! Algorithm outline:
 //!
 //! 1. seed with all frequent single-edge patterns (one per frequent label pair);
 //! 2. grow patterns by adding either an edge between existing nodes or a new labelled
 //!    node attached to an existing node ([`extension`]);
-//! 3. de-duplicate candidates by canonical code, evaluate their support, and prune
-//!    every candidate below τ — sound because all supported measures are
-//!    anti-monotonic (Theorems 3.2, 3.5, 4.2, 4.3, 4.4 of the paper).
+//! 3. de-duplicate candidates by canonical code, evaluate their support (in parallel
+//!    when `.threads(k)` is set), and prune every candidate below the threshold —
+//!    sound because the engine only accepts anti-monotone measures (Theorems 3.2,
+//!    3.5, 4.2, 4.3, 4.4 of the paper).
 //!
-//! ```
-//! use ffsm_graph::{generators, LabeledGraph};
-//! use ffsm_core::MeasureKind;
-//! use ffsm_miner::{Miner, MinerConfig};
-//!
-//! // Five disjoint labelled triangles: the triangle is frequent at threshold 5.
-//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
-//! let graph = generators::replicated(&triangle, 5, false);
-//! let config = MinerConfig { min_support: 5.0, measure: MeasureKind::Mni,
-//!                            max_pattern_edges: 3, ..Default::default() };
-//! let result = Miner::new(&graph, config).mine();
-//! assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
-//! ```
+//! The pre-session entry points (`Miner`, `mine_parallel`, `mine_top_k` and their
+//! config structs) remain available as deprecated shims over the same engine for one
+//! release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod extension;
 mod miner;
-pub mod parallel;
+mod parallel;
 pub mod postprocess;
-pub mod topk;
+mod session;
+mod topk;
+mod types;
 
-pub use miner::{FrequentPattern, Miner, MinerConfig, MiningResult, MiningStats};
-pub use parallel::{mine_parallel, ParallelMinerConfig};
+pub use session::{MeasureSelection, MiningBudget, MiningSession, SessionConfig};
+pub use types::{FrequentPattern, MiningResult, MiningStats};
+
 pub use postprocess::{closed_patterns, maximal_patterns, PatternLattice};
+
+// Deprecated pre-session API, kept as shims for one release.
+#[allow(deprecated)]
+pub use miner::{Miner, MinerConfig};
+#[allow(deprecated)]
+pub use parallel::{mine_parallel, ParallelMinerConfig};
+#[allow(deprecated)]
 pub use topk::{mine_top_k, TopKConfig, TopKResult};

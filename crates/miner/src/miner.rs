@@ -1,14 +1,21 @@
-//! The frequent-subgraph miner.
+//! Legacy sequential-miner API, kept as a thin shim over [`crate::MiningSession`].
+//!
+//! `Miner` / `MinerConfig` predate the session builder; new code should use
+//! [`crate::MiningSession`] directly.  The shim delegates to the same engine, so
+//! results are identical.
 
-use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
-use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasures};
+#![allow(deprecated)]
+
+use crate::session::{MiningBudget, MiningSession};
+use crate::types::MiningResult;
+use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasure};
 use ffsm_graph::canonical::{canonical_code, CanonicalCode};
 use ffsm_graph::{LabeledGraph, Pattern};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::time::{Duration, Instant};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-/// Configuration for a mining run.
+/// Configuration for a legacy mining run.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph)` instead")]
 #[derive(Debug, Clone)]
 pub struct MinerConfig {
     /// Support threshold τ: a pattern is frequent when `support ≥ min_support`.
@@ -45,76 +52,22 @@ impl MinerConfig {
     }
 }
 
-/// A frequent pattern found by the miner.
-#[derive(Debug, Clone)]
-pub struct FrequentPattern {
-    /// The pattern graph.
-    pub pattern: Pattern,
-    /// Its support under the configured measure.
-    pub support: f64,
-    /// Number of occurrences enumerated while computing the support.
-    pub num_occurrences: usize,
-}
-
-/// Counters describing a mining run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct MiningStats {
-    /// Candidates generated by extension (before deduplication).
-    pub candidates_generated: usize,
-    /// Candidates whose support was evaluated (after deduplication).
-    pub candidates_evaluated: usize,
-    /// Candidates pruned because their support fell below the threshold.
-    pub candidates_pruned: usize,
-    /// Wall-clock time of the run.
-    pub elapsed: Duration,
-    /// `true` if a safety cap (patterns or evaluations) stopped the search early.
-    pub truncated: bool,
-}
-
-/// Result of a mining run: the frequent patterns plus statistics.
-#[derive(Debug, Clone)]
-pub struct MiningResult {
-    /// All frequent patterns found, in breadth-first (smallest first) order.
-    pub patterns: Vec<FrequentPattern>,
-    /// Run statistics.
-    pub stats: MiningStats,
-}
-
-impl MiningResult {
-    /// Number of frequent patterns.
-    pub fn len(&self) -> usize {
-        self.patterns.len()
-    }
-
-    /// `true` when nothing was frequent.
-    pub fn is_empty(&self) -> bool {
-        self.patterns.is_empty()
-    }
-
-    /// The frequent patterns with exactly `edges` edges.
-    pub fn with_edge_count(&self, edges: usize) -> Vec<&FrequentPattern> {
-        self.patterns.iter().filter(|p| p.pattern.num_edges() == edges).collect()
-    }
-
-    /// Largest frequent pattern size (in edges), 0 if none.
-    pub fn max_edges(&self) -> usize {
-        self.patterns.iter().map(|p| p.pattern.num_edges()).max().unwrap_or(0)
-    }
-}
-
-/// A single-graph frequent-subgraph miner with a pluggable support measure.
+/// Legacy sequential miner.  Delegates to [`crate::MiningSession`].
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph)` instead")]
 pub struct Miner<'a> {
     graph: &'a LabeledGraph,
     config: MinerConfig,
-    /// Memo of supports per canonical code, so repeated candidates (reached through
-    /// different growth paths across `mine` invocations) are not re-evaluated.
+    measure: Arc<dyn SupportMeasure>,
+    /// Memo of supports per canonical code, so repeated `support_of` queries are not
+    /// re-evaluated.
     support_cache: Mutex<HashMap<CanonicalCode, (f64, usize)>>,
 }
 
 impl<'a> Miner<'a> {
     /// Create a miner over `graph`.
     pub fn new(graph: &'a LabeledGraph, config: MinerConfig) -> Self {
-        Miner { graph, config, support_cache: Mutex::new(HashMap::new()) }
+        let measure = config.measure.measure(config.measure_config.clone());
+        Miner { graph, config, measure, support_cache: Mutex::new(HashMap::new()) }
     }
 
     /// The active configuration.
@@ -125,76 +78,40 @@ impl<'a> Miner<'a> {
     /// Evaluate the support of one pattern under the configured measure.
     pub fn support_of(&self, pattern: &Pattern) -> (f64, usize) {
         let code = canonical_code(pattern);
-        if let Some(&cached) = self.support_cache.lock().get(&code) {
+        if let Some(&cached) = self.support_cache.lock().expect("support cache poisoned").get(&code)
+        {
             return cached;
         }
-        let occ = OccurrenceSet::enumerate(pattern, self.graph, self.config.measure_config.iso_config);
+        let occ =
+            OccurrenceSet::enumerate(pattern, self.graph, self.config.measure_config.iso_config);
         let num_occurrences = occ.num_occurrences();
-        let measures = SupportMeasures::new(occ, self.config.measure_config.clone());
-        let support = measures.compute(self.config.measure);
-        self.support_cache.lock().insert(code, (support, num_occurrences));
+        let support = self.measure.support(&occ);
+        self.support_cache
+            .lock()
+            .expect("support cache poisoned")
+            .insert(code, (support, num_occurrences));
         (support, num_occurrences)
     }
 
     /// Run the mining loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is one the session API rejects (a non-finite
+    /// threshold or a non-anti-monotone measure) — the legacy signature has no error
+    /// channel.  [`MiningSession::run`] reports these as [`ffsm_core::FfsmError`].
     pub fn mine(&self) -> MiningResult {
-        let start = Instant::now();
-        let mut stats = MiningStats::default();
-        let mut seen: HashSet<CanonicalCode> = HashSet::new();
-        let mut frequent: Vec<FrequentPattern> = Vec::new();
-        let mut queue: VecDeque<Pattern> = VecDeque::new();
-        let alphabet = self.graph.distinct_labels();
-
-        // Seed with single-edge patterns.
-        let seeds = seed_patterns(self.graph);
-        stats.candidates_generated += seeds.len();
-        for seed in dedupe_by_canonical_code(seeds, &mut seen) {
-            self.consider(seed, &mut frequent, &mut queue, &mut stats);
-        }
-
-        // Pattern growth (breadth first: shorter patterns reported before longer).
-        while let Some(pattern) = queue.pop_front() {
-            if stats.truncated {
-                break;
-            }
-            if pattern.num_edges() >= self.config.max_pattern_edges {
-                continue;
-            }
-            let candidates = extensions(&pattern, &alphabet);
-            stats.candidates_generated += candidates.len();
-            for candidate in dedupe_by_canonical_code(candidates, &mut seen) {
-                if stats.truncated {
-                    break;
-                }
-                self.consider(candidate, &mut frequent, &mut queue, &mut stats);
-            }
-        }
-
-        stats.elapsed = start.elapsed();
-        MiningResult { patterns: frequent, stats }
-    }
-
-    fn consider(
-        &self,
-        candidate: Pattern,
-        frequent: &mut Vec<FrequentPattern>,
-        queue: &mut VecDeque<Pattern>,
-        stats: &mut MiningStats,
-    ) {
-        if stats.candidates_evaluated >= self.config.max_evaluations
-            || frequent.len() >= self.config.max_patterns
-        {
-            stats.truncated = true;
-            return;
-        }
-        stats.candidates_evaluated += 1;
-        let (support, num_occurrences) = self.support_of(&candidate);
-        if support >= self.config.min_support {
-            queue.push_back(candidate.clone());
-            frequent.push(FrequentPattern { pattern: candidate, support, num_occurrences });
-        } else {
-            stats.candidates_pruned += 1;
-        }
+        MiningSession::on(self.graph)
+            .measure(self.config.measure)
+            .measure_config(self.config.measure_config.clone())
+            .min_support(self.config.min_support)
+            .max_edges(self.config.max_pattern_edges)
+            .budget(MiningBudget {
+                max_evaluations: self.config.max_evaluations,
+                max_patterns: self.config.max_patterns,
+            })
+            .run()
+            .expect("legacy MinerConfig produced an invalid session")
     }
 }
 
@@ -202,6 +119,7 @@ impl<'a> Miner<'a> {
 mod tests {
     use super::*;
     use ffsm_graph::{generators, Label};
+    use std::collections::HashSet;
 
     /// A graph with an obvious frequent structure: many disjoint triangles with the
     /// same labels plus a few noise edges.
@@ -240,10 +158,16 @@ mod tests {
     #[test]
     fn higher_threshold_yields_fewer_patterns() {
         let graph = generators::community_graph(3, 12, 0.3, 0.02, 4, 7);
-        let low = Miner::new(&graph, MinerConfig { min_support: 2.0, max_pattern_edges: 2, ..Default::default() })
-            .mine();
-        let high = Miner::new(&graph, MinerConfig { min_support: 8.0, max_pattern_edges: 2, ..Default::default() })
-            .mine();
+        let low = Miner::new(
+            &graph,
+            MinerConfig { min_support: 2.0, max_pattern_edges: 2, ..Default::default() },
+        )
+        .mine();
+        let high = Miner::new(
+            &graph,
+            MinerConfig { min_support: 8.0, max_pattern_edges: 2, ..Default::default() },
+        )
+        .mine();
         assert!(high.len() <= low.len());
     }
 
@@ -274,11 +198,12 @@ mod tests {
             MinerConfig { min_support: 3.0, measure: MeasureKind::Mni, ..Default::default() },
         )
         .mine();
-        let best_by_edges: HashMap<usize, f64> = result.patterns.iter().fold(HashMap::new(), |mut m, p| {
-            let e = m.entry(p.pattern.num_edges()).or_insert(0.0);
-            *e = e.max(p.support);
-            m
-        });
+        let best_by_edges: HashMap<usize, f64> =
+            result.patterns.iter().fold(HashMap::new(), |mut m, p| {
+                let e = m.entry(p.pattern.num_edges()).or_insert(0.0);
+                *e = e.max(p.support);
+                m
+            });
         let mut sizes: Vec<usize> = best_by_edges.keys().copied().collect();
         sizes.sort_unstable();
         for w in sizes.windows(2) {

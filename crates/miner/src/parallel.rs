@@ -1,31 +1,18 @@
-//! Level-synchronous parallel mining.
+//! Legacy level-parallel mining API, kept as a thin shim over
+//! [`crate::MiningSession`] (use `.threads(k)` on a session instead).
 //!
-//! The sequential [`crate::Miner`] evaluates one candidate at a time.  Candidate
-//! support evaluations at the same search level are independent (each enumerates its
-//! own occurrences and builds its own hypergraph), so the frontier can be evaluated on
-//! worker threads — this is the practical payoff of the paper's "additiveness /
-//! parallel computation" extension (Section 6, item 4) at the *miner* level, on top of
-//! the per-component decomposition that `ffsm-core::decompose` offers per measure.
-//!
-//! The implementation is deliberately simple and deterministic:
-//!
-//! 1. collect the current level's deduplicated candidates;
-//! 2. split them round-robin over `num_threads` scoped workers, each computing
-//!    `(support, occurrence count)` for its share;
-//! 3. merge results in candidate order, apply the threshold and emit the next level.
-//!
-//! Because the partition and the merge order are fixed, the output is identical to
-//! the sequential miner's (same patterns, same supports, same order per level).
+//! Because the engine's partition and merge order are fixed, the output is identical
+//! to a sequential run (same patterns, same supports, same order per level).
 
-use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
-use crate::miner::{FrequentPattern, MiningResult, MiningStats};
-use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasures};
-use ffsm_graph::canonical::CanonicalCode;
-use ffsm_graph::{LabeledGraph, Pattern};
-use std::collections::HashSet;
-use std::time::Instant;
+#![allow(deprecated)]
 
-/// Configuration of a parallel mining run.
+use crate::session::{MiningBudget, MiningSession};
+use crate::types::MiningResult;
+use ffsm_core::{MeasureConfig, MeasureKind};
+use ffsm_graph::LabeledGraph;
+
+/// Configuration of a legacy parallel mining run.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph).threads(k)` instead")]
 #[derive(Debug, Clone)]
 pub struct ParallelMinerConfig {
     /// Support threshold τ.
@@ -56,96 +43,27 @@ impl Default for ParallelMinerConfig {
     }
 }
 
-/// Evaluate the support of every candidate, in order, using `num_threads` workers.
-fn evaluate_level(
-    graph: &LabeledGraph,
-    candidates: &[Pattern],
-    config: &ParallelMinerConfig,
-) -> Vec<(f64, usize)> {
-    let evaluate = |pattern: &Pattern| -> (f64, usize) {
-        let occ = OccurrenceSet::enumerate(pattern, graph, config.measure_config.iso_config);
-        let n = occ.num_occurrences();
-        let measures = SupportMeasures::new(occ, config.measure_config.clone());
-        (measures.compute(config.measure), n)
-    };
-    let workers = config
-        .num_threads
-        .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
-        .min(candidates.len());
-    if workers <= 1 {
-        return candidates.iter().map(evaluate).collect();
-    }
-    let mut results = vec![(0.0, 0usize); candidates.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let evaluate = &evaluate;
-            handles.push(scope.spawn(move || {
-                candidates
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| i % workers == w)
-                    .map(|(i, p)| (i, evaluate(p)))
-                    .collect::<Vec<(usize, (f64, usize))>>()
-            }));
-        }
-        for handle in handles {
-            for (i, r) in handle.join().expect("mining worker panicked") {
-                results[i] = r;
-            }
-        }
-    });
-    results
-}
-
-/// Run the level-synchronous parallel miner.
+/// Run the legacy level-synchronous parallel miner.  Delegates to
+/// [`crate::MiningSession`].
+///
+/// # Panics
+///
+/// Panics when the configuration is one the session API rejects — the legacy
+/// signature has no error channel.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph).threads(k)` instead")]
 pub fn mine_parallel(graph: &LabeledGraph, config: &ParallelMinerConfig) -> MiningResult {
-    let start = Instant::now();
-    let mut stats = MiningStats::default();
-    let mut seen: HashSet<CanonicalCode> = HashSet::new();
-    let mut frequent: Vec<FrequentPattern> = Vec::new();
-    let alphabet = graph.distinct_labels();
-
-    let seeds = seed_patterns(graph);
-    stats.candidates_generated += seeds.len();
-    let mut level: Vec<Pattern> = dedupe_by_canonical_code(seeds, &mut seen);
-
-    while !level.is_empty() && !stats.truncated {
-        // Respect the evaluation cap by trimming the level.
-        let remaining = config.max_evaluations.saturating_sub(stats.candidates_evaluated);
-        if level.len() > remaining {
-            level.truncate(remaining);
-            stats.truncated = true;
-        }
-        if level.is_empty() {
-            break;
-        }
-        let supports = evaluate_level(graph, &level, config);
-        stats.candidates_evaluated += level.len();
-        let mut survivors: Vec<Pattern> = Vec::new();
-        for (pattern, (support, num_occurrences)) in level.into_iter().zip(supports) {
-            if support >= config.min_support {
-                survivors.push(pattern.clone());
-                frequent.push(FrequentPattern { pattern, support, num_occurrences });
-            } else {
-                stats.candidates_pruned += 1;
-            }
-        }
-        // Next level: one-edge extensions of every surviving pattern.
-        let mut next: Vec<Pattern> = Vec::new();
-        for pattern in &survivors {
-            if pattern.num_edges() >= config.max_pattern_edges {
-                continue;
-            }
-            let candidates = extensions(pattern, &alphabet);
-            stats.candidates_generated += candidates.len();
-            next.extend(dedupe_by_canonical_code(candidates, &mut seen));
-        }
-        level = next;
-    }
-
-    stats.elapsed = start.elapsed();
-    MiningResult { patterns: frequent, stats }
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = config.num_threads.min(available).max(1);
+    MiningSession::on(graph)
+        .measure(config.measure)
+        .measure_config(config.measure_config.clone())
+        .min_support(config.min_support)
+        .max_edges(config.max_pattern_edges)
+        .threads(threads)
+        // The legacy parallel miner had no pattern cap, only the evaluation cap.
+        .budget(MiningBudget { max_evaluations: config.max_evaluations, max_patterns: usize::MAX })
+        .run()
+        .expect("legacy ParallelMinerConfig produced an invalid session")
 }
 
 #[cfg(test)]
@@ -161,11 +79,7 @@ mod tests {
     }
 
     fn pattern_set(result: &MiningResult) -> std::collections::BTreeSet<Vec<u64>> {
-        result
-            .patterns
-            .iter()
-            .map(|p| canonical_code(&p.pattern).as_slice().to_vec())
-            .collect()
+        result.patterns.iter().map(|p| canonical_code(&p.pattern).as_slice().to_vec()).collect()
     }
 
     #[test]
@@ -205,7 +119,12 @@ mod tests {
         let graph = workload();
         let result = mine_parallel(
             &graph,
-            &ParallelMinerConfig { min_support: 5.0, num_threads: 1, max_pattern_edges: 3, ..Default::default() },
+            &ParallelMinerConfig {
+                min_support: 5.0,
+                num_threads: 1,
+                max_pattern_edges: 3,
+                ..Default::default()
+            },
         );
         assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
     }
@@ -215,7 +134,12 @@ mod tests {
         let graph = generators::community_graph(2, 10, 0.4, 0.05, 3, 9);
         let base = mine_parallel(
             &graph,
-            &ParallelMinerConfig { min_support: 3.0, num_threads: 1, max_pattern_edges: 2, ..Default::default() },
+            &ParallelMinerConfig {
+                min_support: 3.0,
+                num_threads: 1,
+                max_pattern_edges: 2,
+                ..Default::default()
+            },
         );
         for threads in [2, 3, 8] {
             let other = mine_parallel(

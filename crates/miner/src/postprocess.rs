@@ -15,7 +15,7 @@
 //! an embedding in `P`), which is exact and cheap at the pattern sizes the miner
 //! produces (≤ a handful of edges).
 
-use crate::miner::{FrequentPattern, MiningResult};
+use crate::types::{FrequentPattern, MiningResult};
 use ffsm_graph::isomorphism::has_embedding;
 
 /// `true` if `small` is a subpattern of `big` (has a label-preserving embedding and
@@ -116,29 +116,28 @@ impl PatternLattice {
     /// `true` when every lattice edge is support-non-increasing (the anti-monotonicity
     /// check the experiments run on real mining output).
     pub fn is_anti_monotone(&self, result: &MiningResult) -> bool {
-        self.edges.iter().all(|&(p, c)| {
-            result.patterns[p].support >= result.patterns[c].support - 1e-9
-        })
+        self.edges
+            .iter()
+            .all(|&(p, c)| result.patterns[p].support >= result.patterns[c].support - 1e-9)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::miner::{Miner, MinerConfig};
+    use crate::session::MiningSession;
     use ffsm_core::MeasureKind;
-    use ffsm_graph::{generators, patterns, LabeledGraph, Label};
+    use ffsm_graph::{generators, patterns, Label, LabeledGraph};
 
     fn mined_triangles() -> MiningResult {
         let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
         let graph = generators::replicated(&triangle, 5, false);
-        let config = MinerConfig {
-            min_support: 5.0,
-            measure: MeasureKind::Mni,
-            max_pattern_edges: 3,
-            ..Default::default()
-        };
-        Miner::new(&graph, config).mine()
+        MiningSession::on(&graph)
+            .measure(MeasureKind::Mni)
+            .min_support(5.0)
+            .max_edges(3)
+            .run()
+            .expect("valid session")
     }
 
     #[test]
@@ -202,7 +201,7 @@ mod tests {
     #[test]
     fn empty_result_post_processing() {
         let graph = LabeledGraph::new();
-        let result = Miner::new(&graph, MinerConfig::default()).mine();
+        let result = MiningSession::on(&graph).run().expect("valid session");
         assert!(maximal_patterns(&result).is_empty());
         assert!(closed_patterns(&result).is_empty());
         let lattice = PatternLattice::build(&result);

@@ -1,0 +1,395 @@
+//! [`MiningSession`] — the single entry point for frequent-subgraph mining.
+//!
+//! A session is a builder over one data graph: pick a measure (built-in
+//! [`MeasureKind`] or any user [`SupportMeasure`] impl), set the threshold and
+//! limits, then [`MiningSession::run`].  Sequential, level-parallel and top-k mining
+//! are modes of one engine, not separate APIs:
+//!
+//! ```
+//! use ffsm_graph::{generators, LabeledGraph};
+//! use ffsm_core::MeasureKind;
+//! use ffsm_miner::MiningSession;
+//!
+//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+//! let graph = generators::replicated(&triangle, 5, false);
+//! let result = MiningSession::on(&graph)
+//!     .measure(MeasureKind::Mni)
+//!     .min_support(5.0)
+//!     .max_edges(3)
+//!     .run()
+//!     .expect("valid session");
+//! assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
+//! ```
+
+use crate::engine::{run_engine, EngineConfig, PatternCallback};
+use crate::types::{FrequentPattern, MiningResult};
+use ffsm_core::{FfsmError, MeasureConfig, MeasureKind, SupportMeasure};
+use ffsm_graph::LabeledGraph;
+use std::sync::Arc;
+
+/// Safety caps bounding the cost of one mining run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiningBudget {
+    /// Cap on the number of support evaluations (candidate patterns).
+    pub max_evaluations: usize,
+    /// Cap on the number of frequent patterns reported (threshold mode).
+    pub max_patterns: usize,
+}
+
+impl Default for MiningBudget {
+    fn default() -> Self {
+        MiningBudget { max_evaluations: 100_000, max_patterns: 10_000 }
+    }
+}
+
+/// The measure a session mines with: a built-in kind or a user-supplied impl.
+#[derive(Clone)]
+pub enum MeasureSelection {
+    /// A built-in measure, instantiated with the session's [`MeasureConfig`] at
+    /// [`MiningSession::run`] time.
+    Kind(MeasureKind),
+    /// A user-defined pluggable measure.
+    Custom(Arc<dyn SupportMeasure>),
+}
+
+impl std::fmt::Debug for MeasureSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureSelection::Kind(kind) => write!(f, "Kind({kind})"),
+            MeasureSelection::Custom(m) => write!(f, "Custom({})", m.name()),
+        }
+    }
+}
+
+impl From<MeasureKind> for MeasureSelection {
+    fn from(kind: MeasureKind) -> Self {
+        MeasureSelection::Kind(kind)
+    }
+}
+
+impl From<Arc<dyn SupportMeasure>> for MeasureSelection {
+    fn from(measure: Arc<dyn SupportMeasure>) -> Self {
+        MeasureSelection::Custom(measure)
+    }
+}
+
+/// The canonical mining configuration a [`MiningSession`] builds up.
+///
+/// This one struct replaces the old `MinerConfig` / `ParallelMinerConfig` /
+/// `TopKConfig` triple (which had already drifted apart field-by-field).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Support threshold τ: a pattern is frequent when `support ≥ min_support`.
+    /// In top-k mode this is the floor below which patterns are never reported.
+    pub min_support: f64,
+    /// Which measure to mine with.
+    pub measure: MeasureSelection,
+    /// Measure configuration: occurrence-enumeration budget, MI strategy, MVC
+    /// algorithm, hypergraph basis, search budget.  Built-in measures are
+    /// instantiated with it; custom measures only use its `iso_config` (the engine
+    /// enumerates occurrences with it).
+    pub measure_config: MeasureConfig,
+    /// Stop growing patterns beyond this many edges.
+    pub max_edges: usize,
+    /// Safety caps.
+    pub budget: MiningBudget,
+    /// Worker threads for candidate evaluation; `1` = sequential (the default),
+    /// `0` = one per available core.
+    pub threads: usize,
+    /// `Some(k)` switches to top-k mining with a rising threshold.
+    pub top_k: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            min_support: 2.0,
+            measure: MeasureSelection::Kind(MeasureKind::Mni),
+            measure_config: MeasureConfig::default(),
+            max_edges: 4,
+            budget: MiningBudget::default(),
+            threads: 1,
+            top_k: None,
+        }
+    }
+}
+
+/// Builder-style mining session over one data graph.  See the module docs for an
+/// example; construct with [`MiningSession::on`].
+pub struct MiningSession<'g> {
+    graph: &'g LabeledGraph,
+    config: SessionConfig,
+    on_pattern: Option<PatternCallback<'g>>,
+}
+
+impl<'g> MiningSession<'g> {
+    /// Start a session over `graph` with default configuration (MNI, τ = 2,
+    /// patterns up to 4 edges, sequential).
+    pub fn on(graph: &'g LabeledGraph) -> Self {
+        MiningSession { graph, config: SessionConfig::default(), on_pattern: None }
+    }
+
+    /// The canonical configuration built so far.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Select the measure: a built-in [`MeasureKind`] or an
+    /// `Arc<dyn SupportMeasure>` of a user-defined measure.
+    pub fn measure(mut self, measure: impl Into<MeasureSelection>) -> Self {
+        self.config.measure = measure.into();
+        self
+    }
+
+    /// Set the support threshold τ (the floor threshold in top-k mode).
+    pub fn min_support(mut self, tau: f64) -> Self {
+        self.config.min_support = tau;
+        self
+    }
+
+    /// Stop growing patterns beyond `edges` edges.
+    pub fn max_edges(mut self, edges: usize) -> Self {
+        self.config.max_edges = edges;
+        self
+    }
+
+    /// Use `count` worker threads for candidate evaluation (`1` = sequential,
+    /// `0` = one per available core).  The thread count never changes the result.
+    pub fn threads(mut self, count: usize) -> Self {
+        self.config.threads = count;
+        self
+    }
+
+    /// Mine the `k` highest-support patterns instead of all patterns above τ.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.config.top_k = Some(k);
+        self
+    }
+
+    /// Set the safety caps (evaluations, reported patterns).
+    pub fn budget(mut self, budget: MiningBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Override the measure configuration (occurrence-enumeration budget, MI
+    /// strategy, MVC algorithm, basis, search budget).
+    pub fn measure_config(mut self, measure_config: MeasureConfig) -> Self {
+        self.config.measure_config = measure_config;
+        self
+    }
+
+    /// Stream every accepted pattern to `callback` as it is found (threshold mode:
+    /// each emitted pattern; top-k mode: each pattern entering the running top-k,
+    /// which a later, better pattern may still evict).
+    pub fn on_pattern(mut self, callback: impl FnMut(&FrequentPattern) + 'g) -> Self {
+        self.on_pattern = Some(Box::new(callback));
+        self
+    }
+
+    /// Validate the configuration and run the miner.
+    ///
+    /// # Errors
+    ///
+    /// * [`FfsmError::InvalidConfig`] — non-finite or negative τ, `max_edges(0)`,
+    ///   `top_k(0)`, or an `MNI-0` measure;
+    /// * [`FfsmError::NotAntiMonotone`] — the selected measure refuses threshold
+    ///   pruning (e.g. the raw occurrence count), which would make mining unsound.
+    pub fn run(self) -> Result<MiningResult, FfsmError> {
+        let MiningSession { graph, config, on_pattern } = self;
+        if !config.min_support.is_finite() || config.min_support < 0.0 {
+            return Err(FfsmError::InvalidConfig(format!(
+                "min_support must be finite and non-negative, got {}",
+                config.min_support
+            )));
+        }
+        if config.max_edges == 0 {
+            return Err(FfsmError::InvalidConfig("max_edges must be at least 1".into()));
+        }
+        if config.top_k == Some(0) {
+            return Err(FfsmError::InvalidConfig("top_k must be at least 1".into()));
+        }
+        if let MeasureSelection::Kind(MeasureKind::MniK(0)) = config.measure {
+            return Err(FfsmError::InvalidConfig("MNI-k needs k >= 1".into()));
+        }
+        let measure: Arc<dyn SupportMeasure> = match config.measure {
+            MeasureSelection::Kind(kind) => kind.measure(config.measure_config.clone()),
+            MeasureSelection::Custom(measure) => measure,
+        };
+        if !measure.is_anti_monotone() {
+            return Err(FfsmError::NotAntiMonotone(measure.name().to_string()));
+        }
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let engine_config = EngineConfig {
+            min_support: config.min_support,
+            iso_config: config.measure_config.iso_config,
+            max_pattern_edges: config.max_edges,
+            max_patterns: config.budget.max_patterns,
+            max_evaluations: config.budget.max_evaluations,
+            threads,
+            top_k: config.top_k,
+        };
+        Ok(run_engine(graph, &measure, &engine_config, on_pattern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_core::OccurrenceSet;
+    use ffsm_graph::generators;
+
+    fn triangle_forest(copies: usize) -> LabeledGraph {
+        let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        generators::replicated(&triangle, copies, false)
+    }
+
+    #[test]
+    fn builder_round_trips_every_setting() {
+        let graph = LabeledGraph::new();
+        let session = MiningSession::on(&graph)
+            .measure(MeasureKind::Mis)
+            .min_support(7.5)
+            .max_edges(6)
+            .threads(3)
+            .top_k(9)
+            .budget(MiningBudget { max_evaluations: 123, max_patterns: 45 });
+        let config = session.config();
+        assert!(matches!(config.measure, MeasureSelection::Kind(MeasureKind::Mis)));
+        assert_eq!(config.min_support, 7.5);
+        assert_eq!(config.max_edges, 6);
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.top_k, Some(9));
+        assert_eq!(config.budget, MiningBudget { max_evaluations: 123, max_patterns: 45 });
+    }
+
+    #[test]
+    fn defaults_match_session_config_default() {
+        let graph = LabeledGraph::new();
+        let session = MiningSession::on(&graph);
+        let d = SessionConfig::default();
+        let config = session.config();
+        assert_eq!(config.min_support, d.min_support);
+        assert_eq!(config.max_edges, d.max_edges);
+        assert_eq!(config.threads, d.threads);
+        assert_eq!(config.top_k, d.top_k);
+        assert_eq!(config.budget, d.budget);
+        assert!(matches!(config.measure, MeasureSelection::Kind(MeasureKind::Mni)));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let graph = triangle_forest(2);
+        let nan = MiningSession::on(&graph).min_support(f64::NAN).run();
+        assert!(matches!(nan, Err(FfsmError::InvalidConfig(_))));
+        let negative = MiningSession::on(&graph).min_support(-1.0).run();
+        assert!(matches!(negative, Err(FfsmError::InvalidConfig(_))));
+        let zero_edges = MiningSession::on(&graph).max_edges(0).run();
+        assert!(matches!(zero_edges, Err(FfsmError::InvalidConfig(_))));
+        let zero_k = MiningSession::on(&graph).top_k(0).run();
+        assert!(matches!(zero_k, Err(FfsmError::InvalidConfig(_))));
+        let mni0 = MiningSession::on(&graph).measure(MeasureKind::MniK(0)).run();
+        assert!(matches!(mni0, Err(FfsmError::InvalidConfig(_))));
+        let unsound = MiningSession::on(&graph).measure(MeasureKind::OccurrenceCount).run();
+        assert!(matches!(unsound, Err(FfsmError::NotAntiMonotone(_))));
+    }
+
+    #[test]
+    fn threshold_run_finds_triangles() {
+        let graph = triangle_forest(5);
+        let result = MiningSession::on(&graph)
+            .measure(MeasureKind::Mni)
+            .min_support(5.0)
+            .max_edges(3)
+            .run()
+            .unwrap();
+        assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
+        assert_eq!(result.final_threshold, 5.0);
+        for p in &result.patterns {
+            assert!(p.support >= 5.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let graph = generators::community_graph(2, 10, 0.4, 0.05, 3, 9);
+        let collect = |threads: usize| {
+            MiningSession::on(&graph)
+                .min_support(3.0)
+                .max_edges(2)
+                .threads(threads)
+                .run()
+                .unwrap()
+                .patterns
+                .iter()
+                .map(|p| ffsm_graph::canonical::canonical_code(&p.pattern))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let base = collect(1);
+        for threads in [2, 4, 0] {
+            assert_eq!(base, collect(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn top_k_mode_returns_k_best_sorted() {
+        let graph = triangle_forest(6);
+        let result =
+            MiningSession::on(&graph).min_support(1.0).max_edges(3).top_k(4).run().unwrap();
+        assert!(result.patterns.len() <= 4);
+        assert!(!result.patterns.is_empty());
+        for w in result.patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        assert!(result.final_threshold >= 1.0);
+    }
+
+    #[test]
+    fn on_pattern_streams_emitted_patterns() {
+        let graph = triangle_forest(4);
+        let mut streamed = Vec::new();
+        let result = MiningSession::on(&graph)
+            .min_support(4.0)
+            .max_edges(3)
+            .on_pattern(|p| streamed.push(p.pattern.num_edges()))
+            .run()
+            .unwrap();
+        assert_eq!(streamed.len(), result.len());
+    }
+
+    #[test]
+    fn custom_measure_plugs_in() {
+        /// Half of MNI — still anti-monotone, so mining with it is sound.
+        struct HalfMni;
+        impl SupportMeasure for HalfMni {
+            fn support(&self, occurrences: &OccurrenceSet) -> f64 {
+                ffsm_core::measures::mni::mni(occurrences) as f64 / 2.0
+            }
+            fn is_anti_monotone(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &str {
+                "MNI/2"
+            }
+        }
+        let graph = triangle_forest(6);
+        let custom: Arc<dyn SupportMeasure> = Arc::new(HalfMni);
+        let halved =
+            MiningSession::on(&graph).measure(custom).min_support(3.0).max_edges(3).run().unwrap();
+        let full = MiningSession::on(&graph)
+            .measure(MeasureKind::Mni)
+            .min_support(6.0)
+            .max_edges(3)
+            .run()
+            .unwrap();
+        // τ = 3 under MNI/2 is exactly τ = 6 under MNI.
+        assert_eq!(halved.len(), full.len());
+        for (a, b) in halved.patterns.iter().zip(&full.patterns) {
+            assert_eq!(a.support * 2.0, b.support);
+        }
+    }
+}

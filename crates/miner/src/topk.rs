@@ -1,26 +1,20 @@
-//! Top-k frequent-pattern mining.
+//! Legacy top-k mining API, kept as a thin shim over [`crate::MiningSession`]
+//! (use `.top_k(k)` on a session instead).
 //!
-//! Instead of fixing a support threshold τ up front (hard to choose on an unknown
-//! graph), top-k mining asks for the `k` patterns of highest support.  The search
-//! exploits anti-monotonicity as a branch-and-bound rule: the running k-th best
-//! support is a *rising* threshold, and any candidate below it can be pruned together
-//! with all of its extensions — exactly the pruning argument of Definition 2.2.2, so
-//! the algorithm is correct for every measure exposed by `ffsm-core` (MNI, MI, MVC,
-//! MIS/MIES, the relaxations and MCP).
-//!
-//! A floor threshold (`min_support`) is still applied so that patterns that occur
-//! essentially never are not reported even when `k` is larger than the number of
-//! interesting patterns.
+//! Top-k mining asks for the `k` patterns of highest support instead of fixing a
+//! threshold τ up front; the engine exploits anti-monotonicity as a branch-and-bound
+//! rule with a rising threshold.  A floor threshold (`min_support`) still applies so
+//! patterns that essentially never occur are not reported even when `k` is large.
 
-use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
-use crate::miner::{FrequentPattern, MiningStats};
-use ffsm_core::{MeasureConfig, MeasureKind, OccurrenceSet, SupportMeasures};
-use ffsm_graph::canonical::CanonicalCode;
+#![allow(deprecated)]
+
+use crate::session::{MiningBudget, MiningSession};
+use crate::types::{FrequentPattern, MiningStats};
+use ffsm_core::{MeasureConfig, MeasureKind};
 use ffsm_graph::LabeledGraph;
-use std::collections::{HashSet, VecDeque};
-use std::time::Instant;
 
-/// Configuration of a top-k mining run.
+/// Configuration of a legacy top-k mining run.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph).top_k(k)` instead")]
 #[derive(Debug, Clone)]
 pub struct TopKConfig {
     /// How many patterns to return.
@@ -51,8 +45,9 @@ impl Default for TopKConfig {
     }
 }
 
-/// Result of a top-k run: at most `k` patterns, sorted by descending support (ties by
-/// fewer edges first, then insertion order).
+/// Result of a legacy top-k run: at most `k` patterns, sorted by descending support
+/// (ties by fewer edges first).
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph).top_k(k)` instead")]
 #[derive(Debug, Clone)]
 pub struct TopKResult {
     /// The best patterns found.
@@ -64,94 +59,29 @@ pub struct TopKResult {
     pub stats: MiningStats,
 }
 
-/// Mine the top-k patterns of `graph` under `config`.
+/// Mine the top-k patterns of `graph` under `config`.  Delegates to
+/// [`crate::MiningSession`].
+///
+/// # Panics
+///
+/// Panics when the configuration is one the session API rejects (e.g. `k = 0`) —
+/// the legacy signature has no error channel.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::on(&graph).top_k(k)` instead")]
 pub fn mine_top_k(graph: &LabeledGraph, config: &TopKConfig) -> TopKResult {
-    let start = Instant::now();
-    let mut stats = MiningStats::default();
-    let mut best: Vec<FrequentPattern> = Vec::new();
-    let mut threshold = config.min_support;
-    let mut seen: HashSet<CanonicalCode> = HashSet::new();
-    let mut queue: VecDeque<ffsm_graph::Pattern> = VecDeque::new();
-    let alphabet = graph.distinct_labels();
-
-    let support_of = |pattern: &ffsm_graph::Pattern, stats: &mut MiningStats| -> (f64, usize) {
-        stats.candidates_evaluated += 1;
-        let occ = OccurrenceSet::enumerate(pattern, graph, config.measure_config.iso_config);
-        let n = occ.num_occurrences();
-        let measures = SupportMeasures::new(occ, config.measure_config.clone());
-        (measures.compute(config.measure), n)
-    };
-
-    // Insert a pattern into the running top-k list, returning the updated threshold.
-    let insert = |best: &mut Vec<FrequentPattern>, found: FrequentPattern, k: usize, floor: f64| -> f64 {
-        best.push(found);
-        best.sort_by(|a, b| {
-            b.support
-                .partial_cmp(&a.support)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.pattern.num_edges().cmp(&b.pattern.num_edges()))
-        });
-        if best.len() > k {
-            best.truncate(k);
-        }
-        if best.len() == k {
-            best.last().map(|p| p.support).unwrap_or(floor).max(floor)
-        } else {
-            floor
-        }
-    };
-
-    let seeds = seed_patterns(graph);
-    stats.candidates_generated += seeds.len();
-    for seed in dedupe_by_canonical_code(seeds, &mut seen) {
-        if stats.candidates_evaluated >= config.max_evaluations {
-            stats.truncated = true;
-            break;
-        }
-        let (support, num_occurrences) = support_of(&seed, &mut stats);
-        if support >= threshold {
-            queue.push_back(seed.clone());
-            threshold = insert(
-                &mut best,
-                FrequentPattern { pattern: seed, support, num_occurrences },
-                config.k,
-                config.min_support,
-            );
-        } else {
-            stats.candidates_pruned += 1;
-        }
+    let result = MiningSession::on(graph)
+        .measure(config.measure)
+        .measure_config(config.measure_config.clone())
+        .min_support(config.min_support)
+        .max_edges(config.max_pattern_edges)
+        .top_k(config.k)
+        .budget(MiningBudget { max_evaluations: config.max_evaluations, max_patterns: usize::MAX })
+        .run()
+        .expect("legacy TopKConfig produced an invalid session");
+    TopKResult {
+        patterns: result.patterns,
+        final_threshold: result.final_threshold,
+        stats: result.stats,
     }
-
-    while let Some(pattern) = queue.pop_front() {
-        if stats.truncated || pattern.num_edges() >= config.max_pattern_edges {
-            continue;
-        }
-        let candidates = extensions(&pattern, &alphabet);
-        stats.candidates_generated += candidates.len();
-        for candidate in dedupe_by_canonical_code(candidates, &mut seen) {
-            if stats.candidates_evaluated >= config.max_evaluations {
-                stats.truncated = true;
-                break;
-            }
-            let (support, num_occurrences) = support_of(&candidate, &mut stats);
-            // Anti-monotonic pruning against the *current* threshold: extensions of a
-            // below-threshold candidate can never re-enter the top k.
-            if support >= threshold && support >= config.min_support {
-                queue.push_back(candidate.clone());
-                threshold = insert(
-                    &mut best,
-                    FrequentPattern { pattern: candidate, support, num_occurrences },
-                    config.k,
-                    config.min_support,
-                );
-            } else {
-                stats.candidates_pruned += 1;
-            }
-        }
-    }
-
-    stats.elapsed = start.elapsed();
-    TopKResult { patterns: best, final_threshold: threshold, stats }
 }
 
 #[cfg(test)]
@@ -219,10 +149,8 @@ mod tests {
     #[test]
     fn floor_threshold_limits_results() {
         let graph = triangle_forest(2);
-        let result = mine_top_k(
-            &graph,
-            &TopKConfig { k: 50, min_support: 10.0, ..Default::default() },
-        );
+        let result =
+            mine_top_k(&graph, &TopKConfig { k: 50, min_support: 10.0, ..Default::default() });
         // Nothing reaches support 10 with only two copies.
         assert!(result.patterns.is_empty());
         assert_eq!(result.final_threshold, 10.0);
@@ -238,10 +166,8 @@ mod tests {
     #[test]
     fn evaluation_cap_truncates() {
         let graph = generators::gnm_random(60, 200, 2, 4);
-        let result = mine_top_k(
-            &graph,
-            &TopKConfig { k: 10, max_evaluations: 3, ..Default::default() },
-        );
+        let result =
+            mine_top_k(&graph, &TopKConfig { k: 10, max_evaluations: 3, ..Default::default() });
         assert!(result.stats.truncated);
         assert!(result.stats.candidates_evaluated <= 3);
     }

@@ -8,7 +8,7 @@
 
 use ffsm::core::measures::MeasureKind;
 use ffsm::graph::generators;
-use ffsm::miner::{Miner, MinerConfig};
+use ffsm::miner::MiningSession;
 
 fn main() {
     let graph = generators::community_graph(4, 18, 0.3, 0.02, 4, 5);
@@ -20,21 +20,17 @@ fn main() {
     );
 
     let measures = [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mis];
-    println!(
-        "{:>6} | {:>10} {:>10} {:>10} {:>10}",
-        "tau", "MNI", "MI", "MVC", "MIS"
-    );
+    println!("{:>6} | {:>10} {:>10} {:>10} {:>10}", "tau", "MNI", "MI", "MVC", "MIS");
     println!("{}", "-".repeat(56));
     for tau in [2.0, 4.0, 8.0, 16.0] {
         let mut counts = Vec::new();
         for &measure in &measures {
-            let config = MinerConfig {
-                min_support: tau,
-                measure,
-                max_pattern_edges: 3,
-                ..Default::default()
-            };
-            let result = Miner::new(&graph, config).mine();
+            let result = MiningSession::on(&graph)
+                .measure(measure)
+                .min_support(tau)
+                .max_edges(3)
+                .run()
+                .expect("valid session");
             counts.push(result.len());
         }
         println!(

@@ -25,7 +25,8 @@ fn main() {
     ];
     let config = MeasureConfig::default();
     for (name, pattern) in queries {
-        let profile = MeasureProfile::compute_labeled(name.to_string(), &pattern, &dataset.graph, &config);
+        let profile =
+            MeasureProfile::compute_labeled(name.to_string(), &pattern, &dataset.graph, &config);
         println!("{profile}");
         println!(
             "bounding chain holds: {}\n",

@@ -9,7 +9,7 @@
 use ffsm::core::measures::MeasureKind;
 use ffsm::graph::datasets;
 use ffsm::graph::io::to_lg_string;
-use ffsm::miner::{Miner, MinerConfig};
+use ffsm::miner::MiningSession;
 
 fn main() {
     let dataset = datasets::chemical_like(60, 2024);
@@ -17,18 +17,13 @@ fn main() {
 
     let tau = 20.0;
     for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc] {
-        let config = MinerConfig {
-            min_support: tau,
-            measure,
-            max_pattern_edges: 4,
-            ..Default::default()
-        };
-        let miner = Miner::new(&dataset.graph, config);
-        let result = miner.mine();
-        println!(
-            "\n=== measure {} | tau = {tau} ===",
-            measure.name()
-        );
+        let result = MiningSession::on(&dataset.graph)
+            .measure(measure)
+            .min_support(tau)
+            .max_edges(4)
+            .run()
+            .expect("valid session");
+        println!("\n=== measure {measure} | tau = {tau} ===");
         println!(
             "{} frequent patterns ({} candidates evaluated, {} pruned, {:?})",
             result.len(),

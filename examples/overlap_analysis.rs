@@ -31,10 +31,7 @@ fn analyse(name: &str, graph: &ffsm::graph::LabeledGraph, pattern: &ffsm::graph:
         analysis.mis_under(OverlapKind::Structural, budget),
         analysis.mis_under(OverlapKind::Edge, budget),
     );
-    println!(
-        "  MCP under simple overlap: {}\n",
-        analysis.mcp_under(OverlapKind::Simple, budget)
-    );
+    println!("  MCP under simple overlap: {}\n", analysis.mcp_under(OverlapKind::Simple, budget));
 }
 
 fn main() {

@@ -11,8 +11,10 @@ use ffsm::graph::isomorphism::IsoConfig;
 use ffsm::hypergraph::SearchBudget;
 
 fn main() {
-    println!("{:<10} {:>4} {:>5} {:>4} {:>5} {:>6} {:>4} {:>4} {:>4}   {}",
-        "figure", "occ", "inst", "MIS", "MIES", "nuMVC", "MVC", "MI", "MNI", "paper statement");
+    println!(
+        "{:<10} {:>4} {:>5} {:>4} {:>5} {:>6} {:>4} {:>4} {:>4}   paper statement",
+        "figure", "occ", "inst", "MIS", "MIES", "nuMVC", "MVC", "MI", "MNI"
+    );
     println!("{}", "-".repeat(120));
     for example in figures::all_figures() {
         let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());

@@ -36,7 +36,8 @@ fn main() {
         "pattern", "occur.", "MIS", "MVC", "MI", "MNI", "MNI/MIS"
     );
     for (name, pattern) in queries {
-        let occ = OccurrenceSet::enumerate(&pattern, &dataset.graph, IsoConfig::with_limit(500_000));
+        let occ =
+            OccurrenceSet::enumerate(&pattern, &dataset.graph, IsoConfig::with_limit(500_000));
         if occ.num_occurrences() == 0 {
             println!("{name:<22} (no occurrences)");
             continue;

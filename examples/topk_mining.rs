@@ -3,14 +3,16 @@
 //! This is the "downstream application" view of the paper: the same miner run with an
 //! over-estimating measure (MNI) versus a conservative one (MVC) reports different
 //! frequent-pattern sets; top-k mining removes the need to guess a threshold; and the
-//! maximal/closed condensations summarise the output.
+//! maximal/closed condensations summarise the output.  Everything runs through the
+//! one [`MiningSession`] entry point — sequential, parallel and top-k are modes, not
+//! separate APIs.
 //!
 //! Run with: `cargo run --release --example topk_mining`
 
 use ffsm::core::MeasureKind;
 use ffsm::graph::datasets;
 use ffsm::miner::postprocess::{closed_patterns, maximal_patterns};
-use ffsm::miner::{mine_parallel, mine_top_k, Miner, MinerConfig, ParallelMinerConfig, TopKConfig};
+use ffsm::miner::MiningSession;
 
 fn main() {
     let dataset = datasets::chemical_like(60, 23);
@@ -19,16 +21,14 @@ fn main() {
     // 1. Threshold mining under two measures.
     let tau = 12.0;
     for measure in [MeasureKind::Mni, MeasureKind::Mvc] {
-        let config = MinerConfig {
-            min_support: tau,
-            measure,
-            max_pattern_edges: 3,
-            ..Default::default()
-        };
-        let result = Miner::new(&dataset.graph, config).mine();
+        let result = MiningSession::on(&dataset.graph)
+            .measure(measure)
+            .min_support(tau)
+            .max_edges(3)
+            .run()
+            .expect("valid session");
         println!(
-            "threshold mining, tau = {tau}, measure = {:<4}: {:>3} frequent patterns ({} maximal, {} closed), {} candidates evaluated",
-            measure.name(),
+            "threshold mining, tau = {tau}, measure = {measure:<4}: {:>3} frequent patterns ({} maximal, {} closed), {} candidates evaluated",
             result.len(),
             maximal_patterns(&result).len(),
             closed_patterns(&result).len(),
@@ -36,24 +36,28 @@ fn main() {
         );
     }
 
-    // 2. The same threshold with the level-parallel miner (identical results).
-    let parallel = mine_parallel(
-        &dataset.graph,
-        &ParallelMinerConfig { min_support: tau, max_pattern_edges: 3, ..Default::default() },
-    );
+    // 2. The same threshold with every core evaluating candidates (identical results).
+    let parallel = MiningSession::on(&dataset.graph)
+        .min_support(tau)
+        .max_edges(3)
+        .threads(0) // one worker per available core
+        .run()
+        .expect("valid session");
     println!(
-        "parallel mining ({} threads):             {:>3} frequent patterns in {:?}",
-        ParallelMinerConfig::default().num_threads,
+        "parallel mining (all cores):              {:>3} frequent patterns in {:?}",
         parallel.len(),
         parallel.stats.elapsed
     );
 
     // 3. Top-k mining: no threshold guessing.
-    let topk = mine_top_k(
-        &dataset.graph,
-        &TopKConfig { k: 8, min_support: 2.0, max_pattern_edges: 3, ..Default::default() },
-    );
-    println!("\ntop-{} patterns by MNI support:", 8);
+    let k = 8;
+    let topk = MiningSession::on(&dataset.graph)
+        .min_support(2.0)
+        .max_edges(3)
+        .top_k(k)
+        .run()
+        .expect("valid session");
+    println!("\ntop-{k} patterns by MNI support:");
     for (rank, p) in topk.patterns.iter().enumerate() {
         println!(
             "  #{:<2} support {:>6.1}  ({} vertices, {} edges, {} occurrences)",

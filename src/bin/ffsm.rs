@@ -5,23 +5,45 @@
 //! * `stats <graph.lg>` — structural statistics of a labeled graph file;
 //! * `measure <graph.lg> --pattern <pattern.lg> [--measure NAME]` — compute one or all
 //!   support measures of a pattern in a data graph;
-//! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]` — run
-//!   the frequent-subgraph miner and print the frequent patterns;
+//! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]`
+//!   — run the frequent-subgraph miner and print the frequent patterns;
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
 //! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
 //!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
 //!
 //! Graphs use the plain-text `.lg` format of `ffsm_graph::io` (`v <id> <label>` /
-//! `e <u> <v>` lines).  Exit code 0 on success, 1 on a usage error, 2 on an I/O or
-//! parse error.
+//! `e <u> <v>` lines).  All mining goes through [`MiningSession`]; every failure is a
+//! typed [`FfsmError`].  Exit code 0 on success, 1 on a usage error, 2 on an I/O,
+//! parse or configuration error.
 
 use ffsm::core::measures::{MeasureConfig, MeasureKind};
-use ffsm::core::MeasureProfile;
+use ffsm::core::{FfsmError, MeasureProfile};
 use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
 use ffsm::miner::postprocess::maximal_patterns;
-use ffsm::miner::{mine_parallel, mine_top_k, Miner, MinerConfig, ParallelMinerConfig, TopKConfig};
+use ffsm::miner::{MiningResult, MiningSession};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// A CLI failure: either a usage problem (exit code 1) or a framework error
+/// (exit code 2).
+enum CliError {
+    /// Wrong arguments; the message explains the expected usage.
+    Usage(String),
+    /// An I/O, parse or configuration error from the framework.
+    Ffsm(FfsmError),
+}
+
+impl From<FfsmError> for CliError {
+    fn from(e: FfsmError) -> Self {
+        CliError::Ffsm(e)
+    }
+}
+
+impl From<ffsm::graph::GraphError> for CliError {
+    fn from(e: ffsm::graph::GraphError) -> Self {
+        CliError::Ffsm(FfsmError::Graph(e))
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,13 +61,17 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
-            ExitCode::from(if message.contains("usage") { 1 } else { 2 })
+            ExitCode::from(1)
+        }
+        Err(CliError::Ffsm(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
     }
 }
@@ -56,40 +82,31 @@ commands:
   stats    <graph.lg>                              structural statistics of a graph
   measure  <graph.lg> --pattern <p.lg> [--measure NAME]
                                                    support measures of a pattern
-  mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]
+  mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
                                                    frequent-subgraph mining
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
                                                    top-k pattern mining
   generate <kind> <out.lg> [--seed S]              write a synthetic dataset
                                                    (chemical|social|citation|protein|grid|star-overlap)
 
-measure names: MNI, MI, MVC, MIS, MIES, nuMVC, nuMIES, MCP (default: all)";
+measure names: MNI, MNI-k, MI, MVC, MIS, MIES, nuMVC, nuMIES, MCP (default: all)";
 
-fn load_graph(path: &str) -> Result<LabeledGraph, String> {
-    io::load_lg(Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
+fn load_graph(path: &str) -> Result<LabeledGraph, CliError> {
+    io::load_lg(Path::new(path)).map_err(CliError::from)
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn parse_measure(name: &str) -> Result<MeasureKind, String> {
-    match name.to_ascii_uppercase().as_str() {
-        "MNI" => Ok(MeasureKind::Mni),
-        "MI" => Ok(MeasureKind::Mi),
-        "MVC" => Ok(MeasureKind::Mvc),
-        "MIS" => Ok(MeasureKind::Mis),
-        "MIES" => Ok(MeasureKind::Mies),
-        "NUMVC" => Ok(MeasureKind::RelaxedMvc),
-        "NUMIES" => Ok(MeasureKind::RelaxedMies),
-        "MCP" => Ok(MeasureKind::Mcp),
-        other => Err(format!("unknown measure {other:?} (expected MNI, MI, MVC, MIS, MIES, nuMVC, nuMIES or MCP)")),
-    }
+/// Parse a `--measure` name through the canonical [`MeasureKind`] `FromStr` impl.
+fn parse_measure(name: &str) -> Result<MeasureKind, CliError> {
+    name.parse::<MeasureKind>().map_err(CliError::from)
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let Some(path) = args.first() else {
-        return Err("usage: ffsm stats <graph.lg>".into());
+        return Err(CliError::Usage("ffsm stats <graph.lg>".into()));
     };
     let graph = load_graph(path)?;
     println!("graph: {path}");
@@ -97,12 +114,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_measure(args: &[String]) -> Result<(), String> {
+fn cmd_measure(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
-        return Err("usage: ffsm measure <graph.lg> --pattern <pattern.lg> [--measure NAME]".into());
+        return Err(CliError::Usage(
+            "ffsm measure <graph.lg> --pattern <pattern.lg> [--measure NAME]".into(),
+        ));
     };
     let pattern_path = flag_value(args, "--pattern")
-        .ok_or_else(|| "usage: --pattern <pattern.lg> is required".to_string())?;
+        .ok_or_else(|| CliError::Usage("--pattern <pattern.lg> is required".to_string()))?;
     let graph = load_graph(graph_path)?;
     let pattern: Pattern = load_graph(pattern_path)?;
     let config = MeasureConfig::default();
@@ -115,29 +134,28 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
     match flag_value(args, "--measure") {
         Some(name) => {
             let kind = parse_measure(name)?;
-            let value = profile
-                .value_of(kind)
-                .ok_or_else(|| format!("measure {name} was not profiled"))?;
-            println!("{} = {}", kind.name(), value);
+            let value = profile.value_of(kind).ok_or_else(|| {
+                CliError::Ffsm(FfsmError::InvalidConfig(format!("measure {name} was not profiled")))
+            })?;
+            println!("{kind} = {value}");
         }
         None => {
             print!("{profile}");
-            println!(
-                "bounding chain holds: {}",
-                if profile.chain_holds() { "yes" } else { "NO" }
-            );
+            println!("bounding chain holds: {}", if profile.chain_holds() { "yes" } else { "NO" });
         }
     }
     Ok(())
 }
 
-fn mining_params(args: &[String]) -> Result<(MeasureKind, usize), String> {
+fn mining_params(args: &[String]) -> Result<(MeasureKind, usize), CliError> {
     let measure = match flag_value(args, "--measure") {
         Some(name) => parse_measure(name)?,
         None => MeasureKind::Mni,
     };
     let max_edges = match flag_value(args, "--max-edges") {
-        Some(v) => v.parse::<usize>().map_err(|_| format!("invalid --max-edges {v:?}"))?,
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --max-edges {v:?}")))?
+        }
         None => 3,
     };
     Ok((measure, max_edges))
@@ -157,37 +175,36 @@ fn print_frequent(patterns: &[ffsm::miner::FrequentPattern]) {
     }
 }
 
-fn cmd_mine(args: &[String]) -> Result<(), String> {
+fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
-        return Err("usage: ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--parallel]".into());
+        return Err(CliError::Usage(
+            "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]"
+                .into(),
+        ));
     };
     let tau: f64 = flag_value(args, "--tau")
-        .ok_or_else(|| "usage: --tau <threshold> is required".to_string())?
+        .ok_or_else(|| CliError::Usage("--tau <threshold> is required".to_string()))?
         .parse()
-        .map_err(|_| "invalid --tau value".to_string())?;
+        .map_err(|_| CliError::Usage("invalid --tau value".to_string()))?;
     let (measure, max_edges) = mining_params(args)?;
-    let graph = load_graph(graph_path)?;
-    let result = if args.iter().any(|a| a == "--parallel") {
-        mine_parallel(
-            &graph,
-            &ParallelMinerConfig {
-                min_support: tau,
-                measure,
-                max_pattern_edges: max_edges,
-                ..Default::default()
-            },
-        )
-    } else {
-        Miner::new(
-            &graph,
-            MinerConfig { min_support: tau, measure, max_pattern_edges: max_edges, ..Default::default() },
-        )
-        .mine()
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --threads {v:?}")))?
+        }
+        // `--parallel` without an explicit count means one worker per core.
+        None if args.iter().any(|a| a == "--parallel") => 0,
+        None => 1,
     };
+    let graph = load_graph(graph_path)?;
+    let result: MiningResult = MiningSession::on(&graph)
+        .measure(measure)
+        .min_support(tau)
+        .max_edges(max_edges)
+        .threads(threads)
+        .run()?;
     println!(
-        "{} frequent patterns under {} at tau = {tau} ({} maximal), {} candidates evaluated in {:?}",
+        "{} frequent patterns under {measure} at tau = {tau} ({} maximal), {} candidates evaluated in {:?}",
         result.len(),
-        measure.name(),
         maximal_patterns(&result).len(),
         result.stats.candidates_evaluated,
         result.stats.elapsed
@@ -196,36 +213,38 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_topk(args: &[String]) -> Result<(), String> {
+fn cmd_topk(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
-        return Err("usage: ffsm topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]".into());
+        return Err(CliError::Usage(
+            "ffsm topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]".into(),
+        ));
     };
     let k: usize = flag_value(args, "--k")
-        .ok_or_else(|| "usage: --k <count> is required".to_string())?
+        .ok_or_else(|| CliError::Usage("--k <count> is required".to_string()))?
         .parse()
-        .map_err(|_| "invalid --k value".to_string())?;
+        .map_err(|_| CliError::Usage("invalid --k value".to_string()))?;
     let (measure, max_edges) = mining_params(args)?;
     let graph = load_graph(graph_path)?;
-    let result = mine_top_k(
-        &graph,
-        &TopKConfig { k, measure, max_pattern_edges: max_edges, ..Default::default() },
-    );
+    let result = MiningSession::on(&graph)
+        .measure(measure)
+        .min_support(1.0)
+        .max_edges(max_edges)
+        .top_k(k)
+        .run()?;
     println!(
-        "top-{k} patterns under {} (final threshold {:.1}, {} candidates evaluated)",
-        measure.name(),
-        result.final_threshold,
-        result.stats.candidates_evaluated
+        "top-{k} patterns under {measure} (final threshold {:.1}, {} candidates evaluated)",
+        result.final_threshold, result.stats.candidates_evaluated
     );
     print_frequent(&result.patterns);
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let (Some(kind), Some(out)) = (args.first(), args.get(1)) else {
-        return Err("usage: ffsm generate <kind> <out.lg> [--seed S]".into());
+        return Err(CliError::Usage("ffsm generate <kind> <out.lg> [--seed S]".into()));
     };
     let seed: u64 = match flag_value(args, "--seed") {
-        Some(v) => v.parse().map_err(|_| "invalid --seed value".to_string())?,
+        Some(v) => v.parse().map_err(|_| CliError::Usage("invalid --seed value".to_string()))?,
         None => 42,
     };
     let graph = match kind.as_str() {
@@ -236,12 +255,12 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "grid" => generators::grid(20, 20, 4),
         "star-overlap" => generators::star_overlap(8, 32),
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown dataset kind {other:?} (expected chemical, social, citation, protein, grid or star-overlap)"
-            ))
+            )))
         }
     };
-    io::save_lg(&graph, Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    io::save_lg(&graph, Path::new(out))?;
     println!(
         "wrote {} ({} vertices, {} edges, {} labels)",
         out,

@@ -9,7 +9,9 @@
 //!   and the MNI, MI, MVC, MIS/MIES and relaxed support measures.
 //! * [`miner`] — a single-graph frequent-subgraph miner with pluggable measures.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+//! See `README.md` for a quickstart, the CLI reference and the measure-selection
+//! table.  [`miner::MiningSession`] is the single mining entry point; measures are
+//! pluggable through the [`core::measures::SupportMeasure`] trait.
 
 pub use ffsm_core as core;
 pub use ffsm_graph as graph;
@@ -20,10 +22,12 @@ pub use ffsm_miner as miner;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use ffsm_core::{
-        measures::{MeasureConfig, MeasureKind, SupportMeasures},
+        measures::{MeasureConfig, MeasureKind, SupportMeasure, SupportMeasures},
         occurrences::OccurrenceSet,
-        MeasureProfile, OverlapAnalysis, OverlapKind,
+        FfsmError, MeasureProfile, OverlapAnalysis, OverlapKind,
     };
     pub use ffsm_graph::{GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
-    pub use ffsm_miner::{mine_parallel, mine_top_k, Miner, MinerConfig, TopKConfig};
+    pub use ffsm_miner::{
+        FrequentPattern, MiningBudget, MiningResult, MiningSession, MiningStats, SessionConfig,
+    };
 }

@@ -4,8 +4,8 @@
 //! For a pattern `p` and a superpattern `P` (built by extending `p` with one edge or
 //! one vertex), every anti-monotonic measure must satisfy σ(p, G) ≥ σ(P, G).
 
-use ffsm::core::measures::{MeasureConfig, MeasureKind, MiStrategy, SupportMeasures};
 use ffsm::core::evaluate;
+use ffsm::core::measures::{MeasureConfig, MeasureKind, MiStrategy, SupportMeasures};
 use ffsm::core::occurrences::OccurrenceSet;
 use ffsm::graph::{generators, patterns, Label, LabeledGraph, Pattern};
 use proptest::prelude::*;
@@ -50,7 +50,11 @@ fn anti_monotonic_kinds() -> Vec<MeasureKind> {
 /// Returns `None` when the enumeration hits its budget: truncated occurrence sets do
 /// not carry the anti-monotonicity guarantee (and would also make the NP-hard
 /// measures needlessly expensive in a property test).
-fn measure_vector(pattern: &Pattern, graph: &LabeledGraph, config: &MeasureConfig) -> Option<Vec<f64>> {
+fn measure_vector(
+    pattern: &Pattern,
+    graph: &LabeledGraph,
+    config: &MeasureConfig,
+) -> Option<Vec<f64>> {
     let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
     if !occ.is_complete() {
         return None;
@@ -69,7 +73,7 @@ fn check_chain(graph: &LabeledGraph, seed: u64, config: &MeasureConfig) -> Resul
         return Ok(());
     };
     for step in 0..2u64 {
-        let Some(next) = random_extension(&pattern, &alphabet, seed ^ (step + 1) * 7919) else {
+        let Some(next) = random_extension(&pattern, &alphabet, seed ^ ((step + 1) * 7919)) else {
             break;
         };
         let Some(current) = measure_vector(&next, graph, config) else {
@@ -161,10 +165,7 @@ fn figure2_to_figure5_extension_is_anti_monotonic_for_all_measures() {
 fn occurrence_and_instance_counts_are_not_anti_monotonic() {
     // The paper's motivation for needing dedicated support measures: raw counts can
     // grow when a pattern is extended.  Exhibit a concrete witness.
-    let graph = LabeledGraph::from_edges(
-        &[0, 1, 1, 1, 1],
-        &[(0, 1), (0, 2), (0, 3), (0, 4)],
-    );
+    let graph = LabeledGraph::from_edges(&[0, 1, 1, 1, 1], &[(0, 1), (0, 2), (0, 3), (0, 4)]);
     let config = MeasureConfig::default();
     let small = patterns::single_edge(Label(0), Label(1));
     let large = patterns::uniform_star(2, Label(0), Label(1));
@@ -173,5 +174,8 @@ fn occurrence_and_instance_counts_are_not_anti_monotonic() {
     assert!(large_occ > small_occ, "expected occurrence count to grow: {small_occ} -> {large_occ}");
     let small_inst = evaluate(&small, &graph, MeasureKind::InstanceCount, &config);
     let large_inst = evaluate(&large, &graph, MeasureKind::InstanceCount, &config);
-    assert!(large_inst > small_inst, "expected instance count to grow: {small_inst} -> {large_inst}");
+    assert!(
+        large_inst > small_inst,
+        "expected instance count to grow: {small_inst} -> {large_inst}"
+    );
 }

@@ -1,6 +1,9 @@
 //! Cross-crate checks for the MCP measure and the overlap-notion variants:
 //! ordering against MIS/MVC, behaviour under the MeasureKind API, and consistency of
 //! the overlap census across the dataset suite.
+// The legacy entry points are exercised on purpose: they are deprecated shims over
+// the MiningSession engine and this file is their regression coverage.
+#![allow(deprecated)]
 
 use ffsm::core::measures::{MeasureConfig, MeasureKind, SupportMeasures};
 use ffsm::core::{OccurrenceSet, OverlapAnalysis, OverlapKind};
@@ -60,12 +63,22 @@ fn mining_with_mcp_is_anti_monotonic_in_threshold() {
     let graph = generators::replicated(&triangle, 5, false);
     let low = Miner::new(
         &graph,
-        MinerConfig { min_support: 2.0, measure: MeasureKind::Mcp, max_pattern_edges: 3, ..Default::default() },
+        MinerConfig {
+            min_support: 2.0,
+            measure: MeasureKind::Mcp,
+            max_pattern_edges: 3,
+            ..Default::default()
+        },
     )
     .mine();
     let high = Miner::new(
         &graph,
-        MinerConfig { min_support: 5.0, measure: MeasureKind::Mcp, max_pattern_edges: 3, ..Default::default() },
+        MinerConfig {
+            min_support: 5.0,
+            measure: MeasureKind::Mcp,
+            max_pattern_edges: 3,
+            ..Default::default()
+        },
     )
     .mine();
     assert!(high.len() <= low.len());
@@ -76,11 +89,11 @@ fn mining_with_mcp_is_anti_monotonic_in_threshold() {
 #[test]
 fn overlap_census_orderings_hold_across_datasets() {
     for dataset in datasets::small_suite(31) {
-        for pattern in [
-            patterns::single_edge(Label(0), Label(1)),
-            patterns::uniform_path(3, Label(0)),
-        ] {
-            let occ = OccurrenceSet::enumerate(&pattern, &dataset.graph, IsoConfig::with_limit(800));
+        for pattern in
+            [patterns::single_edge(Label(0), Label(1)), patterns::uniform_path(3, Label(0))]
+        {
+            let occ =
+                OccurrenceSet::enumerate(&pattern, &dataset.graph, IsoConfig::with_limit(800));
             if occ.num_occurrences() < 2 {
                 continue;
             }

@@ -1,6 +1,9 @@
 //! End-to-end comparison of the mining search schemes (sequential, level-parallel,
 //! top-k) and the result condensations (maximal / closed / lattice) on realistic
 //! synthetic datasets, exercised purely through the public `ffsm` facade.
+// The legacy entry points are exercised on purpose: they are deprecated shims over
+// the MiningSession engine and this file is their regression coverage.
+#![allow(deprecated)]
 
 use ffsm::core::MeasureKind;
 use ffsm::graph::canonical::canonical_code;
@@ -27,7 +30,12 @@ fn sequential_and_parallel_miners_agree_on_chemical_dataset() {
     .mine();
     let parallel = mine_parallel(
         &dataset.graph,
-        &ParallelMinerConfig { min_support: tau, max_pattern_edges: 3, num_threads: 4, ..Default::default() },
+        &ParallelMinerConfig {
+            min_support: tau,
+            max_pattern_edges: 3,
+            num_threads: 4,
+            ..Default::default()
+        },
     );
     assert_eq!(pattern_codes(&sequential.patterns), pattern_codes(&parallel.patterns));
     assert_eq!(sequential.len(), parallel.len());

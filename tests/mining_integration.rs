@@ -4,7 +4,7 @@
 use ffsm::core::measures::MeasureKind;
 use ffsm::graph::canonical::canonical_code;
 use ffsm::graph::{generators, patterns, Label, LabeledGraph};
-use ffsm::miner::{Miner, MinerConfig};
+use ffsm::miner::MiningSession;
 use std::collections::HashSet;
 
 /// `copies` disjoint labelled triangles (labels 0-1-2), optionally chained together.
@@ -20,13 +20,12 @@ fn mining_finds_known_frequent_triangle_with_every_measure() {
     // Disjoint copies: every measure counts each copy once, so the triangle's support
     // is exactly `copies` under MNI, MI, MVC, MIS alike.
     for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mis] {
-        let config = MinerConfig {
-            min_support: copies as f64,
-            measure,
-            max_pattern_edges: 3,
-            ..Default::default()
-        };
-        let result = Miner::new(&graph, config).mine();
+        let result = MiningSession::on(&graph)
+            .measure(measure)
+            .min_support(copies as f64)
+            .max_edges(3)
+            .run()
+            .expect("valid session");
         let triangle_pattern = patterns::triangle(Label(0), Label(1), Label(2));
         let triangle_code = canonical_code(&triangle_pattern);
         let found = result
@@ -44,13 +43,12 @@ fn mining_finds_known_frequent_triangle_with_every_measure() {
 fn threshold_one_above_copy_count_prunes_everything() {
     let copies = 4;
     let graph = triangle_forest(copies, false);
-    let config = MinerConfig {
-        min_support: (copies + 1) as f64,
-        measure: MeasureKind::Mis,
-        max_pattern_edges: 3,
-        ..Default::default()
-    };
-    let result = Miner::new(&graph, config).mine();
+    let result = MiningSession::on(&graph)
+        .measure(MeasureKind::Mis)
+        .min_support((copies + 1) as f64)
+        .max_edges(3)
+        .run()
+        .expect("valid session");
     assert!(result.is_empty(), "found {} patterns above an impossible threshold", result.len());
 }
 
@@ -62,13 +60,12 @@ fn frequent_pattern_sets_are_nested_across_the_chain() {
     let tau = 5.0;
     let mut sets: Vec<HashSet<_>> = Vec::new();
     for measure in [MeasureKind::Mis, MeasureKind::Mvc, MeasureKind::Mi, MeasureKind::Mni] {
-        let config = MinerConfig {
-            min_support: tau,
-            measure,
-            max_pattern_edges: 3,
-            ..Default::default()
-        };
-        let result = Miner::new(&graph, config).mine();
+        let result = MiningSession::on(&graph)
+            .measure(measure)
+            .min_support(tau)
+            .max_edges(3)
+            .run()
+            .expect("valid session");
         sets.push(result.patterns.iter().map(|p| canonical_code(&p.pattern)).collect());
     }
     for w in sets.windows(2) {
@@ -82,13 +79,12 @@ fn frequent_pattern_sets_are_nested_across_the_chain() {
 #[test]
 fn mining_respects_max_pattern_edges() {
     let graph = triangle_forest(5, true);
-    let config = MinerConfig {
-        min_support: 2.0,
-        measure: MeasureKind::Mni,
-        max_pattern_edges: 2,
-        ..Default::default()
-    };
-    let result = Miner::new(&graph, config).mine();
+    let result = MiningSession::on(&graph)
+        .measure(MeasureKind::Mni)
+        .min_support(2.0)
+        .max_edges(2)
+        .run()
+        .expect("valid session");
     assert!(result.max_edges() <= 2);
     assert!(!result.is_empty());
 }
@@ -96,16 +92,12 @@ fn mining_respects_max_pattern_edges() {
 #[test]
 fn reported_supports_match_direct_evaluation() {
     let graph = triangle_forest(3, false);
-    let config = MinerConfig {
-        min_support: 2.0,
-        measure: MeasureKind::Mvc,
-        max_pattern_edges: 3,
-        ..Default::default()
-    };
-    let result = Miner::new(&graph, config.clone()).mine();
+    let session = MiningSession::on(&graph).measure(MeasureKind::Mvc).min_support(2.0).max_edges(3);
+    let measure_config = session.config().measure_config.clone();
+    let result = session.run().expect("valid session");
     assert!(!result.is_empty());
     for fp in result.patterns.iter().take(5) {
-        let direct = ffsm::core::evaluate(&fp.pattern, &graph, MeasureKind::Mvc, &config.measure_config);
+        let direct = ffsm::core::evaluate(&fp.pattern, &graph, MeasureKind::Mvc, &measure_config);
         assert_eq!(fp.support, direct, "miner-reported support disagrees with direct evaluation");
     }
 }
@@ -114,13 +106,12 @@ fn reported_supports_match_direct_evaluation() {
 fn grid_graph_mining_finds_square_cycles() {
     // A 4x4 single-label grid: the 4-cycle (unit square) is a frequent pattern.
     let graph = generators::grid(4, 4, 1);
-    let config = MinerConfig {
-        min_support: 4.0,
-        measure: MeasureKind::Mni,
-        max_pattern_edges: 4,
-        ..Default::default()
-    };
-    let result = Miner::new(&graph, config).mine();
+    let result = MiningSession::on(&graph)
+        .measure(MeasureKind::Mni)
+        .min_support(4.0)
+        .max_edges(4)
+        .run()
+        .expect("valid session");
     let square = patterns::cycle(&[Label(0); 4]);
     let square_code = canonical_code(&square);
     assert!(

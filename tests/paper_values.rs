@@ -77,8 +77,11 @@ fn figure9_mi_is_two() {
 #[test]
 fn full_chain_on_every_figure() {
     for example in figures::all_figures() {
-        let report =
-            ffsm::core::verify_bounding_chain(&example.pattern, &example.graph, &MeasureConfig::default());
+        let report = ffsm::core::verify_bounding_chain(
+            &example.pattern,
+            &example.graph,
+            &MeasureConfig::default(),
+        );
         assert!(
             report.holds(),
             "bounding chain violated on {}: {:?}",

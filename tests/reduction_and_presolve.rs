@@ -36,14 +36,17 @@ fn reduction_preserves_mvc_on_paper_figures() {
 
 #[test]
 fn reduction_shrinks_overlap_heavy_instances() {
-    // star_overlap(4, 6): 24 two-vertex edges; domination + unit rules collapse it
-    // to nothing, forcing a small cover.
+    // star_overlap(4, 6) queried with the leaf-hub-leaf wedge: every occurrence image
+    // {hub, leaf, leaf} is hit by two embeddings (the wedge's automorphism swaps the
+    // leaves), so half the hyperedges are duplicates and the duplicate-edge rule
+    // halves the instance.
     let graph = generators::star_overlap(4, 6);
-    let pattern = patterns::single_edge(Label(0), Label(1));
+    let pattern = patterns::path(&[Label(1), Label(0), Label(1)]);
     let h = occurrence_hypergraph(&pattern, &graph);
-    assert_eq!(h.num_edges(), 24);
+    assert_eq!(h.num_edges(), 4 * 6 * 5); // ordered leaf pairs per hub
     let reduced = reduce_for_vertex_cover(&h);
     assert!(reduced.hypergraph.num_edges() < h.num_edges());
+    assert_eq!(reduced.hypergraph.num_edges(), 4 * 6 * 5 / 2);
     let direct = exact_vertex_cover(&h, SearchBudget::default());
     assert_eq!(reduced_exact_vertex_cover(&h, SearchBudget::default()).value, direct.value);
     assert_eq!(direct.value, 4); // the four hubs form a minimum cover
@@ -81,10 +84,8 @@ fn lp_presolve_preserves_relaxed_mvc_on_figures() {
         }
         let sets: Vec<Vec<usize>> = h.edges().map(|(_, e)| e.to_vec()).collect();
         let direct = covering_lp(h.num_vertices(), &sets).solve().unwrap().objective;
-        let presolved = presolve_covering(h.num_vertices(), &sets)
-            .solve(h.num_vertices())
-            .unwrap()
-            .objective;
+        let presolved =
+            presolve_covering(h.num_vertices(), &sets).solve(h.num_vertices()).unwrap().objective;
         assert!(
             (direct - presolved).abs() < 1e-6,
             "figure {}: direct {direct} presolved {presolved}",

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn name(arg in lo..hi, ...) { ... } }`
+//!   with integer range strategies (`Range` / `RangeInclusive`);
+//! * [`ProptestConfig`] with a `cases` count (`with_cases`, struct-update syntax);
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!` and early `return Ok(())`.
+//!
+//! Cases are sampled from a generator seeded deterministically per test name, so
+//! failures are reproducible run to run.  There is no shrinking: a failing case
+//! panics with the sampled arguments printed.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` and is not counted.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64 over an FNV-1a hash of the name).
+#[derive(Debug, Clone)]
+pub struct ShimRng {
+    state: u64,
+}
+
+impl ShimRng {
+    /// Seed from a test name.
+    pub fn seed_for(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        ShimRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    /// A source of arbitrary values for one test argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Sample one value.
+        fn pick(&self, rng: &mut super::ShimRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut super::ShimRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut super::ShimRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// The common imports of the real crate's prelude that this workspace uses.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Define property tests.  See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::ShimRng::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_add(config.max_global_rejects);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: {} rejected too many cases ({} attempts for {} target cases)",
+                    stringify!($name), attempts, config.cases
+                );
+                $( let $arg = $crate::strategy::Strategy::pick(&($strat), &mut rng); )*
+                let outcome: $crate::TestCaseResult = (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => panic!(
+                        "proptest case failed: {}\n  inputs: {}",
+                        message,
+                        [$( format!(concat!(stringify!($arg), " = {:?}"), $arg) ),*].join(", ")
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Veto the current case (it is re-drawn, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0usize..10, b in 1u32..4, c in 0u64..=6) {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&b));
+            prop_assert!(c <= 6, "c out of bounds: {c}");
+        }
+
+        #[test]
+        fn assume_redraws(n in 0i32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn early_ok_return_is_accepted(n in 0u8..3) {
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn config_forms() {
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+        let c = ProptestConfig { cases: 9, ..ProptestConfig::default() };
+        assert_eq!(c.cases, 9);
+    }
+}

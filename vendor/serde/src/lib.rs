@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates registry, so this shim keeps the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations and `serde::Serialize` bounds
+//! compiling: the traits are empty markers and the derives emit empty impls.  No
+//! actual serialisation happens; swapping the path dependency for the real `serde`
+//! (the annotations are already in the real crate's shape) lights it up.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker counterpart of the `serde::de` module.
+pub mod de {
+    /// Marker counterpart of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}

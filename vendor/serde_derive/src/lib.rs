@@ -1,0 +1,47 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde marker traits.
+//!
+//! Each derive emits an empty marker-trait impl for the annotated type.  Plain
+//! (non-generic) structs and enums are supported, which covers every annotated type
+//! in this workspace; deriving on a generic type is a compile error here rather than
+//! a silent misbehaviour.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct` / `enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            panic!("serde shim derives do not support generic types");
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("serde shim derive: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct or enum found in input");
+}
+
+/// Emit `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("generated impl parses")
+}
+
+/// Emit `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
