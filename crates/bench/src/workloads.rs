@@ -64,6 +64,19 @@ pub fn star_overlap_workload(occurrences: usize) -> (LabeledGraph, Pattern) {
     )
 }
 
+/// The occurrence-count grid of the `overlap_scaling` bench (`BENCH_overlap.json`):
+/// powers of two from 64 up to `max`, so successive points double the naive builder's
+/// pair count and the log-log trajectory of naive vs. indexed is easy to read.
+pub fn overlap_scaling_sizes(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut m = 64usize;
+    while m <= max {
+        sizes.push(m);
+        m *= 2;
+    }
+    sizes
+}
+
 /// Enumerate the occurrences of `pattern` in `graph` with a bounded budget (shared by
 /// all experiments so values are comparable).
 pub fn enumerate(pattern: &Pattern, graph: &LabeledGraph, max_embeddings: usize) -> OccurrenceSet {
@@ -109,6 +122,13 @@ mod tests {
             assert!(occ.num_occurrences() >= target);
             assert!(occ.num_occurrences() <= target + 2 * (target as f64).sqrt() as usize + 2);
         }
+    }
+
+    #[test]
+    fn overlap_scaling_sizes_double_up_to_the_cap() {
+        assert_eq!(overlap_scaling_sizes(512), vec![64, 128, 256, 512]);
+        assert_eq!(overlap_scaling_sizes(700), vec![64, 128, 256, 512]);
+        assert!(overlap_scaling_sizes(32).is_empty());
     }
 
     #[test]

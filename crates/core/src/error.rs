@@ -18,6 +18,8 @@ pub enum FfsmError {
     InvalidConfig(String),
     /// A measure name that [`crate::MeasureKind`] does not know.
     UnknownMeasure(String),
+    /// An overlap-notion name that [`crate::OverlapKind`] does not know.
+    UnknownOverlap(String),
     /// A measure that is not anti-monotone was requested for threshold pruning,
     /// which would make the miner unsound (Definition 2.2.2 of the paper).  The
     /// payload is the measure's display name.
@@ -32,6 +34,10 @@ impl std::fmt::Display for FfsmError {
             FfsmError::UnknownMeasure(name) => write!(
                 f,
                 "unknown measure {name:?} (expected MNI, MNI-k, MI, MVC, MIS, MIES, nuMVC, nuMIES or MCP)"
+            ),
+            FfsmError::UnknownOverlap(name) => write!(
+                f,
+                "unknown overlap notion {name:?} (expected simple, harmful, structural or edge)"
             ),
             FfsmError::NotAntiMonotone(name) => write!(
                 f,
@@ -65,6 +71,8 @@ mod tests {
     fn display_is_informative() {
         let e = FfsmError::UnknownMeasure("bogus".into());
         assert!(e.to_string().contains("bogus"));
+        let e = FfsmError::UnknownOverlap("fuzzy".into());
+        assert!(e.to_string().contains("fuzzy") && e.to_string().contains("structural"));
         let e = FfsmError::NotAntiMonotone("occurrences".into());
         assert!(e.to_string().contains("anti-monotone"));
         let e: FfsmError = GraphError::SelfLoop(3).into();

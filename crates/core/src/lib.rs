@@ -41,7 +41,9 @@ pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
 };
 pub use occurrences::{HypergraphBasis, Instance, OccurrenceSet};
-pub use overlap::{OverlapAnalysis, OverlapCensus, OverlapKind};
+pub use overlap::{
+    OverlapAnalysis, OverlapBuild, OverlapCache, OverlapCensus, OverlapConfig, OverlapKind,
+};
 pub use profile::{MeasureProfile, ProfileEntry};
 
 use ffsm_graph::{LabeledGraph, Pattern};

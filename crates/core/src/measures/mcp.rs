@@ -19,17 +19,27 @@
 
 use super::MeasureOutcome;
 use ffsm_hypergraph::clique_cover::{clique_cover_number, greedy_clique_partition};
-use ffsm_hypergraph::independent_set::SimpleGraph;
 use ffsm_hypergraph::{Hypergraph, SearchBudget};
 
-/// Exact (budgeted) minimum clique partition of the overlap graph of `hypergraph`.
+/// MCP support on an already-built overlap graph — the single solving path shared by
+/// [`mcp`], `SupportMeasures` (which caches the graph) and the miner.
+pub fn mcp_on_graph(
+    overlap: &ffsm_hypergraph::independent_set::SimpleGraph,
+    budget: SearchBudget,
+) -> MeasureOutcome {
+    let res = clique_cover_number(overlap, budget);
+    MeasureOutcome { value: res.value, optimal: res.optimal }
+}
+
+/// Exact (budgeted) minimum clique partition of the overlap graph of `hypergraph`,
+/// built through the inverted incidence index ([`Hypergraph::overlap_graph`]).
+/// Callers that also need σMIS should go through `SupportMeasures`, whose
+/// `OverlapCache` shares one overlap-graph build between the two.
 pub fn mcp(hypergraph: &Hypergraph, budget: SearchBudget) -> MeasureOutcome {
     if hypergraph.is_empty() {
         return MeasureOutcome { value: 0, optimal: true };
     }
-    let overlap = SimpleGraph::from_adjacency(hypergraph.overlap_adjacency());
-    let res = clique_cover_number(&overlap, budget);
-    MeasureOutcome { value: res.value, optimal: res.optimal }
+    mcp_on_graph(&hypergraph.overlap_graph(), budget)
 }
 
 /// Greedy clique-partition upper bound on σMCP.
@@ -37,8 +47,7 @@ pub fn mcp_greedy(hypergraph: &Hypergraph) -> usize {
     if hypergraph.is_empty() {
         return 0;
     }
-    let overlap = SimpleGraph::from_adjacency(hypergraph.overlap_adjacency());
-    greedy_clique_partition(&overlap).len()
+    greedy_clique_partition(&hypergraph.overlap_graph()).len()
 }
 
 #[cfg(test)]

@@ -13,9 +13,12 @@ pub mod mvc;
 pub mod relaxed;
 
 use crate::occurrences::{HypergraphBasis, OccurrenceSet};
+use crate::overlap::{OverlapAnalysis, OverlapCache, OverlapConfig};
 use ffsm_graph::isomorphism::IsoConfig;
+use ffsm_hypergraph::independent_set::SimpleGraph;
 use ffsm_hypergraph::{Hypergraph, SearchBudget};
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 /// Strategy for choosing the coarse-grained (transitive) node subsets over which the
 /// MI measure minimises (Definition 3.2.4 leaves this collection open; see DESIGN.md).
@@ -213,10 +216,28 @@ impl SupportMeasure for BuiltinMeasure {
     }
 }
 
+/// Build the overlap graph of `hypergraph` under the configured strategy — the one
+/// place [`OverlapConfig`] is interpreted for the measure and mining paths.
+fn overlap_graph_for(hypergraph: &Hypergraph, overlap: &OverlapConfig) -> SimpleGraph {
+    match overlap.build {
+        crate::overlap::OverlapBuild::Indexed => hypergraph.overlap_graph_parallel(overlap.threads),
+        crate::overlap::OverlapBuild::Naive => {
+            SimpleGraph::from_adjacency(hypergraph.overlap_adjacency())
+        }
+    }
+}
+
 /// Compute one measure of `occ` directly, without the cached-hypergraph calculator
 /// (each call builds the hypergraph it needs, which is the right trade-off when only
 /// one measure is evaluated per occurrence set — the miner's access pattern).
 fn compute_kind(occ: &OccurrenceSet, config: &MeasureConfig, kind: MeasureKind) -> f64 {
+    let overlap_measure = |solve: fn(&SimpleGraph, SearchBudget) -> MeasureOutcome| {
+        let hypergraph = occ.hypergraph(config.basis);
+        if hypergraph.is_empty() {
+            return 0.0;
+        }
+        solve(&overlap_graph_for(&hypergraph, &config.overlap), config.search_budget).value as f64
+    };
     match kind {
         MeasureKind::OccurrenceCount => occ.num_occurrences() as f64,
         MeasureKind::InstanceCount => occ.num_instances() as f64,
@@ -227,17 +248,13 @@ fn compute_kind(occ: &OccurrenceSet, config: &MeasureConfig, kind: MeasureKind) 
             mvc::mvc(&occ.hypergraph(config.basis), config.mvc_algorithm, config.search_budget)
                 .value as f64
         }
-        MeasureKind::Mis => {
-            mis::mis(&occ.hypergraph(config.basis), config.search_budget).value as f64
-        }
+        MeasureKind::Mis => overlap_measure(mis::mis_on_graph),
         MeasureKind::Mies => {
             mis::mies(&occ.hypergraph(config.basis), config.search_budget).value as f64
         }
         MeasureKind::RelaxedMvc => relaxed::relaxed_mvc(&occ.hypergraph(config.basis)),
         MeasureKind::RelaxedMies => relaxed::relaxed_mies(&occ.hypergraph(config.basis)),
-        MeasureKind::Mcp => {
-            mcp::mcp(&occ.hypergraph(config.basis), config.search_budget).value as f64
-        }
+        MeasureKind::Mcp => overlap_measure(mcp::mcp_on_graph),
     }
 }
 
@@ -265,15 +282,27 @@ pub struct MeasureConfig {
     pub basis: HypergraphBasis,
     /// Node budget for exact branch-and-bound searches.
     pub search_budget: SearchBudget,
+    /// Overlap-graph construction options (builder selection, worker threads) for
+    /// the overlap-graph measures (MIS, MCP) and [`SupportMeasures::overlap_analysis`].
+    pub overlap: OverlapConfig,
 }
 
 /// Calculator for every support measure over one pattern/data-graph pair.
+///
+/// All derived structure is built lazily and shared: the occurrence / instance
+/// hypergraphs (consumed by MVC, MIES and the LP relaxations) and, through an
+/// [`OverlapCache`] keyed by basis, the hypergraph's overlap graph (consumed by MIS
+/// and MCP).  Evaluating MIS then MVC then MCP on the same pattern therefore
+/// performs exactly one overlap-graph build — [`SupportMeasures::overlap_builds`]
+/// is the counter the cache tests assert on.  The cache lives and dies with this
+/// calculator, so a new pattern (a new `SupportMeasures`) starts cold.
 #[derive(Debug)]
 pub struct SupportMeasures {
     occurrences: OccurrenceSet,
     config: MeasureConfig,
     occurrence_hg: OnceCell<Hypergraph>,
     instance_hg: OnceCell<Hypergraph>,
+    overlap_cache: OverlapCache,
 }
 
 impl SupportMeasures {
@@ -284,6 +313,7 @@ impl SupportMeasures {
             config,
             occurrence_hg: OnceCell::new(),
             instance_hg: OnceCell::new(),
+            overlap_cache: OverlapCache::with_slots(2),
         }
     }
 
@@ -307,6 +337,36 @@ impl SupportMeasures {
                 self.instance_hg.get_or_init(|| self.occurrences.instance_hypergraph())
             }
         }
+    }
+
+    /// The (cached) overlap graph of the hypergraph for `basis` — the object MIS and
+    /// MCP are solved on.  Built at most once per basis with the configured
+    /// [`OverlapConfig`] strategy (indexed by default, optionally thread-parallel,
+    /// or the naive oracle).
+    pub fn overlap_graph(&self, basis: HypergraphBasis) -> Arc<SimpleGraph> {
+        let slot = match basis {
+            HypergraphBasis::Occurrence => 0,
+            HypergraphBasis::Instance => 1,
+        };
+        self.overlap_cache
+            .get_or_build(slot, || overlap_graph_for(self.hypergraph(basis), &self.config.overlap))
+    }
+
+    /// How many overlap graphs this calculator has actually built (at most one per
+    /// basis; MIS, MCP and repeated queries share them).
+    pub fn overlap_builds(&self) -> usize {
+        self.overlap_cache.builds()
+    }
+
+    /// An [`OverlapAnalysis`] over the underlying occurrences, configured with this
+    /// calculator's [`OverlapConfig`] — the entry point for the per-notion overlap
+    /// variants of Section 4.5 (simple / harmful / structural / edge).
+    ///
+    /// Each call constructs a *fresh* analysis (its own transitive-pair matrix and
+    /// per-notion cache): hold the returned value and query it repeatedly rather
+    /// than calling this accessor per query.
+    pub fn overlap_analysis(&self) -> OverlapAnalysis<'_> {
+        OverlapAnalysis::with_config(&self.occurrences, self.config.overlap)
     }
 
     /// Number of occurrences (reference value, not anti-monotonic).
@@ -351,15 +411,17 @@ impl SupportMeasures {
     }
 
     /// Overlap-graph MIS support σMIS (Definition 2.2.7) under the configured basis.
+    /// Solved on the cached overlap graph, shared with [`SupportMeasures::mcp`].
     pub fn mis(&self) -> MeasureOutcome {
-        mis::mis(self.hypergraph(self.config.basis), self.config.search_budget)
+        mis::mis_on_graph(&self.overlap_graph(self.config.basis), self.config.search_budget)
     }
 
     /// Minimum clique partition support σMCP (Calders et al.) under the configured
     /// basis.  Always `≥ σMIS` (every clique contributes at most one independent
-    /// occurrence).
+    /// occurrence).  Solved on the same cached overlap graph as
+    /// [`SupportMeasures::mis`].
     pub fn mcp(&self) -> MeasureOutcome {
-        mcp::mcp(self.hypergraph(self.config.basis), self.config.search_budget)
+        mcp::mcp_on_graph(&self.overlap_graph(self.config.basis), self.config.search_budget)
     }
 
     /// Maximum independent edge set support σMIES (Definition 4.2.1).
@@ -516,6 +578,66 @@ mod tests {
         assert_eq!(" nuMVC ".parse::<MeasureKind>().unwrap(), MeasureKind::RelaxedMvc);
         assert!(matches!("bogus".parse::<MeasureKind>(), Err(crate::FfsmError::UnknownMeasure(_))));
         assert!(matches!("MNI-0".parse::<MeasureKind>(), Err(crate::FfsmError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn mis_then_mvc_then_mcp_build_one_overlap_graph() {
+        let m = calculator(&figures::figure6());
+        assert_eq!(m.overlap_builds(), 0);
+        assert_eq!(m.mis().value, 2);
+        assert_eq!(m.overlap_builds(), 1);
+        // MVC, MIES and the relaxations run on the hypergraph, not the overlap
+        // graph: no further builds.
+        assert_eq!(m.mvc().value, 2);
+        assert!(m.relaxed_mvc().is_finite());
+        m.mies();
+        assert_eq!(m.overlap_builds(), 1);
+        // MCP shares the cached overlap graph with MIS.
+        assert_eq!(m.mcp().value, 2);
+        assert_eq!(m.overlap_builds(), 1);
+        // The instance basis is a separate slot.
+        m.overlap_graph(HypergraphBasis::Instance);
+        assert_eq!(m.overlap_builds(), 2);
+        // A new pattern gets a new calculator and with it an empty cache.
+        let fresh = calculator(&figures::figure2());
+        assert_eq!(fresh.overlap_builds(), 0);
+    }
+
+    #[test]
+    fn overlap_config_is_honored_on_every_measure_path() {
+        let example = figures::figure6();
+        let occ = OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        let default_config = MeasureConfig::default();
+        for build in [crate::OverlapBuild::Indexed, crate::OverlapBuild::Naive] {
+            for threads in [1usize, 3] {
+                let config = MeasureConfig {
+                    overlap: crate::OverlapConfig { build, threads },
+                    ..MeasureConfig::default()
+                };
+                // Calculator path.
+                let m = SupportMeasures::new(occ.clone(), config.clone());
+                assert_eq!(m.mis().value, 2, "{build:?} x{threads}");
+                assert_eq!(m.mcp().value, 2, "{build:?} x{threads}");
+                // Miner/factory path.
+                for kind in [MeasureKind::Mis, MeasureKind::Mcp] {
+                    assert_eq!(
+                        kind.measure(config.clone()).support(&occ),
+                        kind.measure(default_config.clone()).support(&occ),
+                        "{kind} under {build:?} x{threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_analysis_accessor_uses_the_configured_builder() {
+        let m = calculator(&figures::figure6());
+        let analysis = m.overlap_analysis();
+        assert_eq!(
+            analysis.overlap_edge_count(crate::OverlapKind::Simple),
+            analysis.overlap_graph_naive(crate::OverlapKind::Simple).num_edges()
+        );
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! (Theorem 3.6) and by MIES/MIS from below (Theorem 4.5), and NP-hard — hence the
 //! greedy k-approximation alternatives (the paper cites the k − o(1) approximation of
 //! Halperin for k-uniform hypergraphs).
+//!
+//! MVC is solved directly on the occurrence/instance hypergraph, which
+//! `SupportMeasures` builds once and shares with MIES and the LP relaxations; the
+//! overlap-graph measures (MIS, MCP) additionally share one cached overlap graph of
+//! that hypergraph, so profiling every measure on one pattern performs each
+//! construction exactly once.
 
 use super::{MeasureOutcome, MvcAlgorithm};
 use ffsm_hypergraph::vertex_cover::{

@@ -5,6 +5,11 @@
 //! yields the fractional packing LP of Definition 4.3.2.  Both are solved exactly with
 //! the workspace's own simplex implementation (`ffsm-lp`), and by LP duality their
 //! optimal values coincide (Theorem 4.6) — a fact the test-suite checks numerically.
+//!
+//! Both relaxations consume the occurrence/instance hypergraph that
+//! `SupportMeasures` caches per pattern (shared with MVC and MIES); they never build
+//! an overlap graph, so they ride along with the per-pattern `OverlapCache` at zero
+//! additional construction cost.
 
 use ffsm_hypergraph::Hypergraph;
 use ffsm_lp::{covering_lp, packing_lp};

@@ -154,19 +154,66 @@ pub fn connected_subgraph_orbits(pattern: &Pattern) -> Vec<Vec<VertexId>> {
     result.into_iter().collect()
 }
 
-/// `matrix[u][v] == true` iff `u` and `v` are a transitive pair in *some* connected
+/// A symmetric boolean matrix over pattern vertices, packed into 64-bit words (one
+/// row of `ceil(n / 64)` words per vertex).  This replaces the old `Vec<Vec<bool>>`
+/// output of [`transitive_pair_matrix`]: the structural-overlap hot loop probes it
+/// once per (pattern node, pattern node) pair for every candidate occurrence pair, so
+/// the packed layout keeps the whole relation of any realistic pattern in one or two
+/// cache lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl PairMatrix {
+    /// An all-false matrix over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        PairMatrix { n, words_per_row, words: vec![0; n * words_per_row] }
+    }
+
+    /// Matrix dimension (number of pattern vertices).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix has zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The bit at `(u, v)`.
+    pub fn get(&self, u: usize, v: usize) -> bool {
+        self.words[u * self.words_per_row + v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Set `(u, v)` and `(v, u)` (the relation is symmetric).
+    pub fn set_symmetric(&mut self, u: usize, v: usize) {
+        self.words[u * self.words_per_row + v / 64] |= 1u64 << (v % 64);
+        self.words[v * self.words_per_row + u / 64] |= 1u64 << (u % 64);
+    }
+
+    /// Number of `true` entries (counting both orientations of each pair).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// `matrix.get(u, v) == true` iff `u` and `v` are a transitive pair in *some*
 /// connected subgraph of the pattern (the relation used by structural overlap,
 /// Definition 4.5.2).  The diagonal is always `true`.
-pub fn transitive_pair_matrix(pattern: &Pattern) -> Vec<Vec<bool>> {
+pub fn transitive_pair_matrix(pattern: &Pattern) -> PairMatrix {
     let n = pattern.num_vertices();
-    let mut m = vec![vec![false; n]; n];
-    for (v, row) in m.iter_mut().enumerate() {
-        row[v] = true;
+    let mut m = PairMatrix::new(n);
+    for v in 0..n {
+        m.set_symmetric(v, v);
     }
     for orbit in connected_subgraph_orbits(pattern) {
         for &u in &orbit {
             for &v in &orbit {
-                m[u as usize][v as usize] = true;
+                m.set_symmetric(u as usize, v as usize);
             }
         }
     }
@@ -229,8 +276,8 @@ mod tests {
         assert!(sets.contains(&vec![1, 2])); // edge v2-v3
         assert!(sets.contains(&vec![0, 2])); // ends of the full path
         let m = transitive_pair_matrix(&p);
-        assert!(m[1][2] && m[2][1]);
-        assert!(m[0][1]); // via the induced edge subgraph {v1, v2}
+        assert!(m.get(1, 2) && m.get(2, 1));
+        assert!(m.get(0, 1)); // via the induced edge subgraph {v1, v2}
     }
 
     #[test]
@@ -239,11 +286,25 @@ mod tests {
         let sets = connected_subgraph_orbits(&p);
         assert!(sets.is_empty());
         let m = transitive_pair_matrix(&p);
-        for (u, row) in m.iter().enumerate().take(3) {
-            for (v, &cell) in row.iter().enumerate().take(3) {
-                assert_eq!(cell, u == v);
+        assert_eq!(m.len(), 3);
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(m.get(u, v), u == v);
             }
         }
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn pair_matrix_packing_is_symmetric_across_word_boundaries() {
+        let mut m = PairMatrix::new(70);
+        assert!(!m.get(3, 67));
+        m.set_symmetric(3, 67);
+        assert!(m.get(3, 67) && m.get(67, 3));
+        assert!(!m.get(3, 66) && !m.get(66, 3));
+        assert_eq!(m.count_ones(), 2);
+        assert!(!m.is_empty());
+        assert!(PairMatrix::new(0).is_empty());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub type CliquePartition = Vec<Vec<usize>>;
 pub fn is_clique(g: &SimpleGraph, vertices: &[usize]) -> bool {
     for (i, &u) in vertices.iter().enumerate() {
         for &v in &vertices[i + 1..] {
-            if u == v || !g.neighbors(u).contains(&v) {
+            if u == v || !g.has_edge(u, v) {
                 return false;
             }
         }
@@ -60,7 +60,7 @@ pub fn greedy_clique_partition(g: &SimpleGraph) -> CliquePartition {
     for &v in &order {
         let mut placed = false;
         for class in partition.iter_mut() {
-            if class.iter().all(|&u| g.neighbors(v).contains(&u)) {
+            if class.iter().all(|&u| g.has_edge(v, u)) {
                 class.push(v);
                 placed = true;
                 break;
@@ -123,7 +123,7 @@ pub fn exact_clique_partition(g: &SimpleGraph, budget: SearchBudget) -> (CliqueP
             let v = self.order[index];
             // Try to add v to each existing class it is compatible with.
             for ci in 0..classes.len() {
-                let compatible = classes[ci].iter().all(|&u| self.g.neighbors(v).contains(&u));
+                let compatible = classes[ci].iter().all(|&u| self.g.has_edge(v, u));
                 if compatible {
                     classes[ci].push(v);
                     self.run(index + 1, classes);

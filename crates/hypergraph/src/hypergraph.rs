@@ -188,7 +188,45 @@ impl Hypergraph {
 
     /// The *overlap graph* induced by this hypergraph when its edges are interpreted
     /// as occurrences/instances (Definition 2.2.5): one vertex per hyperedge, an edge
-    /// whenever two hyperedges share a vertex.  Returned as an adjacency list.
+    /// whenever two hyperedges share a vertex.
+    ///
+    /// Built through the inverted incidence index: only hyperedge pairs that actually
+    /// meet in some vertex's incidence list are emitted, so the cost is proportional
+    /// to the candidate pairs instead of all `m²/2` pairs tested by the
+    /// [`Hypergraph::overlap_adjacency`] oracle.  The two are proven equal by the
+    /// tests here and by the `overlap_differential` property harness.
+    pub fn overlap_graph(&self) -> crate::independent_set::SimpleGraph {
+        self.overlap_graph_parallel(1)
+    }
+
+    /// [`Hypergraph::overlap_graph`] with the candidate rows partitioned over
+    /// `threads` workers (`1` = sequential, `0` = one per available core).  The
+    /// partition and merge order are fixed, so the result is identical to the
+    /// sequential build.
+    pub fn overlap_graph_parallel(&self, threads: usize) -> crate::independent_set::SimpleGraph {
+        let m = self.num_edges();
+        let incidence = self.incidence();
+        let pairs = crate::parallel::emit_pairs_parallel(m, threads, |rows, out| {
+            // stamp[j] == i marks hyperedge j as already paired with i this round.
+            let mut stamp = vec![usize::MAX; m];
+            for i in rows {
+                for &v in &self.edges[i] {
+                    for &j in &incidence[v] {
+                        if j > i && stamp[j] != i {
+                            stamp[j] = i;
+                            out.push((i, j));
+                        }
+                    }
+                }
+            }
+        });
+        crate::independent_set::SimpleGraph::from_edge_list(m, &pairs)
+    }
+
+    /// All-pairs overlap adjacency (the naive oracle behind
+    /// [`Hypergraph::overlap_graph`]): every hyperedge pair is tested for a shared
+    /// vertex.  Quadratic in the number of hyperedges; kept as the reference
+    /// implementation for the differential tests.
     pub fn overlap_adjacency(&self) -> Vec<Vec<usize>> {
         let m = self.num_edges();
         let mut adj = vec![Vec::new(); m];
@@ -341,6 +379,44 @@ mod tests {
         assert_eq!(adj[0], vec![1]);
         assert_eq!(adj[1], vec![0, 2]);
         assert_eq!(adj[2], vec![1]);
+    }
+
+    #[test]
+    fn indexed_overlap_graph_equals_all_pairs_oracle() {
+        let mut rng = 0x5eedu64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for trial in 0..12 {
+            let n = 4 + trial;
+            let mut h = Hypergraph::new(n);
+            for _ in 0..(2 * n) {
+                let len = 2 + next() % 3;
+                let mut edge: Vec<usize> = (0..len).map(|_| next() % n).collect();
+                edge.sort_unstable();
+                edge.dedup();
+                if edge.len() >= 2 {
+                    h.add_edge(edge).unwrap();
+                }
+            }
+            let oracle = crate::independent_set::SimpleGraph::from_adjacency(h.overlap_adjacency());
+            for (label, built) in [
+                ("indexed", h.overlap_graph()),
+                ("parallel", h.overlap_graph_parallel(3)),
+                ("all-cores", h.overlap_graph_parallel(0)),
+            ] {
+                assert_eq!(built.num_vertices(), oracle.num_vertices());
+                assert_eq!(built.num_edges(), oracle.num_edges(), "{label}, trial {trial}");
+                for v in 0..built.num_vertices() {
+                    assert_eq!(
+                        built.neighbors(v),
+                        oracle.neighbors(v),
+                        "{label}, trial {trial} row {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,53 +8,158 @@
 
 use crate::{ExactResult, SearchBudget};
 
-/// A minimal undirected graph over vertices `0..n`, stored as adjacency lists.
+/// Below this vertex count a [`SimpleGraph`] also keeps dense bitset adjacency rows
+/// (`n²/64` words) so `has_edge` is a single word probe; above it, membership falls
+/// back to binary search in the sorted CSR rows.  2048 vertices cost at most 512 KiB
+/// of bitset — negligible next to the CSR arrays themselves.
+const BITSET_MAX_VERTICES: usize = 2048;
+
+/// A minimal undirected graph over vertices `0..n` in CSR (compressed sparse row)
+/// form: one flat `neighbors` array, sliced per vertex by `offsets`, each row sorted.
+/// Small graphs additionally carry bitset adjacency rows for O(1) membership tests.
+///
 /// Used for overlap graphs (whose vertices are hyperedges of an occurrence
-/// hypergraph), not for labeled data graphs.
+/// hypergraph), not for labeled data graphs.  Bulk construction goes through
+/// [`SimpleGraph::from_edge_list`] (the indexed overlap builders' path);
+/// [`SimpleGraph::add_edge`] performs an O(|E|) sorted insertion and is intended for
+/// small, incrementally-built graphs (tests, oracles).
 #[derive(Debug, Clone)]
 pub struct SimpleGraph {
-    adj: Vec<Vec<usize>>,
+    /// `offsets[v]..offsets[v + 1]` slices `neighbors` into the sorted row of `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour rows.
+    neighbors: Vec<usize>,
+    /// Dense adjacency rows (`n` rows of `ceil(n / 64)` words), only for small `n`.
+    bits: Option<Vec<u64>>,
 }
 
 impl SimpleGraph {
     /// Create a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        SimpleGraph { adj: vec![Vec::new(); n] }
+        SimpleGraph { offsets: vec![0; n + 1], neighbors: Vec::new(), bits: Self::empty_bits(n) }
+    }
+
+    fn empty_bits(n: usize) -> Option<Vec<u64>> {
+        (n <= BITSET_MAX_VERTICES).then(|| vec![0u64; n * n.div_ceil(64)])
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.num_vertices().div_ceil(64)
+    }
+
+    fn set_bit(bits: &mut [u64], words: usize, u: usize, v: usize) {
+        bits[u * words + v / 64] |= 1u64 << (v % 64);
+    }
+
+    /// Build from an unsorted edge list; duplicate and self-loop entries are ignored.
+    /// This is the CSR bulk constructor the indexed overlap builders use: two counting
+    /// passes, no per-vertex allocation.
+    pub fn from_edge_list(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut sorted: Vec<(usize, usize)> =
+            edges.iter().filter(|&&(u, v)| u != v).map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &sorted {
+            assert!(u < n && v < n, "invalid edge {u}-{v}");
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0usize; sorted.len() * 2];
+        let mut bits = Self::empty_bits(n);
+        let words = n.div_ceil(64);
+        for &(u, v) in &sorted {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+            if let Some(b) = bits.as_mut() {
+                Self::set_bit(b, words, u, v);
+                Self::set_bit(b, words, v, u);
+            }
+        }
+        // Rows come out sorted because the deduped edge list is sorted by (min, max)
+        // and each row receives its smaller-endpoint entries in order; the larger
+        // endpoint's entries arrive sorted by the first component too.  The second
+        // component order within one `u` is ascending, so every row is sorted.
+        SimpleGraph { offsets, neighbors, bits }
     }
 
     /// Build from adjacency lists (as produced by
     /// [`Hypergraph::overlap_adjacency`](crate::Hypergraph::overlap_adjacency)).
     pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Self {
-        SimpleGraph { adj }
+        let n = adj.len();
+        let edges: Vec<(usize, usize)> = adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+            .collect();
+        Self::from_edge_list(n, &edges)
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
-    /// Insert the undirected edge `{u, v}` (no-op if it exists).
+    /// Insert the undirected edge `{u, v}` (no-op if it exists).  Sorted insertion
+    /// into the flat CSR arrays: O(|E|) per call, fine for the small incrementally
+    /// built graphs of tests and oracles; bulk paths use
+    /// [`SimpleGraph::from_edge_list`].
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len() && u != v, "invalid edge {u}-{v}");
-        if !self.adj[u].contains(&v) {
-            self.adj[u].push(v);
-            self.adj[v].push(u);
+        let n = self.num_vertices();
+        assert!(u < n && v < n && u != v, "invalid edge {u}-{v}");
+        if self.has_edge(u, v) {
+            return;
+        }
+        self.insert_neighbor(u, v);
+        self.insert_neighbor(v, u);
+        if let Some(bits) = self.bits.as_mut() {
+            let words = n.div_ceil(64);
+            Self::set_bit(bits, words, u, v);
+            Self::set_bit(bits, words, v, u);
         }
     }
 
-    /// Neighbours of `v`.
+    fn insert_neighbor(&mut self, u: usize, v: usize) {
+        let row = &self.neighbors[self.offsets[u]..self.offsets[u + 1]];
+        let pos = self.offsets[u] + row.partition_point(|&w| w < v);
+        self.neighbors.insert(pos, v);
+        for offset in &mut self.offsets[u + 1..] {
+            *offset += 1;
+        }
+    }
+
+    /// `true` if the undirected edge `{u, v}` is present: a single word probe on
+    /// small graphs, binary search in the sorted CSR row otherwise.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        if let Some(bits) = self.bits.as_ref() {
+            return bits[u * self.words_per_row() + v / 64] & (1u64 << (v % 64)) != 0;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Neighbours of `v`, sorted ascending.
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        &self.adj[v]
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 }
 
@@ -186,7 +291,7 @@ pub fn greedy_independent_set(g: &SimpleGraph) -> Vec<usize> {
 pub fn is_independent_set(g: &SimpleGraph, set: &[usize]) -> bool {
     for (i, &u) in set.iter().enumerate() {
         for &v in &set[i + 1..] {
-            if g.neighbors(u).contains(&v) {
+            if g.has_edge(u, v) {
                 return false;
             }
         }
@@ -265,6 +370,40 @@ mod tests {
         g.add_edge(0, 1);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn from_edge_list_matches_incremental_build() {
+        // Unsorted input with duplicates, reversed pairs and a self loop.
+        let edges = [(3usize, 1usize), (0, 2), (2, 0), (1, 3), (4, 0), (2, 2), (1, 0)];
+        let bulk = SimpleGraph::from_edge_list(5, &edges);
+        let mut incremental = SimpleGraph::new(5);
+        for &(u, v) in &edges {
+            if u != v {
+                incremental.add_edge(u, v);
+            }
+        }
+        assert_eq!(bulk.num_edges(), 4);
+        for v in 0..5 {
+            assert_eq!(bulk.neighbors(v), incremental.neighbors(v), "row {v}");
+            let sorted = bulk.neighbors(v);
+            assert!(sorted.windows(2).all(|w| w[0] < w[1]), "row {v} not sorted");
+        }
+        assert!(bulk.has_edge(1, 3) && bulk.has_edge(3, 1));
+        assert!(!bulk.has_edge(2, 2) && !bulk.has_edge(3, 4));
+    }
+
+    #[test]
+    fn has_edge_agrees_with_neighbor_rows_beyond_bitset_limit() {
+        // 3000 vertices exceeds the bitset threshold: membership must fall back to
+        // binary search and still agree with the rows.
+        let n = 3000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        let g = SimpleGraph::from_edge_list(n, &edges);
+        assert_eq!(g.num_edges(), n - 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(n - 2, n - 1));
+        assert!(!g.has_edge(0, 2) && !g.has_edge(5, 5));
+        assert_eq!(g.neighbors(1), &[0, 2]);
     }
 
     #[test]

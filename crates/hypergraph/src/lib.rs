@@ -40,6 +40,7 @@ pub mod connectivity;
 mod hypergraph;
 pub mod independent_set;
 pub mod matching;
+pub mod parallel;
 pub mod reduction;
 pub mod set_cover;
 pub mod statistics;

@@ -52,8 +52,7 @@ impl HypergraphStatistics {
             distinct.insert(e.to_vec());
         }
         let components = connectivity::connected_components(h);
-        let overlap_adj = h.overlap_adjacency();
-        let overlapping_edge_pairs = overlap_adj.iter().map(Vec::len).sum::<usize>() / 2;
+        let overlapping_edge_pairs = h.overlap_graph().num_edges();
         HypergraphStatistics {
             num_vertices: h.num_vertices(),
             num_covered_vertices: covered,

@@ -17,7 +17,10 @@
 //! parse or configuration error.
 
 use ffsm::core::measures::{MeasureConfig, MeasureKind};
-use ffsm::core::{FfsmError, MeasureProfile};
+use ffsm::core::{
+    FfsmError, MeasureProfile, OccurrenceSet, OverlapAnalysis, OverlapBuild, OverlapConfig,
+    OverlapKind,
+};
 use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
 use ffsm::miner::postprocess::maximal_patterns;
 use ffsm::miner::{MiningResult, MiningSession};
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "stats" => cmd_stats(&args[1..]),
         "measure" => cmd_measure(&args[1..]),
+        "overlap" => cmd_overlap(&args[1..]),
         "mine" => cmd_mine(&args[1..]),
         "topk" => cmd_topk(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
@@ -82,6 +86,9 @@ commands:
   stats    <graph.lg>                              structural statistics of a graph
   measure  <graph.lg> --pattern <p.lg> [--measure NAME]
                                                    support measures of a pattern
+  overlap  <graph.lg> --pattern <p.lg> [--kind NAME] [--naive] [--threads K]
+                                                   overlap census / MIS per notion
+                                                   (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
                                                    frequent-subgraph mining
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
@@ -143,6 +150,57 @@ fn cmd_measure(args: &[String]) -> Result<(), CliError> {
             print!("{profile}");
             println!("bounding chain holds: {}", if profile.chain_holds() { "yes" } else { "NO" });
         }
+    }
+    Ok(())
+}
+
+fn cmd_overlap(args: &[String]) -> Result<(), CliError> {
+    let Some(graph_path) = args.first() else {
+        return Err(CliError::Usage(
+            "ffsm overlap <graph.lg> --pattern <pattern.lg> [--kind NAME] [--naive] [--threads K]"
+                .into(),
+        ));
+    };
+    let pattern_path = flag_value(args, "--pattern")
+        .ok_or_else(|| CliError::Usage("--pattern <pattern.lg> is required".to_string()))?;
+    let graph = load_graph(graph_path)?;
+    let pattern: Pattern = load_graph(pattern_path)?;
+    let build = if args.iter().any(|a| a == "--naive") {
+        OverlapBuild::Naive
+    } else {
+        OverlapBuild::Indexed
+    };
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --threads {v:?}")))?
+        }
+        None => 1,
+    };
+    if build == OverlapBuild::Naive && flag_value(args, "--threads").is_some() {
+        return Err(CliError::Usage(
+            "--threads only applies to the indexed builder; the naive all-pairs oracle is \
+             sequential — drop one of --naive / --threads"
+                .into(),
+        ));
+    }
+    let occurrences =
+        OccurrenceSet::enumerate(&pattern, &graph, MeasureConfig::default().iso_config);
+    let analysis = OverlapAnalysis::with_config(&occurrences, OverlapConfig { build, threads });
+    let budget = ffsm::hypergraph::SearchBudget::default();
+    println!("occurrences: {}", occurrences.num_occurrences());
+    let kinds: Vec<OverlapKind> = match flag_value(args, "--kind") {
+        // `--kind` names one notion through the canonical `OverlapKind` FromStr impl.
+        Some(name) => vec![name.parse::<OverlapKind>()?],
+        None => OverlapKind::all().to_vec(),
+    };
+    println!("{:<12} {:>14} {:>10}", "notion", "overlap pairs", "MIS");
+    for kind in kinds {
+        println!(
+            "{:<12} {:>14} {:>10}",
+            kind.name(),
+            analysis.overlap_edge_count(kind),
+            analysis.mis_under(kind, budget)
+        );
     }
     Ok(())
 }

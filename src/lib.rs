@@ -24,7 +24,8 @@ pub mod prelude {
     pub use ffsm_core::{
         measures::{MeasureConfig, MeasureKind, SupportMeasure, SupportMeasures},
         occurrences::OccurrenceSet,
-        FfsmError, MeasureProfile, OverlapAnalysis, OverlapKind,
+        FfsmError, MeasureProfile, OverlapAnalysis, OverlapBuild, OverlapCache, OverlapConfig,
+        OverlapKind,
     };
     pub use ffsm_graph::{GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
     pub use ffsm_miner::{
