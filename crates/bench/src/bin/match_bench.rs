@@ -1,0 +1,176 @@
+//! `match_bench` — the `match_scaling` workload behind `BENCH_match.json`.
+//!
+//! Two sweeps over the subgraph-matching engines:
+//!
+//! * **decoy sweep** — the layered decoy-cycle workload (`workloads::
+//!   decoy_cycle_workload`), where the naive oracle walks `Θ(n⁴)` doomed partial
+//!   paths and the candidate-space engine prunes the whole block before searching.
+//!   This is the headline naive-vs-indexed comparison; the largest size asserts the
+//!   ≥ 5x speedup the subsystem promises.
+//! * **dense sweep** — the embedding-heavy disjoint-clique workload
+//!   (`workloads::dense_triangle_workload`), timing the indexed engine at 1, 2, 4
+//!   and 8 worker threads to chart the deterministic root-partition parallelism.
+//!
+//! Every timed run is cross-checked against the naive oracle's embedding count, so
+//! the bench doubles as an integration test of the engines' equivalence.
+//!
+//! Usage: `match_bench [--max-layer N] [--dense-copies N] [--out PATH]`
+//! (defaults: layer 64, 2000 copies, `BENCH_match.json` in the working directory).
+//!
+//! The JSON report is a flat list of entries (`workload`, `size`, `embeddings`,
+//! `naive_us`, `space_us`, `indexed_us`, `t2_us`, `t4_us`, `t8_us`, `speedup`) consumed by the
+//! CI artifact upload; future PRs extend the trajectory rather than reformatting it.
+
+use ffsm_bench::report::{json_string, Table};
+use ffsm_bench::{format_duration, timed, workloads};
+use ffsm_graph::isomorphism::{enumerate_embeddings, EnumeratorBackend, IsoConfig};
+use ffsm_graph::{LabeledGraph, Pattern};
+use ffsm_match::{GraphIndex, Matcher};
+use std::time::Duration;
+
+struct Entry {
+    workload: &'static str,
+    size: usize,
+    embeddings: usize,
+    naive: Duration,
+    /// Candidate-space + matching-order build (the per-pattern setup cost).
+    space: Duration,
+    /// Sequential enumeration over the prepared space.
+    indexed: Duration,
+    threaded: [Duration; 3], // 2, 4, 8 workers, enumeration only
+}
+
+impl Entry {
+    /// Naive time over the *total* per-pattern indexed cost (setup + search).
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / (self.space + self.indexed).as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": {}, \"size\": {}, \"embeddings\": {}, \"naive_us\": {}, \
+             \"space_us\": {}, \"indexed_us\": {}, \"t2_us\": {}, \"t4_us\": {}, \
+             \"t8_us\": {}, \"speedup\": {:.2}}}",
+            json_string(self.workload),
+            self.size,
+            self.embeddings,
+            self.naive.as_micros(),
+            self.space.as_micros(),
+            self.indexed.as_micros(),
+            self.threaded[0].as_micros(),
+            self.threaded[1].as_micros(),
+            self.threaded[2].as_micros(),
+            self.speedup()
+        )
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Run one workload through both engines and every thread count, cross-checking all
+/// embedding counts against the naive oracle.
+fn measure(workload: &'static str, size: usize, graph: &LabeledGraph, pattern: &Pattern) -> Entry {
+    let naive_config = IsoConfig::default().with_backend(EnumeratorBackend::Naive);
+    let (naive_result, naive) = timed(|| enumerate_embeddings(pattern, graph, naive_config));
+    assert!(naive_result.complete, "naive run must finish ({workload}, size {size})");
+
+    // The per-graph index is the once-per-session cost; report it out of band and
+    // time the per-pattern work (candidate space + search) like the miner sees it.
+    let (index, index_time) = timed(|| GraphIndex::build(graph));
+    eprintln!("index build at {workload}/{size}: {}", format_duration(index_time));
+
+    let (matcher, space) = timed(|| Matcher::new(pattern, graph, &index));
+    let run_indexed = |threads: usize| -> (usize, Duration) {
+        let config = IsoConfig { threads, ..IsoConfig::default() };
+        let (result, elapsed) = timed(|| matcher.enumerate(config));
+        assert_eq!(
+            result.len(),
+            naive_result.len(),
+            "candidate-space engine diverged from the oracle ({workload}, size {size}, \
+             {threads} threads)"
+        );
+        (result.len(), elapsed)
+    };
+    let (embeddings, indexed) = run_indexed(1);
+    let threaded = [run_indexed(2).1, run_indexed(4).1, run_indexed(8).1];
+    Entry { workload, size, embeddings, naive, space, indexed, threaded }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_layer: usize = flag_value(&args, "--max-layer")
+        .map(|v| v.parse().expect("--max-layer expects a number"))
+        .unwrap_or(64);
+    let dense_copies: usize = flag_value(&args, "--dense-copies")
+        .map(|v| v.parse().expect("--dense-copies expects a number"))
+        .unwrap_or(2000);
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_match.json").to_string();
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut table = Table::new(
+        "match_scaling: naive vs candidate-space embedding enumeration",
+        &[
+            "workload",
+            "size",
+            "embeddings",
+            "naive",
+            "space",
+            "indexed",
+            "x2",
+            "x4",
+            "x8",
+            "speedup",
+        ],
+    );
+    for layer in workloads::match_scaling_sizes(max_layer) {
+        let (graph, pattern) = workloads::decoy_cycle_workload(layer, 8);
+        entries.push(measure("decoy_cycle", layer, &graph, &pattern));
+    }
+    for copies in [dense_copies / 4, dense_copies] {
+        let (graph, pattern) = workloads::dense_triangle_workload(copies.max(1));
+        entries.push(measure("dense_triangle", copies.max(1), &graph, &pattern));
+    }
+    for e in &entries {
+        table.add_row(vec![
+            e.workload.to_string(),
+            e.size.to_string(),
+            e.embeddings.to_string(),
+            format_duration(e.naive),
+            format_duration(e.space),
+            format_duration(e.indexed),
+            format_duration(e.threaded[0]),
+            format_duration(e.threaded[1]),
+            format_duration(e.threaded[2]),
+            format!("{:.2}x", e.speedup()),
+        ]);
+    }
+    table.print();
+
+    let body: Vec<String> = entries.iter().map(|e| format!("    {}", e.to_json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"match_scaling\",\n  \"workloads\": [\"decoy_cycle(4-cycle)\", \
+         \"dense_triangle\"],\n  \"entries\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write perf report");
+    println!("wrote {out_path} ({} entries)", entries.len());
+
+    // Acceptance gate: on the largest decoy workload, the candidate-space engine
+    // must beat the naive oracle by at least 5x.
+    let largest = entries
+        .iter()
+        .filter(|e| e.workload == "decoy_cycle")
+        .max_by_key(|e| e.size)
+        .expect("decoy sweep ran");
+    assert!(
+        largest.speedup() >= 5.0,
+        "candidate-space engine only {:.2}x faster than naive on the largest decoy workload \
+         ({:?} vs {:?} at layer size {})",
+        largest.speedup(),
+        largest.space + largest.indexed,
+        largest.naive,
+        largest.size
+    );
+}

@@ -77,6 +77,66 @@ pub fn overlap_scaling_sizes(max: usize) -> Vec<usize> {
     sizes
 }
 
+/// The candidate-pruning workload of the `match_scaling` bench: a 4-cycle pattern
+/// `A-B-C-D-A` against a graph holding a few *real* cycles plus a large layered
+/// **decoy block** — four layers of `layer_size` vertices labelled `A,B,C,D` with
+/// complete bipartite edges `A–B`, `B–C`, `C–D` but **no** closing `D–A` edges.
+///
+/// The naive enumerator walks `Θ(layer_size⁴)` partial paths through the block
+/// before each one fails to close; the candidate-space engine deletes the entire
+/// block before searching (the decoy `A`/`D` layers fail the neighbour-label
+/// fingerprint, and the refinement sweep then peels `B` and `C`).  The true
+/// embedding count is exactly `real_cycles`: a 4-cycle over four distinct labels
+/// has a unique occurrence per disjoint copy.
+pub fn decoy_cycle_workload(layer_size: usize, real_cycles: usize) -> (LabeledGraph, Pattern) {
+    let mut graph = LabeledGraph::with_capacity(4 * layer_size + 4 * real_cycles);
+    // Decoy layers: vertex `layer * layer_size + i` has label `layer`.
+    for layer in 0..4u32 {
+        for _ in 0..layer_size {
+            graph.add_vertex(Label(layer));
+        }
+    }
+    let vertex = |layer: usize, i: usize| (layer * layer_size + i) as u32;
+    for layer in 0..3 {
+        for i in 0..layer_size {
+            for j in 0..layer_size {
+                graph.add_edge(vertex(layer, i), vertex(layer + 1, j)).expect("decoy edge");
+            }
+        }
+    }
+    // Real cycles, disjoint from the block and from each other.
+    for _ in 0..real_cycles {
+        let a = graph.add_vertex(Label(0));
+        let b = graph.add_vertex(Label(1));
+        let c = graph.add_vertex(Label(2));
+        let d = graph.add_vertex(Label(3));
+        for (u, v) in [(a, b), (b, c), (c, d), (d, a)] {
+            graph.add_edge(u, v).expect("real cycle edge");
+        }
+    }
+    (graph, patterns::cycle(&[Label(0), Label(1), Label(2), Label(3)]))
+}
+
+/// The embedding-heavy workload of the `match_scaling` thread sweep: `copies`
+/// disjoint 4-cliques of one label, queried with the one-label triangle — every
+/// copy contributes `4·3·2 = 24` embeddings and the root candidates split evenly
+/// across workers, so the workload isolates parallel enumeration overhead.
+pub fn dense_triangle_workload(copies: usize) -> (LabeledGraph, Pattern) {
+    let clique = patterns::uniform_clique(4, Label(0));
+    (generators::replicated(&clique, copies, false), patterns::uniform_clique(3, Label(0)))
+}
+
+/// The layer-size grid of the `match_scaling` bench: doubling from 8 up to `max`.
+pub fn match_scaling_sizes(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut m = 8usize;
+    while m <= max {
+        sizes.push(m);
+        m *= 2;
+    }
+    sizes
+}
+
 /// Enumerate the occurrences of `pattern` in `graph` with a bounded budget (shared by
 /// all experiments so values are comparable).
 pub fn enumerate(pattern: &Pattern, graph: &LabeledGraph, max_embeddings: usize) -> OccurrenceSet {
@@ -129,6 +189,30 @@ mod tests {
         assert_eq!(overlap_scaling_sizes(512), vec![64, 128, 256, 512]);
         assert_eq!(overlap_scaling_sizes(700), vec![64, 128, 256, 512]);
         assert!(overlap_scaling_sizes(32).is_empty());
+    }
+
+    #[test]
+    fn decoy_cycle_workload_has_exactly_the_real_embeddings() {
+        let (g, p) = decoy_cycle_workload(6, 5);
+        assert_eq!(g.num_vertices(), 4 * 6 + 4 * 5);
+        assert_eq!(g.num_edges(), 3 * 36 + 4 * 5);
+        let occ = enumerate(&p, &g, 1_000_000);
+        assert!(occ.is_complete());
+        assert_eq!(occ.num_occurrences(), 5);
+    }
+
+    #[test]
+    fn dense_triangle_workload_scales_linearly() {
+        let (g, p) = dense_triangle_workload(7);
+        let occ = enumerate(&p, &g, 1_000_000);
+        assert_eq!(occ.num_occurrences(), 7 * 24);
+    }
+
+    #[test]
+    fn match_scaling_sizes_double_up_to_the_cap() {
+        assert_eq!(match_scaling_sizes(32), vec![8, 16, 32]);
+        assert_eq!(match_scaling_sizes(40), vec![8, 16, 32]);
+        assert!(match_scaling_sizes(4).is_empty());
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub mod profile;
 pub use bounds::{verify_bounding_chain, BoundsReport};
 pub use decompose::{DecomposedOutcome, DecompositionConfig};
 pub use error::FfsmError;
+// Occurrence enumeration is dispatched to the candidate-space engine of
+// `ffsm-match` (see `IsoConfig::backend`); the per-graph index and the backend tag
+// are re-exported so downstream crates (the miner, the CLI) need no direct
+// dependency to share one index across patterns.
+pub use ffsm_graph::isomorphism::EnumeratorBackend;
+pub use ffsm_match::GraphIndex;
 pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
 };

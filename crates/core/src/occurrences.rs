@@ -15,9 +15,10 @@
 //! Hypergraph vertices are re-indexed densely (`0..k`); [`OccurrenceSet`] keeps the
 //! mapping back to data-graph vertex identifiers.
 
-use ffsm_graph::isomorphism::{enumerate_embeddings, Embedding, IsoConfig};
+use ffsm_graph::isomorphism::{Embedding, IsoConfig};
 use ffsm_graph::{LabeledGraph, Pattern, VertexId};
 use ffsm_hypergraph::Hypergraph;
+use ffsm_match::GraphIndex;
 use std::collections::{BTreeSet, HashMap};
 
 /// Which hypergraph a measure is evaluated on (the paper defines MVC/MIES/MIS on
@@ -55,9 +56,28 @@ pub struct OccurrenceSet {
 }
 
 impl OccurrenceSet {
-    /// Enumerate all occurrences of `pattern` in `graph`.
+    /// Enumerate all occurrences of `pattern` in `graph`, dispatching on
+    /// `config.backend` (the candidate-space engine of `ffsm-match` by default, the
+    /// naive oracle on request).  Builds a throwaway per-graph [`GraphIndex`] when
+    /// the candidate-space engine runs — callers matching many patterns against one
+    /// graph (the mining engine, the CLI) should build the index once and use
+    /// [`OccurrenceSet::enumerate_with_index`] instead.
     pub fn enumerate(pattern: &Pattern, graph: &LabeledGraph, config: IsoConfig) -> Self {
-        let result = enumerate_embeddings(pattern, graph, config);
+        let result = ffsm_match::enumerate(pattern, graph, None, config);
+        Self::from_embeddings(pattern.clone(), result.embeddings, result.complete)
+    }
+
+    /// Enumerate all occurrences of `pattern` in `graph`, reusing a prebuilt
+    /// per-graph [`GraphIndex`] (which must have been built from this `graph`).
+    /// With `config.backend == EnumeratorBackend::Naive` the index is ignored and
+    /// the oracle runs instead.
+    pub fn enumerate_with_index(
+        pattern: &Pattern,
+        graph: &LabeledGraph,
+        index: &GraphIndex,
+        config: IsoConfig,
+    ) -> Self {
+        let result = ffsm_match::enumerate(pattern, graph, Some(index), config);
         Self::from_embeddings(pattern.clone(), result.embeddings, result.complete)
     }
 
@@ -299,6 +319,44 @@ mod tests {
         // Every occurrence id shows up exactly pattern-size times across the buckets.
         let total: usize = buckets.iter().map(Vec::len).sum();
         assert_eq!(total, occ.num_occurrences() * occ.pattern().num_vertices());
+    }
+
+    #[test]
+    fn enumerate_dispatches_and_shares_the_index() {
+        use ffsm_graph::isomorphism::EnumeratorBackend;
+        let example = figures::figure3();
+        let default =
+            OccurrenceSet::enumerate(&example.pattern, &example.graph, IsoConfig::default());
+        let naive = OccurrenceSet::enumerate(
+            &example.pattern,
+            &example.graph,
+            IsoConfig::default().with_backend(EnumeratorBackend::Naive),
+        );
+        let index = GraphIndex::build(&example.graph);
+        let shared = OccurrenceSet::enumerate_with_index(
+            &example.pattern,
+            &example.graph,
+            &index,
+            IsoConfig::default(),
+        );
+        // Same multiset of embeddings on every path (the engines may order them
+        // differently), and the prebuilt index changes nothing.
+        let sorted = |occ: &OccurrenceSet| {
+            let mut v = occ.embeddings().to_vec();
+            v.sort();
+            v
+        };
+        assert_eq!(sorted(&default), sorted(&naive));
+        assert_eq!(default.embeddings(), shared.embeddings());
+        assert_eq!(default.num_occurrences(), 6);
+        // The naive backend ignores a passed index.
+        let naive_shared = OccurrenceSet::enumerate_with_index(
+            &example.pattern,
+            &example.graph,
+            &index,
+            IsoConfig::default().with_backend(EnumeratorBackend::Naive),
+        );
+        assert_eq!(naive_shared.embeddings(), naive.embeddings());
     }
 
     #[test]

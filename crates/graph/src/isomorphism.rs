@@ -1,4 +1,4 @@
-//! Subgraph-isomorphism enumeration.
+//! Subgraph-isomorphism enumeration (the naive reference enumerator).
 //!
 //! An **occurrence** of a pattern `P` in a data graph `G` (Definition 2.1.8) is an
 //! injective, label-preserving map `f : V_P → V_G` such that every pattern edge maps
@@ -9,18 +9,42 @@
 //!
 //! * pattern vertices are visited in a connectivity-aware order that starts from the
 //!   most selective vertex (rarest label, then highest degree);
-//! * candidates for a vertex with an already-matched neighbour are drawn from that
-//!   neighbour's image adjacency list instead of the whole graph;
+//! * candidates for a vertex with already-matched neighbours are drawn from the
+//!   adjacency list of the image with the fewest data-graph neighbours, instead of
+//!   the whole graph;
 //! * label, degree and adjacency feasibility checks prune each extension.
 //!
 //! Enumeration can explode combinatorially (that is precisely why MNI/MI matter), so
 //! the search takes an explicit [`IsoConfig::max_embeddings`] budget and reports
-//! whether it completed.
+//! whether it completed.  Embeddings are *streamed* to an [`EmbeddingVisitor`], which
+//! may stop the search at any point; [`enumerate_embeddings`] materialises them,
+//! while [`has_embedding`] and [`count_embeddings`] never allocate per embedding.
+//!
+//! This module is the **differential-test oracle** of the workspace: the indexed
+//! candidate-space engine (`ffsm-match`) must reproduce its embedding multiset
+//! exactly.  [`EnumeratorBackend`] selects between the two; the functions here always
+//! run the naive search regardless of the configured backend (dispatch happens one
+//! layer up, in `ffsm-core`).
 
 use crate::{LabeledGraph, Pattern, VertexId};
 
 /// An occurrence: `assignment[p]` is the data-graph image of pattern vertex `p`.
 pub type Embedding = Vec<VertexId>;
+
+/// Which engine enumerates occurrences.
+///
+/// The naive backtracker of this module is retained as the correctness oracle; the
+/// candidate-space engine (`ffsm-match`) precomputes a per-graph index and prunes
+/// candidate sets before searching.  `ffsm-core` dispatches on this tag (the
+/// functions in this module ignore it and always run the naive search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EnumeratorBackend {
+    /// The recursive backtracker of this module — the differential-test oracle.
+    Naive,
+    /// The indexed candidate-space engine of `ffsm-match`.  The default.
+    #[default]
+    CandidateSpace,
+}
 
 /// Configuration for the embedding enumerator.
 #[derive(Debug, Clone, Copy)]
@@ -30,11 +54,22 @@ pub struct IsoConfig {
     /// Require induced embeddings (pattern *non*-edges must map to non-edges).
     /// The paper's occurrences are non-induced, so this defaults to `false`.
     pub induced: bool,
+    /// Which enumeration engine `ffsm-core` dispatches to.
+    pub backend: EnumeratorBackend,
+    /// Worker threads for the candidate-space engine's root partition (`1` =
+    /// sequential, `0` = one per core).  The thread count never changes the
+    /// embedding order; the naive oracle is always sequential.
+    pub threads: usize,
 }
 
 impl Default for IsoConfig {
     fn default() -> Self {
-        IsoConfig { max_embeddings: 2_000_000, induced: false }
+        IsoConfig {
+            max_embeddings: 2_000_000,
+            induced: false,
+            backend: EnumeratorBackend::default(),
+            threads: 1,
+        }
     }
 }
 
@@ -42,6 +77,106 @@ impl IsoConfig {
     /// Config with a custom embedding budget.
     pub fn with_limit(max_embeddings: usize) -> Self {
         IsoConfig { max_embeddings, ..Default::default() }
+    }
+
+    /// This config with the given enumeration backend.
+    pub fn with_backend(self, backend: EnumeratorBackend) -> Self {
+        IsoConfig { backend, ..self }
+    }
+}
+
+/// Whether a streaming enumeration should continue after a visited embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitFlow {
+    /// Keep searching.
+    Continue,
+    /// Stop the search immediately (existence checks, embedding budgets, …).
+    Stop,
+}
+
+/// Streaming consumer of embeddings.
+///
+/// Both the naive enumerator and the candidate-space engine push each embedding to a
+/// visitor the moment it is found, so counting and existence checks never
+/// materialise embedding vectors, and any consumer can terminate the search early by
+/// returning [`VisitFlow::Stop`].  The borrowed slice is only valid for the duration
+/// of the call — clone it to keep it.
+pub trait EmbeddingVisitor {
+    /// Called once per embedding, in the enumerator's deterministic order.
+    fn visit(&mut self, embedding: &[VertexId]) -> VisitFlow;
+}
+
+impl<F: FnMut(&[VertexId]) -> VisitFlow> EmbeddingVisitor for F {
+    fn visit(&mut self, embedding: &[VertexId]) -> VisitFlow {
+        self(embedding)
+    }
+}
+
+/// Visitor that clones every embedding into a vector, up to a budget.
+#[derive(Debug)]
+pub struct CollectVisitor {
+    /// The embeddings collected so far.
+    pub embeddings: Vec<Embedding>,
+    max: usize,
+}
+
+impl CollectVisitor {
+    /// Collect at most `max` embeddings, then stop the search.
+    pub fn with_limit(max: usize) -> Self {
+        CollectVisitor { embeddings: Vec::new(), max }
+    }
+}
+
+impl EmbeddingVisitor for CollectVisitor {
+    fn visit(&mut self, embedding: &[VertexId]) -> VisitFlow {
+        // Budget check *before* accepting: a visit at the budget is rejected, so a
+        // zero budget collects nothing and an enumeration with exactly `max`
+        // embeddings completes — the contract the parallel merge mirrors.
+        if self.embeddings.len() >= self.max {
+            return VisitFlow::Stop;
+        }
+        self.embeddings.push(embedding.to_vec());
+        VisitFlow::Continue
+    }
+}
+
+/// Visitor that counts embeddings without materialising them, up to a budget.
+#[derive(Debug)]
+pub struct CountVisitor {
+    /// Number of embeddings seen so far.
+    pub count: usize,
+    max: usize,
+}
+
+impl CountVisitor {
+    /// Count at most `max` embeddings, then stop the search.
+    pub fn with_limit(max: usize) -> Self {
+        CountVisitor { count: 0, max }
+    }
+}
+
+impl EmbeddingVisitor for CountVisitor {
+    fn visit(&mut self, _embedding: &[VertexId]) -> VisitFlow {
+        // Same check-before-accept contract as [`CollectVisitor`].
+        if self.count >= self.max {
+            return VisitFlow::Stop;
+        }
+        self.count += 1;
+        VisitFlow::Continue
+    }
+}
+
+/// Visitor that stops at the first embedding (existence check).
+#[derive(Debug, Default)]
+pub struct ExistsVisitor {
+    /// `true` once any embedding has been seen.
+    pub found: bool,
+}
+
+impl EmbeddingVisitor for ExistsVisitor {
+    fn visit(&mut self, _embedding: &[VertexId]) -> VisitFlow {
+        self.found = true;
+        VisitFlow::Stop
     }
 }
 
@@ -110,11 +245,14 @@ struct Search<'a> {
     order: Vec<VertexId>,
     /// For each position in `order`, the pattern neighbours that appear earlier.
     earlier_neighbors: Vec<Vec<VertexId>>,
+    /// For each position with *no* earlier neighbour (the root and any later
+    /// component root), the label-matching data vertices — computed once so the
+    /// search never rescans the whole vertex set.
+    root_candidates: Vec<Vec<VertexId>>,
     config: IsoConfig,
     assignment: Vec<Option<VertexId>>,
     used: Vec<bool>,
-    out: Vec<Embedding>,
-    truncated: bool,
+    stopped: bool,
 }
 
 impl<'a> Search<'a> {
@@ -124,11 +262,25 @@ impl<'a> Search<'a> {
         for (i, &v) in order.iter().enumerate() {
             position[v as usize] = i;
         }
-        let earlier_neighbors = order
+        let earlier_neighbors: Vec<Vec<VertexId>> = order
             .iter()
             .enumerate()
             .map(|(i, &v)| {
                 pattern.neighbors(v).iter().copied().filter(|&w| position[w as usize] < i).collect()
+            })
+            .collect();
+        let root_candidates = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if earlier_neighbors[i].is_empty() {
+                    graph
+                        .vertices()
+                        .filter(|&gv| graph.label(gv) == pattern.label(v))
+                        .collect::<Vec<VertexId>>()
+                } else {
+                    Vec::new()
+                }
             })
             .collect();
         Search {
@@ -136,11 +288,11 @@ impl<'a> Search<'a> {
             graph,
             order,
             earlier_neighbors,
+            root_candidates,
             config,
             assignment: vec![None; pattern.num_vertices()],
             used: vec![false; graph.num_vertices()],
-            out: Vec::new(),
-            truncated: false,
+            stopped: false,
         }
     }
 
@@ -178,45 +330,94 @@ impl<'a> Search<'a> {
         true
     }
 
-    fn candidates(&self, pv: VertexId, depth: usize) -> Vec<VertexId> {
-        if let Some(&pn) = self.earlier_neighbors[depth].first() {
-            let gn = self.assignment[pn as usize].expect("assigned");
-            self.graph.neighbors(gn).to_vec()
-        } else {
-            self.graph
-                .vertices()
-                .filter(|&gv| self.graph.label(gv) == self.pattern.label(pv))
-                .collect()
-        }
+    /// Of the already-assigned earlier pattern neighbours, the one whose data-graph
+    /// image has the fewest neighbours — the cheapest adjacency list to scan.
+    fn min_degree_pivot(&self, depth: usize) -> Option<VertexId> {
+        self.earlier_neighbors[depth].iter().copied().min_by_key(|&pn| {
+            let gn = self.assignment[pn as usize].expect("earlier vertex assigned");
+            self.graph.degree(gn)
+        })
     }
 
-    fn run(&mut self, depth: usize) {
-        if self.truncated {
+    fn run<V: EmbeddingVisitor>(&mut self, depth: usize, visitor: &mut V) {
+        if self.stopped {
             return;
         }
         if depth == self.order.len() {
             let emb: Embedding =
                 self.assignment.iter().map(|a| a.expect("complete assignment")).collect();
-            self.out.push(emb);
-            if self.out.len() >= self.config.max_embeddings {
-                self.truncated = true;
+            if visitor.visit(&emb) == VisitFlow::Stop {
+                self.stopped = true;
             }
             return;
         }
         let pv = self.order[depth];
-        for gv in self.candidates(pv, depth) {
-            if self.feasible(pv, gv, depth) {
-                self.assignment[pv as usize] = Some(gv);
-                self.used[gv as usize] = true;
-                self.run(depth + 1);
-                self.assignment[pv as usize] = None;
-                self.used[gv as usize] = false;
-                if self.truncated {
-                    return;
+        match self.min_degree_pivot(depth) {
+            Some(pn) => {
+                let gn = self.assignment[pn as usize].expect("earlier vertex assigned");
+                // The adjacency slice borrows the graph, not the search state, so no
+                // clone is needed around the recursive calls.
+                let graph: &'a LabeledGraph = self.graph;
+                for &gv in graph.neighbors(gn) {
+                    if self.feasible(pv, gv, depth) {
+                        self.assignment[pv as usize] = Some(gv);
+                        self.used[gv as usize] = true;
+                        self.run(depth + 1, visitor);
+                        self.assignment[pv as usize] = None;
+                        self.used[gv as usize] = false;
+                        if self.stopped {
+                            return;
+                        }
+                    }
                 }
+            }
+            None => {
+                // Root of a (new) pattern component: scan the precomputed
+                // label-matching list.  Moved out and back in so the recursion can
+                // borrow `self` mutably without cloning the list.
+                let candidates = std::mem::take(&mut self.root_candidates[depth]);
+                for &gv in &candidates {
+                    if self.feasible(pv, gv, depth) {
+                        self.assignment[pv as usize] = Some(gv);
+                        self.used[gv as usize] = true;
+                        self.run(depth + 1, visitor);
+                        self.assignment[pv as usize] = None;
+                        self.used[gv as usize] = false;
+                        if self.stopped {
+                            break;
+                        }
+                    }
+                }
+                self.root_candidates[depth] = candidates;
             }
         }
     }
+}
+
+/// Stream every occurrence of `pattern` in `graph` to `visitor`, in the naive
+/// enumerator's deterministic order.  Returns `false` if the visitor stopped the
+/// search early, `true` if the search space was exhausted.
+///
+/// This is the primitive behind [`enumerate_embeddings`], [`count_embeddings`] and
+/// [`has_embedding`]; use it directly to consume embeddings without materialising
+/// them.  `config.max_embeddings` is *not* applied here — wrap the visitor (e.g.
+/// [`CollectVisitor::with_limit`]) to bound the output.
+pub fn enumerate_with_visitor<V: EmbeddingVisitor>(
+    pattern: &Pattern,
+    graph: &LabeledGraph,
+    config: IsoConfig,
+    visitor: &mut V,
+) -> bool {
+    if pattern.num_vertices() == 0 {
+        // The empty pattern has exactly one (empty) occurrence by convention.
+        return visitor.visit(&[]) == VisitFlow::Continue;
+    }
+    if pattern.num_vertices() > graph.num_vertices() {
+        return true;
+    }
+    let mut search = Search::new(pattern, graph, config);
+    search.run(0, visitor);
+    !search.stopped
 }
 
 /// Enumerate all occurrences (subgraph isomorphisms) of `pattern` in `graph`.
@@ -229,18 +430,17 @@ pub fn enumerate_embeddings(
         // The empty pattern has exactly one (empty) occurrence by convention.
         return EnumerationResult { embeddings: vec![Vec::new()], complete: true };
     }
-    if pattern.num_vertices() > graph.num_vertices() {
-        return EnumerationResult { embeddings: Vec::new(), complete: true };
-    }
-    let mut search = Search::new(pattern, graph, config);
-    search.run(0);
-    EnumerationResult { embeddings: search.out, complete: !search.truncated }
+    let mut collect = CollectVisitor::with_limit(config.max_embeddings);
+    let complete = enumerate_with_visitor(pattern, graph, config, &mut collect);
+    EnumerationResult { embeddings: collect.embeddings, complete }
 }
 
-/// `true` if `pattern` has at least one occurrence in `graph`.
+/// `true` if `pattern` has at least one occurrence in `graph`.  Stops at the first
+/// embedding found, without materialising it.
 pub fn has_embedding(pattern: &Pattern, graph: &LabeledGraph) -> bool {
-    let config = IsoConfig { max_embeddings: 1, ..Default::default() };
-    !enumerate_embeddings(pattern, graph, config).is_empty()
+    let mut exists = ExistsVisitor::default();
+    enumerate_with_visitor(pattern, graph, IsoConfig::default(), &mut exists);
+    exists.found
 }
 
 /// `true` if the two graphs are isomorphic (Definition 2.1.5): same vertex count, same
@@ -253,15 +453,20 @@ pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
     if a.label_histogram() != b.label_histogram() {
         return false;
     }
-    let config = IsoConfig { max_embeddings: 1, induced: false };
     // With equal vertex and edge counts, a (non-induced) edge-preserving bijection is
     // automatically edge-reflecting, hence an isomorphism.
-    !enumerate_embeddings(a, b, config).is_empty()
+    has_embedding(a, b)
 }
 
-/// Count occurrences without materialising them (still bounded by `config.max_embeddings`).
+/// Count occurrences without materialising them (still bounded by
+/// `config.max_embeddings`, and early-exiting the moment the budget is reached).
 pub fn count_embeddings(pattern: &Pattern, graph: &LabeledGraph, config: IsoConfig) -> usize {
-    enumerate_embeddings(pattern, graph, config).len()
+    if pattern.num_vertices() == 0 {
+        return 1;
+    }
+    let mut counter = CountVisitor::with_limit(config.max_embeddings);
+    enumerate_with_visitor(pattern, graph, config, &mut counter);
+    counter.count
 }
 
 #[cfg(test)]
@@ -403,5 +608,51 @@ mod tests {
         let p = patterns::triangle(Label(0), Label(0), Label(0));
         let n = count_embeddings(&p, &g, IsoConfig::default());
         assert_eq!(n, enumerate_embeddings(&p, &g, IsoConfig::default()).len());
+    }
+
+    #[test]
+    fn visitor_streams_and_stops_early() {
+        let g = figure2_graph();
+        let p = patterns::path(&[Label(0), Label(0)]);
+        // A closure is a visitor: stop after the second embedding.
+        let mut seen = 0usize;
+        let complete =
+            enumerate_with_visitor(&p, &g, IsoConfig::default(), &mut |emb: &[u32]| {
+                assert_eq!(emb.len(), 2);
+                seen += 1;
+                if seen == 2 {
+                    VisitFlow::Stop
+                } else {
+                    VisitFlow::Continue
+                }
+            });
+        assert_eq!(seen, 2);
+        assert!(!complete);
+        // Exhausting the space reports completion.
+        let mut all = 0usize;
+        let complete = enumerate_with_visitor(&p, &g, IsoConfig::default(), &mut |_: &[u32]| {
+            all += 1;
+            VisitFlow::Continue
+        });
+        assert!(complete);
+        assert_eq!(all, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn count_respects_budget_without_materialising() {
+        let g = figure2_graph();
+        let p = patterns::path(&[Label(0), Label(0)]);
+        assert_eq!(count_embeddings(&p, &g, IsoConfig::with_limit(3)), 3);
+        assert_eq!(count_embeddings(&p, &g, IsoConfig::default()), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn backend_tag_defaults_to_candidate_space() {
+        let config = IsoConfig::default();
+        assert_eq!(config.backend, EnumeratorBackend::CandidateSpace);
+        assert_eq!(config.threads, 1);
+        let naive = config.with_backend(EnumeratorBackend::Naive);
+        assert_eq!(naive.backend, EnumeratorBackend::Naive);
+        assert_eq!(naive.max_embeddings, config.max_embeddings);
     }
 }

@@ -1,0 +1,267 @@
+//! [`CandidateSpace`] — per-pattern-vertex candidate sets, pruned before search.
+//!
+//! The builder runs two phases against a [`GraphIndex`]:
+//!
+//! 1. **Initial filtering**: the candidates of pattern vertex `u` are the data
+//!    vertices with `u`'s label, degree ≥ `deg(u)` (via the index's degree buckets)
+//!    and a neighbour-label fingerprint that covers `u`'s.
+//! 2. **Neighbourhood-consistency refinement** (CFL-style, AC-3 flavoured): a
+//!    candidate `v ∈ C(u)` survives only if, for *every* pattern neighbour `u'` of
+//!    `u`, some data neighbour of `v` is in `C(u')`.  Deletions propagate until a
+//!    fixpoint is reached.
+//!
+//! Both phases only ever delete vertices that cannot participate in any embedding
+//! (for the non-induced semantics; the induced semantics matches a subset of those
+//! embeddings, so the space is sound for both).  The search then enumerates inside
+//! this space instead of the whole graph.
+//!
+//! Candidate lists are kept **sorted ascending by vertex id** — the determinism
+//! contract of the enumerator (and its parallel root partition) is anchored here.
+
+use crate::index::GraphIndex;
+use ffsm_graph::{LabeledGraph, Pattern, VertexId};
+
+/// Dense bitset over data-graph vertices: O(1) membership for the refinement loop
+/// and the search's pivot-adjacency filter.
+#[derive(Debug, Clone)]
+struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    fn with_len(n: usize) -> Self {
+        Bitset { words: vec![0u64; n.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+}
+
+/// The pruned candidate sets of one pattern against one indexed data graph.
+#[derive(Debug, Clone)]
+pub struct CandidateSpace {
+    /// Per pattern vertex: surviving candidates, ascending by data vertex id.
+    candidates: Vec<Vec<VertexId>>,
+    /// Per pattern vertex: membership bitset over data vertices (mirrors
+    /// `candidates`).
+    member: Vec<Bitset>,
+    /// Per pattern vertex: candidate count after phase 1, before refinement.
+    initial_sizes: Vec<usize>,
+    /// Number of refinement sweeps until the fixpoint (≥ 1; the last sweep deletes
+    /// nothing).
+    refinement_rounds: usize,
+}
+
+impl CandidateSpace {
+    /// Build and refine the candidate space of `pattern` in `graph` using `index`
+    /// (which must have been built from the same `graph`).
+    pub fn build(pattern: &Pattern, graph: &LabeledGraph, index: &GraphIndex) -> Self {
+        let n = pattern.num_vertices();
+        let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+        let mut member: Vec<Bitset> = Vec::with_capacity(n);
+        let mut initial_sizes = Vec::with_capacity(n);
+        for u in pattern.vertices() {
+            let need = GraphIndex::neighbor_fingerprint(pattern, u);
+            let mut set: Vec<VertexId> = index
+                .vertices_with_min_degree(pattern.label(u), pattern.degree(u))
+                .iter()
+                .copied()
+                .filter(|&v| need & !index.fingerprint(v) == 0)
+                .collect();
+            set.sort_unstable();
+            let mut bits = Bitset::with_len(graph.num_vertices());
+            for &v in &set {
+                bits.set(v as usize);
+            }
+            initial_sizes.push(set.len());
+            candidates.push(set);
+            member.push(bits);
+        }
+
+        // Refinement to fixpoint.  Deletions take effect immediately (the bitsets
+        // are updated in place), so later checks in the same sweep see them and the
+        // fixpoint is reached in fewer sweeps; the fixpoint itself is unique
+        // regardless of sweep order, so this does not affect the result.
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for u in 0..n {
+                let pattern_neighbors = pattern.neighbors(u as VertexId);
+                if pattern_neighbors.is_empty() {
+                    continue;
+                }
+                let mut removed: Vec<VertexId> = Vec::new();
+                candidates[u].retain(|&v| {
+                    let supported = pattern_neighbors.iter().all(|&u_prime| {
+                        graph.neighbors(v).iter().any(|&w| member[u_prime as usize].get(w as usize))
+                    });
+                    if !supported {
+                        removed.push(v);
+                    }
+                    supported
+                });
+                if !removed.is_empty() {
+                    changed = true;
+                    for v in removed {
+                        member[u].clear(v as usize);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        CandidateSpace { candidates, member, initial_sizes, refinement_rounds: rounds }
+    }
+
+    /// Number of pattern vertices.
+    pub fn num_pattern_vertices(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The surviving candidates of pattern vertex `u`, ascending by data vertex id.
+    pub fn candidates(&self, u: VertexId) -> &[VertexId] {
+        &self.candidates[u as usize]
+    }
+
+    /// `true` if data vertex `v` is a surviving candidate of pattern vertex `u`.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.member[u as usize].get(v as usize)
+    }
+
+    /// Candidate count per pattern vertex after refinement.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.candidates.iter().map(Vec::len).collect()
+    }
+
+    /// Candidate count per pattern vertex after the initial label / degree /
+    /// fingerprint filter, before refinement.
+    pub fn initial_sizes(&self) -> &[usize] {
+        &self.initial_sizes
+    }
+
+    /// Total surviving candidates across all pattern vertices.
+    pub fn total_size(&self) -> usize {
+        self.candidates.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if some pattern vertex has no candidate left — no embedding exists.
+    pub fn has_empty_set(&self) -> bool {
+        self.candidates.iter().any(Vec::is_empty)
+    }
+
+    /// Number of refinement sweeps run to reach the fixpoint.
+    pub fn refinement_rounds(&self) -> usize {
+        self.refinement_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::{patterns, Label};
+
+    #[test]
+    fn bitset_set_clear_get() {
+        let mut b = Bitset::with_len(130);
+        assert!(!b.get(0) && !b.get(129));
+        b.set(0);
+        b.set(129);
+        b.set(64);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        b.clear(64);
+        assert!(!b.get(64) && b.get(129));
+    }
+
+    #[test]
+    fn initial_filter_uses_label_degree_and_fingerprint() {
+        // Data: A-B edge, an isolated A, and an A whose only neighbour is another A.
+        let g = LabeledGraph::from_edges(&[0, 1, 0, 0, 0], &[(0, 1), (3, 4)]);
+        let p = patterns::single_edge(Label(0), Label(1));
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        // Pattern vertex 0 (label A, needs a B neighbour): only data vertex 0.
+        // Vertex 2 fails the degree filter, 3 and 4 fail the fingerprint.
+        assert_eq!(cs.candidates(0), &[0]);
+        assert_eq!(cs.candidates(1), &[1]);
+        assert!(cs.contains(0, 0) && !cs.contains(0, 3));
+    }
+
+    #[test]
+    fn refinement_peels_decoy_chains() {
+        // Pattern: path A-B-C.  Data: a real A-B-C chain plus a decoy A-B pair whose
+        // B has a *second* A neighbour instead of a C — the decoy B passes the
+        // fingerprint filter only if labels collide, but its C-side support is
+        // missing, so refinement must delete it and then the decoy A's.
+        let g = LabeledGraph::from_edges(
+            &[0, 1, 2, 0, 1, 0], // real: 0-1-2; decoy: 3-4, 5-4
+            &[(0, 1), (1, 2), (3, 4), (5, 4)],
+        );
+        let p = patterns::path(&[Label(0), Label(1), Label(2)]);
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        assert_eq!(cs.candidates(0), &[0]);
+        assert_eq!(cs.candidates(1), &[1]);
+        assert_eq!(cs.candidates(2), &[2]);
+        // The decoy B was present before refinement (it has label B and degree 2 but
+        // the wrong neighbour labels are only visible through the fingerprint, which
+        // distinguishes A from C here — so it is already gone after phase 1).
+        assert!(!cs.contains(1, 4));
+        assert!(cs.refinement_rounds() >= 1);
+    }
+
+    #[test]
+    fn refinement_reaches_fixpoint_on_longer_chains() {
+        // Pattern: path A-B-A-B (4 vertices).  Data: an A-B-A-B path (real) plus an
+        // A-B tail (decoy) — every decoy vertex passes label/degree/fingerprint
+        // filters but the chain is too short, so refinement peels it end-first over
+        // multiple sweeps.
+        let g = LabeledGraph::from_edges(
+            &[0, 1, 0, 1, 0, 1], // real path 0-1-2-3, decoy path 4-5
+            &[(0, 1), (1, 2), (2, 3), (4, 5)],
+        );
+        let p = patterns::path(&[Label(0), Label(1), Label(0), Label(1)]);
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        // The decoy tail cannot host the 4-path in either direction.
+        assert!(!cs.candidates(0).contains(&4));
+        assert!(!cs.candidates(3).contains(&5));
+        assert!(!cs.has_empty_set());
+        // The inner pattern vertices need degree ≥ 2, which only the real mid-path
+        // vertices have.
+        assert_eq!(cs.candidates(1), &[1]);
+        assert_eq!(cs.candidates(2), &[2]);
+    }
+
+    #[test]
+    fn empty_set_detected_when_label_missing() {
+        let g = LabeledGraph::from_edges(&[0, 0], &[(0, 1)]);
+        let p = patterns::single_edge(Label(0), Label(7));
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        assert!(cs.has_empty_set());
+        assert_eq!(cs.total_size(), 0, "refinement empties the supported side too");
+    }
+
+    #[test]
+    fn sizes_report_both_phases() {
+        let g = LabeledGraph::from_edges(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        let p = patterns::single_edge(Label(0), Label(1));
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        assert_eq!(cs.initial_sizes(), &[1, 3]);
+        assert_eq!(cs.sizes(), vec![1, 3]);
+        assert_eq!(cs.total_size(), 4);
+        assert_eq!(cs.num_pattern_vertices(), 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! The iterative, streaming embedding enumerator over a [`CandidateSpace`].
+//!
+//! Unlike the naive recursive oracle (`ffsm_graph::isomorphism`), the search here is
+//! an explicit-stack loop — no recursion depth limits, no per-step candidate-list
+//! clones.  Every candidate pool is a borrowed slice: either a candidate set of the
+//! space or the adjacency list of the already-matched pivot image with the smallest
+//! degree, filtered through the space's membership bitsets.
+//!
+//! ## Matching order
+//!
+//! Pattern vertices are matched in a cost-aware, connectivity-aware order: start at
+//! the vertex with the fewest candidates (ties: higher pattern degree, then lower
+//! id), then repeatedly pick the unmatched vertex adjacent to the matched prefix
+//! with the fewest candidates (ties: more matched neighbours, then lower id).
+//! Disconnected patterns fall back to the globally best unmatched vertex when no
+//! adjacent one exists.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed pattern, graph and config, embeddings are emitted in one fixed
+//! order: candidate pools are ascending by data vertex id (candidate sets) or in
+//! adjacency-list order (pivot pools), and the matching order depends only on the
+//! candidate space.  The parallel enumerator partitions the *root* pool into
+//! contiguous chunks and concatenates the per-chunk results, which reproduces this
+//! sequential order exactly.
+
+use crate::candidates::CandidateSpace;
+use ffsm_graph::isomorphism::{EmbeddingVisitor, VisitFlow};
+use ffsm_graph::{LabeledGraph, Pattern, VertexId};
+
+/// The fixed matching order plus the per-depth backward adjacency it induces.
+#[derive(Debug, Clone)]
+pub(crate) struct MatchingOrder {
+    /// `order[d]` is the pattern vertex matched at depth `d`.
+    pub order: Vec<VertexId>,
+    /// Per depth, the pattern neighbours matched at earlier depths.
+    pub earlier_neighbors: Vec<Vec<VertexId>>,
+    /// Per depth, the pattern *non*-neighbours matched at earlier depths (the
+    /// induced-semantics check set).
+    pub earlier_non_neighbors: Vec<Vec<VertexId>>,
+}
+
+impl MatchingOrder {
+    pub(crate) fn build(pattern: &Pattern, space: &CandidateSpace) -> Self {
+        let n = pattern.num_vertices();
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        // (candidate count, fewer pattern neighbours is worse, id) — smaller is better.
+        let global_cost =
+            |v: VertexId| (space.candidates(v).len(), std::cmp::Reverse(pattern.degree(v)), v);
+        if n == 0 {
+            return MatchingOrder {
+                order,
+                earlier_neighbors: Vec::new(),
+                earlier_non_neighbors: Vec::new(),
+            };
+        }
+        let start = pattern.vertices().min_by_key(|&v| global_cost(v)).expect("non-empty");
+        order.push(start);
+        placed[start as usize] = true;
+        while order.len() < n {
+            let placed_neighbors =
+                |v: VertexId| pattern.neighbors(v).iter().filter(|&&w| placed[w as usize]).count();
+            let next = pattern
+                .vertices()
+                .filter(|&v| !placed[v as usize] && placed_neighbors(v) > 0)
+                .min_by_key(|&v| {
+                    (space.candidates(v).len(), std::cmp::Reverse(placed_neighbors(v)), v)
+                })
+                .or_else(|| {
+                    // Disconnected pattern: open the next component at its best root.
+                    pattern
+                        .vertices()
+                        .filter(|&v| !placed[v as usize])
+                        .min_by_key(|&v| global_cost(v))
+                })
+                .expect("some vertex unplaced");
+            order.push(next);
+            placed[next as usize] = true;
+        }
+        let mut position = vec![usize::MAX; n];
+        for (d, &v) in order.iter().enumerate() {
+            position[v as usize] = d;
+        }
+        let earlier_neighbors: Vec<Vec<VertexId>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                pattern.neighbors(v).iter().copied().filter(|&w| position[w as usize] < d).collect()
+            })
+            .collect();
+        let earlier_non_neighbors = order
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                order[..d].iter().copied().filter(|&w| !pattern.has_edge(v, w)).collect()
+            })
+            .collect();
+        MatchingOrder { order, earlier_neighbors, earlier_non_neighbors }
+    }
+}
+
+/// Sentinel for "pattern vertex not yet assigned".
+const UNSET: VertexId = VertexId::MAX;
+
+/// One sequential enumeration run over (a root-restriction of) a candidate space.
+///
+/// `root_pool` overrides the depth-0 candidate pool — the parallel enumerator passes
+/// each worker a contiguous chunk of the root candidates; `None` means the full set.
+/// Returns `true` if the search space was exhausted, `false` if the visitor stopped.
+pub(crate) fn run_search<V: EmbeddingVisitor>(
+    graph: &LabeledGraph,
+    space: &CandidateSpace,
+    order: &MatchingOrder,
+    induced: bool,
+    root_pool: Option<&[VertexId]>,
+    visitor: &mut V,
+) -> bool {
+    let n = order.order.len();
+    debug_assert!(n > 0, "empty patterns are handled by the caller");
+    if space.has_empty_set() {
+        return true;
+    }
+    // `assignment[pv]` is the image of pattern vertex `pv` — exactly the embedding
+    // layout, so a complete assignment is visited without re-indexing.
+    let mut assignment: Vec<VertexId> = vec![UNSET; n];
+    let mut used = vec![false; graph.num_vertices()];
+    // Per-depth candidate pool (a borrowed slice) and the scan position within it.
+    let mut pools: Vec<&[VertexId]> = vec![&[]; n];
+    let mut pos: Vec<usize> = vec![0; n];
+
+    // Pool selection at `depth`: the pivot is the earlier-matched pattern neighbour
+    // whose image has the fewest data neighbours; without one (depth 0 or a new
+    // pattern component) the pool is the full candidate set.
+    let pool_for = |depth: usize, assignment: &[VertexId]| -> &[VertexId] {
+        order.earlier_neighbors[depth]
+            .iter()
+            .copied()
+            .min_by_key(|&pn| graph.degree(assignment[pn as usize]))
+            .map(|pn| graph.neighbors(assignment[pn as usize]))
+            .unwrap_or_else(|| space.candidates(order.order[depth]))
+    };
+
+    let feasible = |depth: usize, gv: VertexId, assignment: &[VertexId], used: &[bool]| -> bool {
+        if used[gv as usize] {
+            return false;
+        }
+        // Pivot pools come from raw adjacency lists; membership in the candidate
+        // set carries the label / degree / fingerprint / refinement checks.
+        if !space.contains(order.order[depth], gv) {
+            return false;
+        }
+        for &pn in &order.earlier_neighbors[depth] {
+            if !graph.has_edge(gv, assignment[pn as usize]) {
+                return false;
+            }
+        }
+        if induced {
+            for &pw in &order.earlier_non_neighbors[depth] {
+                if graph.has_edge(gv, assignment[pw as usize]) {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    pools[0] = root_pool.unwrap_or_else(|| space.candidates(order.order[0]));
+    pos[0] = 0;
+    let mut depth = 0usize;
+    loop {
+        let mut extended = false;
+        while pos[depth] < pools[depth].len() {
+            let gv = pools[depth][pos[depth]];
+            pos[depth] += 1;
+            if !feasible(depth, gv, &assignment, &used) {
+                continue;
+            }
+            let pv = order.order[depth];
+            if depth + 1 == n {
+                // Complete embedding: report it and keep scanning this depth.
+                assignment[pv as usize] = gv;
+                let flow = visitor.visit(&assignment);
+                assignment[pv as usize] = UNSET;
+                if flow == VisitFlow::Stop {
+                    return false;
+                }
+            } else {
+                assignment[pv as usize] = gv;
+                used[gv as usize] = true;
+                depth += 1;
+                pools[depth] = pool_for(depth, &assignment);
+                pos[depth] = 0;
+                extended = true;
+                break;
+            }
+        }
+        if extended {
+            continue;
+        }
+        // Pool exhausted: backtrack.
+        if depth == 0 {
+            return true;
+        }
+        depth -= 1;
+        let pv = order.order[depth];
+        let gv = assignment[pv as usize];
+        assignment[pv as usize] = UNSET;
+        used[gv as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::GraphIndex;
+    use ffsm_graph::isomorphism::CollectVisitor;
+    use ffsm_graph::{patterns, Label};
+
+    fn enumerate_all(pattern: &Pattern, graph: &LabeledGraph) -> Vec<Vec<VertexId>> {
+        let index = GraphIndex::build(graph);
+        let space = CandidateSpace::build(pattern, graph, &index);
+        let order = MatchingOrder::build(pattern, &space);
+        let mut collect = CollectVisitor::with_limit(usize::MAX);
+        if pattern.num_vertices() > 0 {
+            let complete = run_search(graph, &space, &order, false, None, &mut collect);
+            assert!(complete);
+        }
+        collect.embeddings
+    }
+
+    #[test]
+    fn matching_order_visits_every_vertex_once() {
+        let g = LabeledGraph::from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let p = patterns::uniform_path(3, Label(0));
+        let ix = GraphIndex::build(&g);
+        let cs = CandidateSpace::build(&p, &g, &ix);
+        let order = MatchingOrder::build(&p, &cs);
+        let mut seen = order.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // Every vertex after the first has an earlier neighbour (connected pattern).
+        for d in 1..order.order.len() {
+            assert!(!order.earlier_neighbors[d].is_empty());
+        }
+    }
+
+    #[test]
+    fn triangle_occurrences_match_naive_count() {
+        let g = LabeledGraph::from_edges(
+            &[0, 0, 0, 0, 0, 0],
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5)],
+        );
+        let p = patterns::triangle(Label(0), Label(0), Label(0));
+        assert_eq!(enumerate_all(&p, &g).len(), 6);
+    }
+
+    #[test]
+    fn embeddings_are_indexed_by_pattern_vertex() {
+        let g = LabeledGraph::from_edges(&[1, 2, 1], &[(0, 1), (1, 2)]);
+        let p = patterns::single_edge(Label(1), Label(2));
+        let embeddings = enumerate_all(&p, &g);
+        assert_eq!(embeddings.len(), 2);
+        for emb in &embeddings {
+            assert_eq!(g.label(emb[0]), Label(1), "slot 0 holds pattern vertex 0's image");
+            assert_eq!(g.label(emb[1]), Label(2));
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_is_enumerated() {
+        let mut p = LabeledGraph::new();
+        let a = p.add_vertex(Label(1));
+        let b = p.add_vertex(Label(2));
+        let c = p.add_vertex(Label(3));
+        let d = p.add_vertex(Label(4));
+        p.add_edge(a, b).unwrap();
+        p.add_edge(c, d).unwrap();
+        let g = LabeledGraph::from_edges(&[1, 2, 3, 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(enumerate_all(&p, &g).len(), 1);
+    }
+
+    #[test]
+    fn induced_semantics_reject_chords() {
+        let g = LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p = patterns::path(&[Label(0), Label(0), Label(0)]);
+        let index = GraphIndex::build(&g);
+        let space = CandidateSpace::build(&p, &g, &index);
+        let order = MatchingOrder::build(&p, &space);
+        let mut open = CollectVisitor::with_limit(usize::MAX);
+        run_search(&g, &space, &order, false, None, &mut open);
+        assert_eq!(open.embeddings.len(), 6);
+        let mut induced = CollectVisitor::with_limit(usize::MAX);
+        run_search(&g, &space, &order, true, None, &mut induced);
+        assert!(induced.embeddings.is_empty());
+    }
+
+    #[test]
+    fn visitor_stop_aborts_the_search() {
+        let g = LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p = patterns::single_edge(Label(0), Label(0));
+        let index = GraphIndex::build(&g);
+        let space = CandidateSpace::build(&p, &g, &index);
+        let order = MatchingOrder::build(&p, &space);
+        let mut collect = CollectVisitor::with_limit(2);
+        let complete = run_search(&g, &space, &order, false, None, &mut collect);
+        assert!(!complete);
+        assert_eq!(collect.embeddings.len(), 2);
+    }
+}

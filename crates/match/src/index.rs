@@ -1,0 +1,171 @@
+//! [`GraphIndex`] — the reusable per-data-graph matching index.
+//!
+//! Built **once per data graph** and shared across every pattern matched against it
+//! (the mining session builds it at `run()` time, not per candidate pattern).  Three
+//! structures per graph:
+//!
+//! * a **label inverted index**: label → vertices carrying it, ascending by id;
+//! * **degree buckets**: the same vertices sorted by `(degree, id)`, so the
+//!   candidates with degree ≥ d are one `partition_point` away;
+//! * **neighbour-label fingerprints**: a 64-bit bitset per vertex with one (hashed)
+//!   bit per distinct neighbour label.  A pattern vertex can only map onto a data
+//!   vertex whose fingerprint is a superset of the pattern vertex's — hash
+//!   collisions only ever make the filter *more* permissive, never unsound.
+
+use ffsm_graph::{Label, LabeledGraph, VertexId};
+use std::collections::HashMap;
+
+/// Per-data-graph index consulted by the candidate-space builder.
+///
+/// The index holds no reference to the graph it was built from; callers pair them
+/// (the two are only meaningful together, and keeping the index free of lifetimes
+/// lets a mining session share one `Arc<GraphIndex>` across worker threads).
+#[derive(Debug, Clone)]
+pub struct GraphIndex {
+    /// label → vertices with that label, ascending by vertex id.
+    label_index: HashMap<Label, Vec<VertexId>>,
+    /// label → the same vertices sorted by `(degree, id)` — the degree buckets.
+    degree_buckets: HashMap<Label, Vec<VertexId>>,
+    /// Neighbour-label fingerprint of every vertex.
+    fingerprints: Vec<u64>,
+    /// Degree of every vertex (copied out of the graph so bucket lookups need no
+    /// graph reference).
+    degrees: Vec<u32>,
+}
+
+impl GraphIndex {
+    /// Build the index for `graph`.  One `O(V + E)` pass (plus the per-label sorts).
+    pub fn build(graph: &LabeledGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut label_index: HashMap<Label, Vec<VertexId>> = HashMap::new();
+        let mut fingerprints = vec![0u64; n];
+        let mut degrees = vec![0u32; n];
+        for v in graph.vertices() {
+            label_index.entry(graph.label(v)).or_default().push(v);
+            fingerprints[v as usize] = Self::neighbor_fingerprint(graph, v);
+            degrees[v as usize] = graph.degree(v) as u32;
+        }
+        let degree_buckets = label_index
+            .iter()
+            .map(|(&label, vertices)| {
+                let mut bucket = vertices.clone();
+                bucket.sort_by_key(|&v| (degrees[v as usize], v));
+                (label, bucket)
+            })
+            .collect();
+        GraphIndex { label_index, degree_buckets, fingerprints, degrees }
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// The fingerprint bit of one label.
+    pub fn label_bit(label: Label) -> u64 {
+        1u64 << (label.0 % 64)
+    }
+
+    /// The neighbour-label fingerprint of `v` in `graph`: the OR of the label bits
+    /// of its neighbours.  Used for data vertices at build time and for pattern
+    /// vertices at candidate-filter time, so the two sides hash identically.
+    pub fn neighbor_fingerprint(graph: &LabeledGraph, v: VertexId) -> u64 {
+        graph.neighbors(v).iter().fold(0u64, |fp, &w| fp | Self::label_bit(graph.label(w)))
+    }
+
+    /// The stored fingerprint of data vertex `v`.
+    pub fn fingerprint(&self, v: VertexId) -> u64 {
+        self.fingerprints[v as usize]
+    }
+
+    /// All vertices carrying `label`, ascending by id (empty if the label does not
+    /// occur).
+    pub fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// How many vertices carry `label`.
+    pub fn label_frequency(&self, label: Label) -> usize {
+        self.vertices_with_label(label).len()
+    }
+
+    /// The vertices with `label` and degree ≥ `min_degree`, sorted by
+    /// `(degree, id)` — one binary search into the label's degree bucket.
+    pub fn vertices_with_min_degree(&self, label: Label, min_degree: usize) -> &[VertexId] {
+        let Some(bucket) = self.degree_buckets.get(&label) else {
+            return &[];
+        };
+        let cut = bucket.partition_point(|&v| (self.degrees[v as usize] as usize) < min_degree);
+        &bucket[cut..]
+    }
+
+    /// Degree of data vertex `v` (as recorded at build time).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degrees[v as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledGraph {
+        // Star: hub 0 (label 0) with leaves 1..4 (label 1) plus an isolated label-2
+        // vertex and a label-1 vertex of degree 2.
+        LabeledGraph::from_edges(&[0, 1, 1, 1, 1, 2, 1], &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 6)])
+    }
+
+    #[test]
+    fn label_index_is_sorted_and_complete() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        assert_eq!(ix.num_vertices(), 7);
+        assert_eq!(ix.vertices_with_label(Label(0)), &[0]);
+        assert_eq!(ix.vertices_with_label(Label(1)), &[1, 2, 3, 4, 6]);
+        assert_eq!(ix.vertices_with_label(Label(2)), &[5]);
+        assert_eq!(ix.vertices_with_label(Label(9)), &[] as &[VertexId]);
+        assert_eq!(ix.label_frequency(Label(1)), 5);
+    }
+
+    #[test]
+    fn degree_buckets_cut_at_min_degree() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        // Label-1 degrees: v1 has 2, v2..v4 have 1, v6 has 1.
+        assert_eq!(ix.vertices_with_min_degree(Label(1), 2), &[1]);
+        let all = ix.vertices_with_min_degree(Label(1), 0);
+        assert_eq!(all.len(), 5);
+        // Bucket order is (degree, id): the three degree-1 leaves and v6 first.
+        assert_eq!(&all[..4], &[2, 3, 4, 6]);
+        assert!(ix.vertices_with_min_degree(Label(2), 1).is_empty());
+        assert!(ix.vertices_with_min_degree(Label(7), 0).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_reflect_neighbor_labels() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        // Hub 0 sees only label-1 neighbours.
+        assert_eq!(ix.fingerprint(0), GraphIndex::label_bit(Label(1)));
+        // Leaf 1 sees labels 0 and 1 (via vertex 6).
+        assert_eq!(
+            ix.fingerprint(1),
+            GraphIndex::label_bit(Label(0)) | GraphIndex::label_bit(Label(1))
+        );
+        // The isolated vertex has the empty fingerprint.
+        assert_eq!(ix.fingerprint(5), 0);
+        // Subset test used by the candidate builder: hub's requirement ⊆ leaf's view.
+        let need = GraphIndex::label_bit(Label(0));
+        assert_eq!(need & !ix.fingerprint(1), 0);
+        assert_ne!(need & !ix.fingerprint(0), 0);
+    }
+
+    #[test]
+    fn degrees_are_recorded() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        assert_eq!(ix.degree(0), 4);
+        assert_eq!(ix.degree(5), 0);
+        assert_eq!(ix.degree(1), 2);
+    }
+}

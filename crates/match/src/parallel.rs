@@ -1,0 +1,159 @@
+//! Deterministic parallel embedding enumeration.
+//!
+//! The root candidate pool (the candidate set of the first vertex in the matching
+//! order) is split into `threads` contiguous chunks; each scoped worker runs the
+//! sequential search restricted to its chunk and buffers its embeddings.  Because
+//! the search below depth 0 never depends on which chunk the root came from,
+//! concatenating the per-chunk buffers **in chunk order** reproduces the sequential
+//! emission order exactly — the same ordering contract the mining engine and the
+//! overlap builder rely on, so the thread count never changes any result.
+//!
+//! `max_embeddings` is applied after the merge: each worker collects at most the
+//! full budget, and the concatenated list is truncated to it, which selects exactly
+//! the prefix the sequential run would have produced.
+
+use crate::candidates::CandidateSpace;
+use crate::enumerate::{run_search, MatchingOrder};
+use ffsm_graph::isomorphism::{CollectVisitor, Embedding};
+use ffsm_graph::{LabeledGraph, VertexId};
+
+/// Resolve the configured worker count (`0` = one per available core).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Split `pool` into at most `chunks` contiguous, near-equal slices (no empties).
+fn partition(pool: &[VertexId], chunks: usize) -> Vec<&[VertexId]> {
+    let chunks = chunks.min(pool.len()).max(1);
+    let base = pool.len() / chunks;
+    let extra = pool.len() % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        out.push(&pool[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+/// Enumerate in parallel, merging per-chunk buffers in chunk order.  Returns the
+/// embeddings (truncated to `max_embeddings`) and whether enumeration completed.
+pub(crate) fn enumerate_parallel(
+    graph: &LabeledGraph,
+    space: &CandidateSpace,
+    order: &MatchingOrder,
+    induced: bool,
+    max_embeddings: usize,
+    threads: usize,
+) -> (Vec<Embedding>, bool) {
+    let root = space.candidates(order.order[0]);
+    let chunks = partition(root, threads);
+    let mut results: Vec<(Vec<Embedding>, bool)> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| {
+                scope.spawn(move || {
+                    let mut collect = CollectVisitor::with_limit(max_embeddings);
+                    let complete =
+                        run_search(graph, space, order, induced, Some(chunk), &mut collect);
+                    (collect.embeddings, complete)
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("matching worker panicked"));
+        }
+    });
+    let mut complete = results.iter().all(|(_, c)| *c);
+    let mut embeddings: Vec<Embedding> = Vec::new();
+    for (chunk_embeddings, _) in results {
+        embeddings.extend(chunk_embeddings);
+    }
+    if embeddings.len() > max_embeddings {
+        // Mirror the sequential check-before-accept budget: exactly `max`
+        // embeddings is a complete enumeration, one more is not.
+        embeddings.truncate(max_embeddings);
+        complete = false;
+    }
+    (embeddings, complete)
+}
+
+/// Count in parallel without materialising embeddings.  Returns the count (clamped
+/// to `max_embeddings`) and whether enumeration completed.
+///
+/// Counts are order-independent, so unlike [`enumerate_parallel`] the budget is a
+/// single shared atomic: every worker stops as soon as the *global* count reaches
+/// it, instead of each worker exhausting its own full budget.  The check-then-add
+/// race can overshoot only past the budget, where the count is clamped and the
+/// enumeration is incomplete either way, so the returned pair stays deterministic.
+pub(crate) fn count_parallel(
+    graph: &LabeledGraph,
+    space: &CandidateSpace,
+    order: &MatchingOrder,
+    induced: bool,
+    max_embeddings: usize,
+    threads: usize,
+) -> (usize, bool) {
+    use ffsm_graph::isomorphism::VisitFlow;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let root = space.candidates(order.order[0]);
+    let chunks = partition(root, threads);
+    let global = AtomicUsize::new(0);
+    let mut workers_complete = true;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| {
+                let global = &global;
+                scope.spawn(move || {
+                    let mut visit = |_: &[VertexId]| {
+                        if global.load(Ordering::Relaxed) >= max_embeddings {
+                            return VisitFlow::Stop;
+                        }
+                        global.fetch_add(1, Ordering::Relaxed);
+                        VisitFlow::Continue
+                    };
+                    run_search(graph, space, order, induced, Some(chunk), &mut visit)
+                })
+            })
+            .collect();
+        for handle in handles {
+            workers_complete &= handle.join().expect("matching worker panicked");
+        }
+    });
+    let total = global.load(Ordering::Relaxed);
+    (total.min(max_embeddings), workers_complete && total <= max_embeddings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let pool: Vec<VertexId> = (0..10).collect();
+        let chunks = partition(&pool, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], &[0, 1, 2, 3]);
+        assert_eq!(chunks[1], &[4, 5, 6]);
+        assert_eq!(chunks[2], &[7, 8, 9]);
+        // More chunks than candidates: one chunk per candidate, none empty.
+        let tiny = partition(&pool[..2], 8);
+        assert_eq!(tiny.len(), 2);
+        assert!(tiny.iter().all(|c| c.len() == 1));
+        // Never zero chunks, even for an empty pool.
+        assert_eq!(partition(&[], 4).len(), 1);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

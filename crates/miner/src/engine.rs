@@ -17,7 +17,7 @@
 
 use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
 use crate::types::{FrequentPattern, MiningResult, MiningStats};
-use ffsm_core::{OccurrenceSet, SupportMeasure};
+use ffsm_core::{EnumeratorBackend, GraphIndex, OccurrenceSet, SupportMeasure};
 use ffsm_graph::isomorphism::IsoConfig;
 use ffsm_graph::{LabeledGraph, Pattern};
 use std::collections::HashSet;
@@ -50,15 +50,23 @@ pub(crate) type PatternCallback<'a> = Box<dyn FnMut(&FrequentPattern) + 'a>;
 /// Evaluate the support of every candidate, in order, on `threads` workers.
 ///
 /// Candidates are split round-robin and merged back in candidate order, so the result
-/// does not depend on the thread count.
+/// does not depend on the thread count.  `index` is the session-wide per-graph
+/// matching index (`None` under the naive enumerator backend), shared read-only by
+/// every worker so no candidate evaluation rebuilds it.
 fn evaluate_level(
     graph: &LabeledGraph,
+    index: Option<&GraphIndex>,
     candidates: &[Pattern],
     measure: &Arc<dyn SupportMeasure>,
     config: &EngineConfig,
 ) -> Vec<(f64, usize)> {
     let evaluate = |pattern: &Pattern| -> (f64, usize) {
-        let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+        let occ = match index {
+            Some(index) => {
+                OccurrenceSet::enumerate_with_index(pattern, graph, index, config.iso_config)
+            }
+            None => OccurrenceSet::enumerate(pattern, graph, config.iso_config),
+        };
         let num_occurrences = occ.num_occurrences();
         (measure.support(&occ), num_occurrences)
     };
@@ -128,6 +136,12 @@ pub(crate) fn run_engine(
     let mut threshold = config.min_support;
     let floor = config.min_support;
     let alphabet = graph.distinct_labels();
+    // The per-graph matching index is built exactly once per mining run and shared
+    // (read-only) by every candidate evaluation at every level — never per pattern.
+    let index = match config.iso_config.backend {
+        EnumeratorBackend::CandidateSpace => Some(GraphIndex::build(graph)),
+        EnumeratorBackend::Naive => None,
+    };
 
     let seeds = seed_patterns(graph);
     stats.candidates_generated += seeds.len();
@@ -143,7 +157,7 @@ pub(crate) fn run_engine(
         if level.is_empty() {
             break;
         }
-        let supports = evaluate_level(graph, &level, measure, config);
+        let supports = evaluate_level(graph, index.as_ref(), &level, measure, config);
         stats.candidates_evaluated += level.len();
 
         // Apply the (possibly rising) threshold in candidate order.

@@ -23,7 +23,7 @@
 
 use crate::engine::{run_engine, EngineConfig, PatternCallback};
 use crate::types::{FrequentPattern, MiningResult};
-use ffsm_core::{FfsmError, MeasureConfig, MeasureKind, SupportMeasure};
+use ffsm_core::{EnumeratorBackend, FfsmError, MeasureConfig, MeasureKind, SupportMeasure};
 use ffsm_graph::LabeledGraph;
 use std::sync::Arc;
 
@@ -157,6 +157,19 @@ impl<'g> MiningSession<'g> {
     /// `0` = one per available core).  The thread count never changes the result.
     pub fn threads(mut self, count: usize) -> Self {
         self.config.threads = count;
+        self
+    }
+
+    /// Select the occurrence-enumeration backend (shorthand for setting
+    /// `measure_config.iso_config.backend`).
+    ///
+    /// Under the default [`EnumeratorBackend::CandidateSpace`] the engine builds
+    /// one per-graph matching index ([`ffsm_core::GraphIndex`]) at [`MiningSession::run`]
+    /// time and shares it across every candidate evaluation of the run — the index
+    /// is never rebuilt per pattern.  [`EnumeratorBackend::Naive`] selects the
+    /// recursive oracle (no index); results are identical, only slower.
+    pub fn enumerator(mut self, backend: EnumeratorBackend) -> Self {
+        self.config.measure_config.iso_config.backend = backend;
         self
     }
 
@@ -346,6 +359,30 @@ mod tests {
             assert!(w[0].support >= w[1].support);
         }
         assert!(result.final_threshold >= 1.0);
+    }
+
+    #[test]
+    fn enumerator_backend_does_not_change_results() {
+        let graph = generators::community_graph(2, 10, 0.4, 0.05, 3, 11);
+        let collect = |backend: EnumeratorBackend| {
+            MiningSession::on(&graph)
+                .min_support(3.0)
+                .max_edges(2)
+                .enumerator(backend)
+                .run()
+                .unwrap()
+                .patterns
+                .iter()
+                .map(|p| {
+                    (
+                        format!("{:?}", ffsm_graph::canonical::canonical_code(&p.pattern)),
+                        p.support.to_bits(),
+                        p.num_occurrences,
+                    )
+                })
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(collect(EnumeratorBackend::CandidateSpace), collect(EnumeratorBackend::Naive));
     }
 
     #[test]

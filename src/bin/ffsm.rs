@@ -5,6 +5,10 @@
 //! * `stats <graph.lg>` — structural statistics of a labeled graph file;
 //! * `measure <graph.lg> --pattern <pattern.lg> [--measure NAME]` — compute one or all
 //!   support measures of a pattern in a data graph;
+//! * `match <graph.lg> --pattern <pattern.lg> [--naive] [--induced] [--threads K]
+//!   [--limit N]` — enumerate the pattern's embeddings with the candidate-space
+//!   engine (or the naive oracle), reporting candidate-space sizes and index
+//!   build / search timings;
 //! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]`
 //!   — run the frequent-subgraph miner and print the frequent patterns;
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
@@ -21,7 +25,9 @@ use ffsm::core::{
     FfsmError, MeasureProfile, OccurrenceSet, OverlapAnalysis, OverlapBuild, OverlapConfig,
     OverlapKind,
 };
+use ffsm::graph::isomorphism::IsoConfig;
 use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
+use ffsm::matching::{GraphIndex, Matcher};
 use ffsm::miner::postprocess::maximal_patterns;
 use ffsm::miner::{MiningResult, MiningSession};
 use std::path::Path;
@@ -57,6 +63,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "stats" => cmd_stats(&args[1..]),
         "measure" => cmd_measure(&args[1..]),
+        "match" => cmd_match(&args[1..]),
         "overlap" => cmd_overlap(&args[1..]),
         "mine" => cmd_mine(&args[1..]),
         "topk" => cmd_topk(&args[1..]),
@@ -86,6 +93,9 @@ commands:
   stats    <graph.lg>                              structural statistics of a graph
   measure  <graph.lg> --pattern <p.lg> [--measure NAME]
                                                    support measures of a pattern
+  match    <graph.lg> --pattern <p.lg> [--naive] [--induced] [--threads K] [--limit N]
+                                                   enumerate embeddings (candidate-space
+                                                   engine; --naive runs the oracle)
   overlap  <graph.lg> --pattern <p.lg> [--kind NAME] [--naive] [--threads K]
                                                    overlap census / MIS per notion
                                                    (kinds: simple|harmful|structural|edge)
@@ -152,6 +162,91 @@ fn cmd_measure(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+fn cmd_match(args: &[String]) -> Result<(), CliError> {
+    let Some(graph_path) = args.first() else {
+        return Err(CliError::Usage(
+            "ffsm match <graph.lg> --pattern <pattern.lg> [--naive] [--induced] [--threads K] [--limit N]"
+                .into(),
+        ));
+    };
+    let pattern_path = flag_value(args, "--pattern")
+        .ok_or_else(|| CliError::Usage("--pattern <pattern.lg> is required".to_string()))?;
+    let graph = load_graph(graph_path)?;
+    let pattern: Pattern = load_graph(pattern_path)?;
+    let naive = args.iter().any(|a| a == "--naive");
+    let induced = args.iter().any(|a| a == "--induced");
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --threads {v:?}")))?
+        }
+        None => 1,
+    };
+    if naive && flag_value(args, "--threads").is_some() {
+        return Err(CliError::Usage(
+            "--threads only applies to the candidate-space engine; the naive oracle is \
+             sequential — drop one of --naive / --threads"
+                .into(),
+        ));
+    }
+    let max_embeddings = match flag_value(args, "--limit") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --limit {v:?}")))?
+        }
+        None => IsoConfig::default().max_embeddings,
+    };
+    let config = IsoConfig { max_embeddings, induced, threads, ..IsoConfig::default() };
+    println!(
+        "matching {pattern_path} ({} vertices, {} edges) in {graph_path} ({} vertices, {} edges)",
+        pattern.num_vertices(),
+        pattern.num_edges(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    if naive {
+        let (result, search_time) = ffsm_bench_free_timed(|| {
+            ffsm::graph::isomorphism::enumerate_embeddings(&pattern, &graph, config)
+        });
+        println!("engine:      naive oracle (sequential)");
+        println!(
+            "embeddings:  {}{}",
+            result.len(),
+            if result.complete { "" } else { " (truncated)" }
+        );
+        println!("search:      {search_time:?}");
+        return Ok(());
+    }
+    let (index, index_time) = ffsm_bench_free_timed(|| GraphIndex::build(&graph));
+    let (matcher, space_time) = ffsm_bench_free_timed(|| Matcher::new(&pattern, &graph, &index));
+    let (result, search_time) = ffsm_bench_free_timed(|| matcher.enumerate(config));
+    println!(
+        "engine:      candidate-space ({} thread{})",
+        if threads == 0 { "all-core".to_string() } else { threads.to_string() },
+        if threads == 1 { "" } else { "s" }
+    );
+    let space = matcher.space();
+    println!("index build: {index_time:?}");
+    println!(
+        "candidates:  {} total after {} refinement sweep(s)",
+        space.total_size(),
+        space.refinement_rounds()
+    );
+    for (u, (&initial, &refined)) in space.initial_sizes().iter().zip(&space.sizes()).enumerate() {
+        println!("  pattern vertex {u}: {initial} -> {refined}");
+    }
+    println!("space build: {space_time:?}");
+    println!("embeddings:  {}{}", result.len(), if result.complete { "" } else { " (truncated)" });
+    println!("search:      {search_time:?}");
+    Ok(())
+}
+
+/// Time one closure (the bench crate's helper, inlined so the CLI does not depend
+/// on `ffsm-bench`).
+fn ffsm_bench_free_timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
 }
 
 fn cmd_overlap(args: &[String]) -> Result<(), CliError> {

@@ -3,6 +3,8 @@
 //! Umbrella crate re-exporting the whole workspace:
 //!
 //! * [`graph`] — labeled-graph substrate, subgraph isomorphism, generators.
+//! * [`matching`] — the candidate-space subgraph-matching engine (per-graph index,
+//!   pruned candidate sets, streaming and deterministic parallel enumeration).
 //! * [`hypergraph`] — hypergraph substrate, vertex cover, independent edge sets.
 //! * [`lp`] — linear-programming solver used by the relaxed measures.
 //! * [`core`] — the paper's contribution: the occurrence/instance hypergraph framework
@@ -17,6 +19,7 @@ pub use ffsm_core as core;
 pub use ffsm_graph as graph;
 pub use ffsm_hypergraph as hypergraph;
 pub use ffsm_lp as lp;
+pub use ffsm_match as matching;
 pub use ffsm_miner as miner;
 
 /// Convenience prelude bringing the most common types into scope.
@@ -27,7 +30,9 @@ pub mod prelude {
         FfsmError, MeasureProfile, OverlapAnalysis, OverlapBuild, OverlapCache, OverlapConfig,
         OverlapKind,
     };
+    pub use ffsm_graph::isomorphism::{EmbeddingVisitor, EnumeratorBackend, IsoConfig, VisitFlow};
     pub use ffsm_graph::{GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
+    pub use ffsm_match::{CandidateSpace, GraphIndex, Matcher};
     pub use ffsm_miner::{
         FrequentPattern, MiningBudget, MiningResult, MiningSession, MiningStats, SessionConfig,
     };
