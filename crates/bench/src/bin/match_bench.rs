@@ -22,7 +22,7 @@
 //! CI artifact upload; future PRs extend the trajectory rather than reformatting it.
 
 use ffsm_bench::report::{json_string, Table};
-use ffsm_bench::{format_duration, timed, workloads};
+use ffsm_bench::{flag_value, format_duration, timed, workloads};
 use ffsm_graph::isomorphism::{enumerate_embeddings, EnumeratorBackend, IsoConfig};
 use ffsm_graph::{LabeledGraph, Pattern};
 use ffsm_match::{GraphIndex, Matcher};
@@ -63,10 +63,6 @@ impl Entry {
             self.speedup()
         )
     }
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 /// Run one workload through both engines and every thread count, cross-checking all

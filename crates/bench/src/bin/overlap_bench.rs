@@ -14,7 +14,7 @@
 //! upload; future PRs extend the trajectory rather than reformatting it.
 
 use ffsm_bench::report::{json_string, Table};
-use ffsm_bench::{format_duration, timed, workloads};
+use ffsm_bench::{flag_value, format_duration, timed, workloads};
 use ffsm_core::{OccurrenceSet, OverlapAnalysis, OverlapKind};
 use ffsm_graph::isomorphism::IsoConfig;
 use std::time::Duration;
@@ -46,10 +46,6 @@ impl Entry {
             self.speedup()
         )
     }
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn main() {

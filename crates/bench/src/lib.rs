@@ -19,6 +19,12 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// The value following `flag` in a raw argument list (`--flag value`), shared by
+/// every bench binary's argument parsing.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
 /// Format a `Duration` with a sensible unit for tables.
 pub fn format_duration(d: Duration) -> String {
     let micros = d.as_micros();

@@ -100,7 +100,7 @@ pub fn verify_bounding_chain(
     graph: &LabeledGraph,
     config: &MeasureConfig,
 ) -> BoundsReport {
-    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone());
     bounding_chain_for(occ, config)
 }
 

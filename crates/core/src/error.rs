@@ -24,6 +24,15 @@ pub enum FfsmError {
     /// which would make the miner unsound (Definition 2.2.2 of the paper).  The
     /// payload is the measure's display name.
     NotAntiMonotone(String),
+    /// A mining run was cancelled through its `CancelToken` before completing.
+    /// Raised by callers that treat a partial result as a failure (the CLI exits
+    /// non-zero on it); the streaming API reports the same condition as a
+    /// `Completion::Cancelled` status with the deterministic result prefix intact.
+    Cancelled,
+    /// A mining run exceeded its wall-clock deadline.  The payload is the
+    /// configured deadline.  Like [`FfsmError::Cancelled`], this is the error-channel
+    /// form of `Completion::DeadlineExceeded`.
+    DeadlineExceeded(std::time::Duration),
 }
 
 impl std::fmt::Display for FfsmError {
@@ -44,6 +53,10 @@ impl std::fmt::Display for FfsmError {
                 "measure {name} is not anti-monotone, so threshold pruning would be unsound; \
                  pick an anti-monotone measure for mining"
             ),
+            FfsmError::Cancelled => write!(f, "mining run was cancelled before completing"),
+            FfsmError::DeadlineExceeded(deadline) => {
+                write!(f, "mining run exceeded its {deadline:?} deadline")
+            }
         }
     }
 }

@@ -38,10 +38,12 @@ pub use bounds::{verify_bounding_chain, BoundsReport};
 pub use decompose::{DecomposedOutcome, DecompositionConfig};
 pub use error::FfsmError;
 // Occurrence enumeration is dispatched to the candidate-space engine of
-// `ffsm-match` (see `IsoConfig::backend`); the per-graph index and the backend tag
-// are re-exported so downstream crates (the miner, the CLI) need no direct
-// dependency to share one index across patterns.
+// `ffsm-match` (see `IsoConfig::backend`); the per-graph index, the backend tag
+// and the cancellation token are re-exported so downstream crates (the miner, the
+// CLI) need no direct dependency to share one index across patterns or to plumb
+// cooperative cancellation into the enumerators.
 pub use ffsm_graph::isomorphism::EnumeratorBackend;
+pub use ffsm_graph::CancelToken;
 pub use ffsm_match::GraphIndex;
 pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
@@ -78,7 +80,7 @@ pub fn evaluate(
     kind: MeasureKind,
     config: &MeasureConfig,
 ) -> f64 {
-    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone());
     let measures = SupportMeasures::new(occ, config.clone());
     measures.compute(kind)
 }
@@ -93,7 +95,7 @@ mod tests {
         let f = figures::figure4();
         let config = MeasureConfig::default();
         let direct = evaluate(&f.pattern, &f.graph, MeasureKind::Mni, &config);
-        let occ = OccurrenceSet::enumerate(&f.pattern, &f.graph, config.iso_config);
+        let occ = OccurrenceSet::enumerate(&f.pattern, &f.graph, config.iso_config.clone());
         let calc = SupportMeasures::new(occ, config);
         assert_eq!(direct, calc.compute(MeasureKind::Mni));
         assert_eq!(direct, 2.0);

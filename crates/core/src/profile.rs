@@ -61,7 +61,7 @@ impl MeasureProfile {
         config: &MeasureConfig,
     ) -> Self {
         let start = Instant::now();
-        let occurrences = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+        let occurrences = OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone());
         let enumeration_time = start.elapsed();
         Self::from_occurrences(label, occurrences, config, enumeration_time)
     }

@@ -26,6 +26,7 @@
 //! run the naive search regardless of the configured backend (dispatch happens one
 //! layer up, in `ffsm-core`).
 
+use crate::cancel::{CancelToken, CHECK_STRIDE};
 use crate::{LabeledGraph, Pattern, VertexId};
 
 /// An occurrence: `assignment[p]` is the data-graph image of pattern vertex `p`.
@@ -47,7 +48,11 @@ pub enum EnumeratorBackend {
 }
 
 /// Configuration for the embedding enumerator.
-#[derive(Debug, Clone, Copy)]
+///
+/// Cloning is cheap (the only non-`Copy` field is the [`CancelToken`], an
+/// `Option<Arc<..>>`); the struct stopped being `Copy` when cancellation support
+/// was added, so per-call users clone it explicitly.
+#[derive(Debug, Clone)]
 pub struct IsoConfig {
     /// Stop after this many embeddings have been produced.
     pub max_embeddings: usize,
@@ -60,6 +65,11 @@ pub struct IsoConfig {
     /// sequential, `0` = one per core).  The thread count never changes the
     /// embedding order; the naive oracle is always sequential.
     pub threads: usize,
+    /// Cooperative cancellation / deadline token.  Both enumerators poll it once
+    /// at search entry and then every [`CHECK_STRIDE`] search steps; a fired token
+    /// makes the enumeration return early with `complete == false`.  The default
+    /// token is inert (never fires, free to poll).
+    pub cancel: CancelToken,
 }
 
 impl Default for IsoConfig {
@@ -69,6 +79,7 @@ impl Default for IsoConfig {
             induced: false,
             backend: EnumeratorBackend::default(),
             threads: 1,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -82,6 +93,11 @@ impl IsoConfig {
     /// This config with the given enumeration backend.
     pub fn with_backend(self, backend: EnumeratorBackend) -> Self {
         IsoConfig { backend, ..self }
+    }
+
+    /// This config with the given cancellation token.
+    pub fn with_cancel(self, cancel: CancelToken) -> Self {
+        IsoConfig { cancel, ..self }
     }
 }
 
@@ -253,6 +269,8 @@ struct Search<'a> {
     assignment: Vec<Option<VertexId>>,
     used: Vec<bool>,
     stopped: bool,
+    /// Search steps since the last cancellation poll (see [`CHECK_STRIDE`]).
+    steps: u32,
 }
 
 impl<'a> Search<'a> {
@@ -293,6 +311,7 @@ impl<'a> Search<'a> {
             assignment: vec![None; pattern.num_vertices()],
             used: vec![false; graph.num_vertices()],
             stopped: false,
+            steps: 0,
         }
     }
 
@@ -342,6 +361,16 @@ impl<'a> Search<'a> {
     fn run<V: EmbeddingVisitor>(&mut self, depth: usize, visitor: &mut V) {
         if self.stopped {
             return;
+        }
+        // Cooperative cancellation: poll the token at a bounded stride so a fired
+        // token aborts the search within a few thousand node expansions.
+        self.steps += 1;
+        if self.steps >= CHECK_STRIDE {
+            self.steps = 0;
+            if self.config.cancel.is_cancelled() {
+                self.stopped = true;
+                return;
+            }
         }
         if depth == self.order.len() {
             let emb: Embedding =
@@ -414,6 +443,9 @@ pub fn enumerate_with_visitor<V: EmbeddingVisitor>(
     }
     if pattern.num_vertices() > graph.num_vertices() {
         return true;
+    }
+    if config.cancel.is_cancelled() {
+        return false;
     }
     let mut search = Search::new(pattern, graph, config);
     search.run(0, visitor);
@@ -651,7 +683,7 @@ mod tests {
         let config = IsoConfig::default();
         assert_eq!(config.backend, EnumeratorBackend::CandidateSpace);
         assert_eq!(config.threads, 1);
-        let naive = config.with_backend(EnumeratorBackend::Naive);
+        let naive = config.clone().with_backend(EnumeratorBackend::Naive);
         assert_eq!(naive.backend, EnumeratorBackend::Naive);
         assert_eq!(naive.max_embeddings, config.max_embeddings);
     }

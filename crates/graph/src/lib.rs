@@ -34,6 +34,7 @@
 
 pub mod algorithms;
 pub mod automorphism;
+pub mod cancel;
 pub mod canonical;
 pub mod datasets;
 pub mod figures;
@@ -46,6 +47,7 @@ pub mod refinement;
 pub mod statistics;
 pub mod transform;
 
+pub use cancel::CancelToken;
 pub use graph::{GraphError, LabeledGraph};
 pub use statistics::{DegreeSummary, GraphStatistics};
 

@@ -25,6 +25,7 @@
 //! sequential order exactly.
 
 use crate::candidates::CandidateSpace;
+use ffsm_graph::cancel::{CancelToken, CHECK_STRIDE};
 use ffsm_graph::isomorphism::{EmbeddingVisitor, VisitFlow};
 use ffsm_graph::{LabeledGraph, Pattern, VertexId};
 
@@ -107,19 +108,25 @@ const UNSET: VertexId = VertexId::MAX;
 ///
 /// `root_pool` overrides the depth-0 candidate pool — the parallel enumerator passes
 /// each worker a contiguous chunk of the root candidates; `None` means the full set.
-/// Returns `true` if the search space was exhausted, `false` if the visitor stopped.
+/// Returns `true` if the search space was exhausted, `false` if the visitor stopped
+/// or `cancel` fired (cooperative cancellation, polled every [`CHECK_STRIDE`]
+/// scan steps).
 pub(crate) fn run_search<V: EmbeddingVisitor>(
     graph: &LabeledGraph,
     space: &CandidateSpace,
     order: &MatchingOrder,
     induced: bool,
     root_pool: Option<&[VertexId]>,
+    cancel: &CancelToken,
     visitor: &mut V,
 ) -> bool {
     let n = order.order.len();
     debug_assert!(n > 0, "empty patterns are handled by the caller");
     if space.has_empty_set() {
         return true;
+    }
+    if cancel.is_cancelled() {
+        return false;
     }
     // `assignment[pv]` is the image of pattern vertex `pv` — exactly the embedding
     // layout, so a complete assignment is visited without re-indexing.
@@ -168,9 +175,17 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
     pools[0] = root_pool.unwrap_or_else(|| space.candidates(order.order[0]));
     pos[0] = 0;
     let mut depth = 0usize;
+    let mut steps: u32 = 0;
     loop {
         let mut extended = false;
         while pos[depth] < pools[depth].len() {
+            steps += 1;
+            if steps >= CHECK_STRIDE {
+                steps = 0;
+                if cancel.is_cancelled() {
+                    return false;
+                }
+            }
             let gv = pools[depth][pos[depth]];
             pos[depth] += 1;
             if !feasible(depth, gv, &assignment, &used) {
@@ -223,7 +238,15 @@ mod tests {
         let order = MatchingOrder::build(pattern, &space);
         let mut collect = CollectVisitor::with_limit(usize::MAX);
         if pattern.num_vertices() > 0 {
-            let complete = run_search(graph, &space, &order, false, None, &mut collect);
+            let complete = run_search(
+                graph,
+                &space,
+                &order,
+                false,
+                None,
+                &CancelToken::default(),
+                &mut collect,
+            );
             assert!(complete);
         }
         collect.embeddings
@@ -288,10 +311,10 @@ mod tests {
         let space = CandidateSpace::build(&p, &g, &index);
         let order = MatchingOrder::build(&p, &space);
         let mut open = CollectVisitor::with_limit(usize::MAX);
-        run_search(&g, &space, &order, false, None, &mut open);
+        run_search(&g, &space, &order, false, None, &CancelToken::default(), &mut open);
         assert_eq!(open.embeddings.len(), 6);
         let mut induced = CollectVisitor::with_limit(usize::MAX);
-        run_search(&g, &space, &order, true, None, &mut induced);
+        run_search(&g, &space, &order, true, None, &CancelToken::default(), &mut induced);
         assert!(induced.embeddings.is_empty());
     }
 
@@ -303,7 +326,8 @@ mod tests {
         let space = CandidateSpace::build(&p, &g, &index);
         let order = MatchingOrder::build(&p, &space);
         let mut collect = CollectVisitor::with_limit(2);
-        let complete = run_search(&g, &space, &order, false, None, &mut collect);
+        let complete =
+            run_search(&g, &space, &order, false, None, &CancelToken::default(), &mut collect);
         assert!(!complete);
         assert_eq!(collect.embeddings.len(), 2);
     }

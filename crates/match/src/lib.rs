@@ -92,7 +92,7 @@ impl<'a> Matcher<'a> {
     }
 
     /// Stream every embedding to `visitor` in the deterministic order; returns
-    /// `false` if the visitor stopped the search early.
+    /// `false` if the visitor stopped the search early or `config.cancel` fired.
     ///
     /// Sequential (`config.threads` is ignored here): streaming is the O(1)-memory
     /// path.  The budget `config.max_embeddings` is *not* applied — wrap the
@@ -104,7 +104,15 @@ impl<'a> Matcher<'a> {
         if self.trivially_empty() {
             return true;
         }
-        enumerate::run_search(self.graph, &self.space, &self.order, config.induced, None, visitor)
+        enumerate::run_search(
+            self.graph,
+            &self.space,
+            &self.order,
+            config.induced,
+            None,
+            &config.cancel,
+            visitor,
+        )
     }
 
     /// Materialise all embeddings (up to `config.max_embeddings`), in parallel when
@@ -125,6 +133,7 @@ impl<'a> Matcher<'a> {
                 config.induced,
                 config.max_embeddings,
                 threads,
+                &config.cancel,
             );
             return EnumerationResult { embeddings, complete };
         }
@@ -151,6 +160,7 @@ impl<'a> Matcher<'a> {
                 config.induced,
                 config.max_embeddings,
                 threads,
+                &config.cancel,
             );
         }
         let mut counter = CountVisitor::with_limit(config.max_embeddings);
@@ -230,7 +240,7 @@ mod tests {
         for pattern in &shapes {
             for induced in [false, true] {
                 let config = IsoConfig { induced, ..IsoConfig::default() };
-                let naive = enumerate_embeddings(pattern, &graph, config);
+                let naive = enumerate_embeddings(pattern, &graph, config.clone());
                 let matcher = Matcher::new(pattern, &graph, &index);
                 let indexed = matcher.enumerate(config);
                 assert!(naive.complete && indexed.complete);
@@ -293,7 +303,7 @@ mod tests {
         {
             for threads in [1usize, 2, 3] {
                 let config = IsoConfig { threads, ..IsoConfig::with_limit(limit) };
-                let result = matcher.enumerate(config);
+                let result = matcher.enumerate(config.clone());
                 assert_eq!(result.len(), expect_len, "limit={limit}, threads={threads}");
                 assert_eq!(result.complete, expect_complete, "limit={limit}, threads={threads}");
                 assert_eq!(

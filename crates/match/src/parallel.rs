@@ -14,6 +14,7 @@
 
 use crate::candidates::CandidateSpace;
 use crate::enumerate::{run_search, MatchingOrder};
+use ffsm_graph::cancel::CancelToken;
 use ffsm_graph::isomorphism::{CollectVisitor, Embedding};
 use ffsm_graph::{LabeledGraph, VertexId};
 
@@ -50,6 +51,7 @@ pub(crate) fn enumerate_parallel(
     induced: bool,
     max_embeddings: usize,
     threads: usize,
+    cancel: &CancelToken,
 ) -> (Vec<Embedding>, bool) {
     let root = space.candidates(order.order[0]);
     let chunks = partition(root, threads);
@@ -61,7 +63,7 @@ pub(crate) fn enumerate_parallel(
                 scope.spawn(move || {
                     let mut collect = CollectVisitor::with_limit(max_embeddings);
                     let complete =
-                        run_search(graph, space, order, induced, Some(chunk), &mut collect);
+                        run_search(graph, space, order, induced, Some(chunk), cancel, &mut collect);
                     (collect.embeddings, complete)
                 })
             })
@@ -99,6 +101,7 @@ pub(crate) fn count_parallel(
     induced: bool,
     max_embeddings: usize,
     threads: usize,
+    cancel: &CancelToken,
 ) -> (usize, bool) {
     use ffsm_graph::isomorphism::VisitFlow;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -119,7 +122,7 @@ pub(crate) fn count_parallel(
                         global.fetch_add(1, Ordering::Relaxed);
                         VisitFlow::Continue
                     };
-                    run_search(graph, space, order, induced, Some(chunk), &mut visit)
+                    run_search(graph, space, order, induced, Some(chunk), cancel, &mut visit)
                 })
             })
             .collect();

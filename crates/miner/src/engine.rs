@@ -1,26 +1,33 @@
 //! The unified mining engine behind [`crate::MiningSession`].
 //!
-//! One level-synchronous pattern-growth loop serves every mode the old API split
-//! across three entry points:
+//! One level-synchronous pattern-growth loop serves every mode — threshold,
+//! level-parallel and top-k — exactly as before, but the loop is now a *resumable
+//! state machine* ([`EngineState`]): each [`EngineState::step`] processes one level
+//! and pushes the resulting [`MiningEvent`]s, so the
+//! [`PatternStream`](crate::PatternStream) can pull lazily instead of blocking
+//! until the whole result materialises.  `run()` is a thin collect-the-stream
+//! adapter over the same machine.
 //!
-//! * **threshold mining** (old `Miner::mine`) — fixed threshold τ, breadth-first
-//!   emission;
-//! * **parallel mining** (old `mine_parallel`) — the same loop with the level's
-//!   support evaluations fanned out over scoped worker threads; the partition and
-//!   merge order are fixed, so results are identical to a single-threaded run;
-//! * **top-k mining** (old `mine_top_k`) — the threshold starts at the floor and
-//!   rises to the running k-th best support, pruning branch-and-bound style; sound
-//!   for every anti-monotone measure (Definition 2.2.2 of the paper).
+//! ## Determinism and interruption
+//!
+//! The partition and merge order of the level evaluation are fixed, so results
+//! are identical for every thread count.  Cancellation and deadlines are checked
+//! between levels *and* cooperatively inside occurrence enumeration (via the
+//! [`CancelToken`] embedded in the `IsoConfig`); an interrupted level is discarded
+//! wholesale, so the emitted patterns are always a deterministic prefix of the
+//! full run — whole levels, never a partially evaluated one.
 //!
 //! Support is computed through an `Arc<dyn SupportMeasure>`, so built-in and
 //! user-defined measures take exactly the same path.
 
 use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
-use crate::types::{FrequentPattern, MiningResult, MiningStats};
-use ffsm_core::{EnumeratorBackend, GraphIndex, OccurrenceSet, SupportMeasure};
+use crate::prepared::PreparedGraph;
+use crate::stream::{LevelSummary, MiningEvent, RunSummary};
+use crate::types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
+use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SupportMeasure};
 use ffsm_graph::isomorphism::IsoConfig;
-use ffsm_graph::{LabeledGraph, Pattern};
-use std::collections::HashSet;
+use ffsm_graph::Pattern;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,7 +36,8 @@ use std::time::Instant;
 pub(crate) struct EngineConfig {
     /// Support threshold τ (the floor threshold in top-k mode).
     pub min_support: f64,
-    /// Occurrence-enumeration settings.
+    /// Occurrence-enumeration settings.  `iso_config.cancel` is the *combined*
+    /// token (session token + deadline) so enumeration aborts cooperatively.
     pub iso_config: IsoConfig,
     /// Stop growing patterns beyond this many edges.
     pub max_pattern_edges: usize,
@@ -41,31 +49,38 @@ pub(crate) struct EngineConfig {
     pub threads: usize,
     /// `Some(k)` switches to top-k mode.
     pub top_k: Option<usize>,
+    /// The session's cancellation token (flag only — its deadline, if any, is
+    /// folded into `deadline` below), used to attribute an interruption to
+    /// [`Completion::Cancelled`].
+    pub cancel: CancelToken,
+    /// The effective wall-clock deadline: the tighter of the session's
+    /// `.deadline(..)` and any deadline the caller attached to the token itself.
+    pub deadline: Option<Instant>,
 }
-
-/// Callback invoked per accepted pattern (threshold mode: every emitted pattern;
-/// top-k mode: every pattern entering the running top-k, which may later be evicted).
-pub(crate) type PatternCallback<'a> = Box<dyn FnMut(&FrequentPattern) + 'a>;
 
 /// Evaluate the support of every candidate, in order, on `threads` workers.
 ///
 /// Candidates are split round-robin and merged back in candidate order, so the result
-/// does not depend on the thread count.  `index` is the session-wide per-graph
-/// matching index (`None` under the naive enumerator backend), shared read-only by
+/// does not depend on the thread count.  `index` is the prepared graph's shared
+/// matching index (`None` under the naive enumerator backend), consulted read-only by
 /// every worker so no candidate evaluation rebuilds it.
 fn evaluate_level(
-    graph: &LabeledGraph,
+    prepared: &PreparedGraph,
     index: Option<&GraphIndex>,
     candidates: &[Pattern],
     measure: &Arc<dyn SupportMeasure>,
     config: &EngineConfig,
 ) -> Vec<(f64, usize)> {
+    let graph = prepared.graph();
     let evaluate = |pattern: &Pattern| -> (f64, usize) {
         let occ = match index {
-            Some(index) => {
-                OccurrenceSet::enumerate_with_index(pattern, graph, index, config.iso_config)
-            }
-            None => OccurrenceSet::enumerate(pattern, graph, config.iso_config),
+            Some(index) => OccurrenceSet::enumerate_with_index(
+                pattern,
+                graph,
+                index,
+                config.iso_config.clone(),
+            ),
+            None => OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone()),
         };
         let num_occurrences = occ.num_occurrences();
         (measure.support(&occ), num_occurrences)
@@ -122,98 +137,216 @@ fn insert_top_k(
     }
 }
 
-/// Run the mining loop.
-pub(crate) fn run_engine(
-    graph: &LabeledGraph,
-    measure: &Arc<dyn SupportMeasure>,
-    config: &EngineConfig,
-    mut on_pattern: Option<PatternCallback<'_>>,
-) -> MiningResult {
-    let start = Instant::now();
-    let mut stats = MiningStats::default();
-    let mut seen: HashSet<ffsm_graph::canonical::CanonicalCode> = HashSet::new();
-    let mut frequent: Vec<FrequentPattern> = Vec::new();
-    let mut threshold = config.min_support;
-    let floor = config.min_support;
-    let alphabet = graph.distinct_labels();
-    // The per-graph matching index is built exactly once per mining run and shared
-    // (read-only) by every candidate evaluation at every level — never per pattern.
-    let index = match config.iso_config.backend {
-        EnumeratorBackend::CandidateSpace => Some(GraphIndex::build(graph)),
-        EnumeratorBackend::Naive => None,
-    };
+/// The resumable mining loop: owned state, one level per [`EngineState::step`].
+pub(crate) struct EngineState {
+    prepared: PreparedGraph,
+    measure: Arc<dyn SupportMeasure>,
+    config: EngineConfig,
+    /// The prepared graph's shared index (`None` under the naive backend).
+    index: Option<Arc<GraphIndex>>,
+    seen: HashSet<ffsm_graph::canonical::CanonicalCode>,
+    frequent: Vec<FrequentPattern>,
+    threshold: f64,
+    floor: f64,
+    level: Vec<Pattern>,
+    stats: MiningStats,
+    start: Instant,
+    /// Set exactly once, when the run stops.
+    completion: Option<Completion>,
+    /// `true` when no consumer reads per-pattern/per-level events (the batch
+    /// `run()` path): [`EngineState::step`] then skips materialising them, so a
+    /// batch run pays no clone-per-pattern event tax.  The final `Finished` event
+    /// is always pushed — the stream machinery keys off it.
+    quiet: bool,
+}
 
-    let seeds = seed_patterns(graph);
-    stats.candidates_generated += seeds.len();
-    let mut level: Vec<Pattern> = dedupe_by_canonical_code(seeds, &mut seen);
+impl EngineState {
+    /// Seed the state machine.  Cheap: no support is evaluated until the first
+    /// [`EngineState::step`] (the prepared graph's index is resolved here, which is
+    /// a shared lazy build — amortised to zero across sessions).
+    pub(crate) fn new(
+        prepared: PreparedGraph,
+        measure: Arc<dyn SupportMeasure>,
+        config: EngineConfig,
+        quiet: bool,
+    ) -> Self {
+        let index = match config.iso_config.backend {
+            ffsm_core::EnumeratorBackend::CandidateSpace => Some(prepared.index()),
+            ffsm_core::EnumeratorBackend::Naive => None,
+        };
+        let mut stats = MiningStats::default();
+        let mut seen = HashSet::new();
+        let seeds = seed_patterns(prepared.graph());
+        stats.candidates_generated += seeds.len();
+        let level = dedupe_by_canonical_code(seeds, &mut seen);
+        let threshold = config.min_support;
+        EngineState {
+            prepared,
+            measure,
+            floor: threshold,
+            threshold,
+            config,
+            index,
+            seen,
+            frequent: Vec::new(),
+            level,
+            stats,
+            start: Instant::now(),
+            completion: None,
+            quiet,
+        }
+    }
 
-    while !level.is_empty() {
+    /// `Some(c)` once the run has stopped (the `Finished` event has been pushed).
+    pub(crate) fn completion(&self) -> Option<Completion> {
+        self.completion
+    }
+
+    /// Which interruption, if any, has fired.  Explicit cancellation wins over the
+    /// deadline when both have.
+    fn interrupted(&self) -> Option<Completion> {
+        if self.config.cancel.cancel_requested() {
+            return Some(Completion::Cancelled);
+        }
+        if self.config.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(Completion::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// Stop the run: stamp the stats and push the final `Finished` event.
+    fn finish(&mut self, completion: Completion, out: &mut VecDeque<MiningEvent>) {
+        self.stats.elapsed = self.start.elapsed();
+        self.stats.completion = completion;
+        self.completion = Some(completion);
+        out.push_back(MiningEvent::Finished(RunSummary {
+            completion,
+            final_threshold: self.threshold,
+            num_patterns: self.frequent.len(),
+            stats: self.stats.clone(),
+        }));
+    }
+
+    /// Process one pattern-growth level, pushing every resulting event (quiet
+    /// mode pushes only the final `Finished`).  Must not be called after the run
+    /// has finished.
+    pub(crate) fn step(&mut self, out: &mut VecDeque<MiningEvent>) {
+        debug_assert!(self.completion.is_none(), "step() after Finished");
+        if self.level.is_empty() {
+            self.finish(Completion::Complete, out);
+            return;
+        }
+        if let Some(interrupt) = self.interrupted() {
+            self.finish(interrupt, out);
+            return;
+        }
+
         // Respect the evaluation cap by trimming the level.
-        let remaining = config.max_evaluations.saturating_sub(stats.candidates_evaluated);
-        if level.len() > remaining {
-            level.truncate(remaining);
-            stats.truncated = true;
+        let mut budget_hit: Option<BudgetKind> = None;
+        let remaining = self.config.max_evaluations.saturating_sub(self.stats.candidates_evaluated);
+        if self.level.len() > remaining {
+            self.level.truncate(remaining);
+            budget_hit = Some(BudgetKind::Evaluations);
         }
-        if level.is_empty() {
-            break;
+        if self.level.is_empty() {
+            self.finish(Completion::BudgetExhausted(BudgetKind::Evaluations), out);
+            return;
         }
-        let supports = evaluate_level(graph, index.as_ref(), &level, measure, config);
-        stats.candidates_evaluated += level.len();
+
+        let supports = evaluate_level(
+            &self.prepared,
+            self.index.as_deref(),
+            &self.level,
+            &self.measure,
+            &self.config,
+        );
+        // An interruption during the evaluation may have truncated enumerations
+        // arbitrarily; discard the whole level so the emitted patterns stay a
+        // deterministic prefix of the full run.
+        if let Some(interrupt) = self.interrupted() {
+            self.finish(interrupt, out);
+            return;
+        }
+        let evaluated = self.level.len();
+        self.stats.candidates_evaluated += evaluated;
 
         // Apply the (possibly rising) threshold in candidate order.
+        let mut accepted = 0usize;
         let mut survivors: Vec<Pattern> = Vec::new();
-        for (pattern, (support, num_occurrences)) in level.into_iter().zip(supports) {
-            match config.top_k {
+        for (pattern, (support, num_occurrences)) in
+            std::mem::take(&mut self.level).into_iter().zip(supports)
+        {
+            match self.config.top_k {
                 None => {
-                    if support >= threshold {
-                        if frequent.len() >= config.max_patterns {
-                            stats.truncated = true;
+                    if support >= self.threshold {
+                        if self.frequent.len() >= self.config.max_patterns {
+                            budget_hit.get_or_insert(BudgetKind::Patterns);
                             continue;
                         }
                         let found =
                             FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
-                        if let Some(callback) = on_pattern.as_mut() {
-                            callback(&found);
+                        if !self.quiet {
+                            out.push_back(MiningEvent::Pattern(found.clone()));
                         }
-                        frequent.push(found);
+                        self.frequent.push(found);
+                        accepted += 1;
                         survivors.push(pattern);
                     } else {
-                        stats.candidates_pruned += 1;
+                        self.stats.candidates_pruned += 1;
                     }
                 }
                 Some(k) => {
-                    if support >= threshold {
+                    if support >= self.threshold {
                         let found =
                             FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
-                        if let Some(callback) = on_pattern.as_mut() {
-                            callback(&found);
+                        if !self.quiet {
+                            out.push_back(MiningEvent::Pattern(found.clone()));
                         }
-                        threshold = insert_top_k(&mut frequent, found, k, floor);
+                        self.threshold = insert_top_k(&mut self.frequent, found, k, self.floor);
+                        accepted += 1;
                         survivors.push(pattern);
                     } else {
-                        stats.candidates_pruned += 1;
+                        self.stats.candidates_pruned += 1;
                     }
                 }
             }
         }
-        if stats.truncated {
-            break;
+        self.stats.levels_completed += 1;
+        if !self.quiet {
+            out.push_back(MiningEvent::LevelCompleted(LevelSummary {
+                level: self.stats.levels_completed,
+                evaluated,
+                accepted,
+                threshold: self.threshold,
+                stats: self.stats.clone(),
+            }));
+        }
+        if let Some(kind) = budget_hit {
+            self.finish(Completion::BudgetExhausted(kind), out);
+            return;
         }
 
         // Next level: one-edge extensions of every surviving pattern.  Pruned
         // candidates are never extended — sound because the measure is anti-monotone.
         let mut next: Vec<Pattern> = Vec::new();
         for pattern in &survivors {
-            if pattern.num_edges() >= config.max_pattern_edges {
+            if pattern.num_edges() >= self.config.max_pattern_edges {
                 continue;
             }
-            let candidates = extensions(pattern, &alphabet);
-            stats.candidates_generated += candidates.len();
-            next.extend(dedupe_by_canonical_code(candidates, &mut seen));
+            let candidates = extensions(pattern, self.prepared.alphabet());
+            self.stats.candidates_generated += candidates.len();
+            next.extend(dedupe_by_canonical_code(candidates, &mut self.seen));
         }
-        level = next;
+        self.level = next;
     }
 
-    stats.elapsed = start.elapsed();
-    MiningResult { patterns: frequent, final_threshold: threshold, stats }
+    /// Tear the state down into the batch result.  Only meaningful once the run
+    /// has finished (callers drain the stream first).
+    pub(crate) fn into_result(mut self) -> MiningResult {
+        if self.completion.is_none() {
+            // Defensive: a result must always carry a stamped completion.
+            self.stats.elapsed = self.start.elapsed();
+        }
+        MiningResult { patterns: self.frequent, final_threshold: self.threshold, stats: self.stats }
+    }
 }

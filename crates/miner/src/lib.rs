@@ -10,7 +10,10 @@
 //! measure (MNI) than under a conservative one (MIS/MVC).
 //!
 //! [`MiningSession`] is the single entry point.  Sequential, level-parallel and
-//! top-k mining are modes of one engine:
+//! top-k mining are modes of one engine, batch ([`MiningSession::run`]) and
+//! streaming ([`MiningSession::stream`]) are two views of the same computation,
+//! and [`PreparedGraph`] splits the once-per-graph preprocessing from the
+//! per-session query work:
 //!
 //! ```
 //! use ffsm_graph::{generators, LabeledGraph};
@@ -82,31 +85,35 @@
 //!    sound because the engine only accepts anti-monotone measures (Theorems 3.2,
 //!    3.5, 4.2, 4.3, 4.4 of the paper).
 //!
+//! ## Serving workloads
+//!
+//! For repeated mining over one graph, build a [`PreparedGraph`] once and open
+//! sessions over it with [`MiningSession::over`]: the per-graph matching index is
+//! built lazily exactly once and shared across every concurrent session.
+//! [`MiningSession::stream`] turns a session into a lazy [`PatternStream`] of
+//! [`MiningEvent`]s for incremental delivery, and
+//! [`MiningSession::cancel_token`] / [`MiningSession::deadline`] bound a run's
+//! wall-clock cost with a typed [`Completion`] status instead of silent
+//! truncation.
+//!
 //! The pre-session entry points (`Miner`, `mine_parallel`, `mine_top_k` and their
-//! config structs) remain available as deprecated shims over the same engine for one
-//! release.
+//! config structs), deprecated since 0.2.0, have been removed; the session API
+//! covers every mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
 pub mod extension;
-mod miner;
-mod parallel;
 pub mod postprocess;
+mod prepared;
 mod session;
-mod topk;
+mod stream;
 mod types;
 
+pub use prepared::PreparedGraph;
 pub use session::{MeasureSelection, MiningBudget, MiningSession, SessionConfig};
-pub use types::{FrequentPattern, MiningResult, MiningStats};
+pub use stream::{LevelSummary, MiningEvent, PatternStream, RunSummary};
+pub use types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
 
 pub use postprocess::{closed_patterns, maximal_patterns, PatternLattice};
-
-// Deprecated pre-session API, kept as shims for one release.
-#[allow(deprecated)]
-pub use miner::{Miner, MinerConfig};
-#[allow(deprecated)]
-pub use parallel::{mine_parallel, ParallelMinerConfig};
-#[allow(deprecated)]
-pub use topk::{mine_top_k, TopKConfig, TopKResult};

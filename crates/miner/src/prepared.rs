@@ -1,0 +1,172 @@
+//! [`PreparedGraph`] — the prepare-once / serve-many handle over a data graph.
+//!
+//! Serving workloads run *many* sessions against *one* graph: different measures,
+//! thresholds, deadlines and clients, often concurrently.  Before this type, every
+//! `run()` silently rebuilt the per-graph artifacts — most expensively the
+//! `ffsm-match` [`GraphIndex`] — from scratch.  `PreparedGraph` splits that cost
+//! out (the preprocessing/query split of dynamic-query systems à la Berkholz et
+//! al.): build the handle once, then open any number of sessions over it from any
+//! number of threads.
+//!
+//! ## What is cached
+//!
+//! * the [`LabeledGraph`] itself (owned);
+//! * the **label statistics**: the distinct-label alphabet the candidate generator
+//!   extends over, and the per-label vertex counts;
+//! * the **matching index** ([`GraphIndex`]), built lazily on first use and then
+//!   shared — [`PreparedGraph::index`] returns the same `Arc` forever after, and
+//!   concurrent first callers race into exactly one build (the losers block on the
+//!   winner, they never duplicate the work).  [`PreparedGraph::index_build_count`]
+//!   exposes the build counter so tests can assert the exactly-once contract.
+//!
+//! ## Immutability
+//!
+//! The handle is immutable: nothing behind it ever changes after construction
+//! (lazy initialisation is write-once), so clones — which share the underlying
+//! storage, they are `Arc` handles — can be sent freely across threads and every
+//! session sees the same graph and the same index.  There is deliberately no
+//! mutable access; to mine a changed graph, prepare a new handle.
+
+use ffsm_core::{FfsmError, GraphIndex};
+use ffsm_graph::{io, Label, LabeledGraph};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+struct PreparedInner {
+    graph: LabeledGraph,
+    /// Distinct labels, ascending — the extension alphabet.
+    alphabet: Vec<Label>,
+    /// Per-label vertex counts, ascending by label.
+    label_counts: Vec<(Label, usize)>,
+    /// The matching index, built at most once (see module docs).
+    index: OnceLock<Arc<GraphIndex>>,
+    /// How many times the index has been built — 0 or 1 for the handle's lifetime.
+    index_builds: AtomicUsize,
+}
+
+/// An owned, `Arc`-shared, immutable handle bundling a data graph with its
+/// once-built per-graph artifacts.  See the [module docs](self); cloning is cheap
+/// and shares everything.
+#[derive(Debug, Clone)]
+pub struct PreparedGraph {
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedGraph {
+    /// Prepare `graph` for mining.  Label statistics are computed eagerly (one
+    /// linear pass); the matching index is deferred to first use.
+    pub fn new(graph: LabeledGraph) -> Self {
+        let label_counts = graph.label_histogram();
+        let alphabet = label_counts.iter().map(|&(l, _)| l).collect();
+        PreparedGraph {
+            inner: Arc::new(PreparedInner {
+                graph,
+                alphabet,
+                label_counts,
+                index: OnceLock::new(),
+                index_builds: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Load a `.lg` graph file (the `ffsm_graph::io` format) and prepare it.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FfsmError> {
+        Ok(Self::new(io::load_lg(path.as_ref())?))
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.inner.graph
+    }
+
+    /// The distinct-label alphabet (ascending) the candidate generator uses.
+    pub fn alphabet(&self) -> &[Label] {
+        &self.inner.alphabet
+    }
+
+    /// Per-label vertex counts, ascending by label.
+    pub fn label_counts(&self) -> &[(Label, usize)] {
+        &self.inner.label_counts
+    }
+
+    /// The shared matching index, building it on first call.  Every call returns
+    /// a clone of the same `Arc`; concurrent first calls perform exactly one build.
+    pub fn index(&self) -> Arc<GraphIndex> {
+        self.inner
+            .index
+            .get_or_init(|| {
+                self.inner.index_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(GraphIndex::build(&self.inner.graph))
+            })
+            .clone()
+    }
+
+    /// How many times the matching index has been built for this handle: `0`
+    /// before first use, `1` forever after — never more, no matter how many
+    /// sessions or threads share the handle.
+    pub fn index_build_count(&self) -> usize {
+        self.inner.index_builds.load(Ordering::Relaxed)
+    }
+
+    /// `true` when both handles share the same underlying storage.
+    pub fn same_graph(&self, other: &PreparedGraph) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::generators;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn prepared_graph_is_send_and_sync() {
+        assert_send_sync::<PreparedGraph>();
+    }
+
+    #[test]
+    fn label_statistics_match_the_graph() {
+        let graph = LabeledGraph::from_edges(&[0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3)]);
+        let prepared = PreparedGraph::new(graph.clone());
+        assert_eq!(prepared.alphabet(), &[Label(0), Label(1), Label(2)]);
+        assert_eq!(prepared.label_counts(), graph.label_histogram().as_slice());
+        assert_eq!(prepared.graph().num_edges(), 3);
+    }
+
+    #[test]
+    fn index_is_lazy_and_built_once() {
+        let prepared = PreparedGraph::new(generators::gnm_random(30, 60, 3, 5));
+        assert_eq!(prepared.index_build_count(), 0, "index must be lazy");
+        let a = prepared.index();
+        let b = prepared.clone().index();
+        assert!(Arc::ptr_eq(&a, &b), "all callers share one index");
+        assert_eq!(prepared.index_build_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_use_builds_exactly_once() {
+        let prepared = PreparedGraph::new(generators::gnm_random(60, 150, 4, 9));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = prepared.clone();
+                scope.spawn(move || {
+                    let _ = handle.index();
+                });
+            }
+        });
+        assert_eq!(prepared.index_build_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let prepared = PreparedGraph::new(LabeledGraph::new());
+        let clone = prepared.clone();
+        assert!(prepared.same_graph(&clone));
+        let other = PreparedGraph::new(LabeledGraph::new());
+        assert!(!prepared.same_graph(&other));
+    }
+}

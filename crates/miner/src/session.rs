@@ -1,9 +1,10 @@
 //! [`MiningSession`] — the single entry point for frequent-subgraph mining.
 //!
-//! A session is a builder over one data graph: pick a measure (built-in
+//! A session is a builder over one prepared data graph: pick a measure (built-in
 //! [`MeasureKind`] or any user [`SupportMeasure`] impl), set the threshold and
-//! limits, then [`MiningSession::run`].  Sequential, level-parallel and top-k mining
-//! are modes of one engine, not separate APIs:
+//! limits, then either [`MiningSession::run`] (batch) or [`MiningSession::stream`]
+//! (lazy, pull-based events).  Sequential, level-parallel and top-k mining are
+//! modes of one engine, not separate APIs:
 //!
 //! ```
 //! use ffsm_graph::{generators, LabeledGraph};
@@ -20,12 +21,43 @@
 //!     .expect("valid session");
 //! assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
 //! ```
+//!
+//! ## Prepare once, serve many
+//!
+//! [`MiningSession::on`] clones the graph into a private [`PreparedGraph`] —
+//! convenient for one-shot calls, but every such session rebuilds the per-graph
+//! artifacts.  Serving workloads prepare the graph once and open sessions over
+//! the shared handle, from any number of threads; the matching index is then
+//! built exactly once, ever:
+//!
+//! ```
+//! use ffsm_graph::{generators, LabeledGraph};
+//! use ffsm_miner::{MiningSession, PreparedGraph};
+//!
+//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+//! let prepared = PreparedGraph::new(generators::replicated(&triangle, 5, false));
+//! let a = MiningSession::over(&prepared).min_support(5.0).max_edges(3).run().unwrap();
+//! let b = MiningSession::over(&prepared).min_support(5.0).max_edges(3).run().unwrap();
+//! assert_eq!(a.len(), b.len());
+//! assert_eq!(prepared.index_build_count(), 1); // shared, never rebuilt
+//! ```
+//!
+//! Sessions are owned and `Send` — no borrows of the graph — so a server thread
+//! can build one and spawn it elsewhere.  [`MiningSession::cancel_token`] and
+//! [`MiningSession::deadline`] bound a run's wall-clock cost; the run then stops
+//! at a deterministic prefix with a typed
+//! [`Completion`](crate::Completion) status.
 
-use crate::engine::{run_engine, EngineConfig, PatternCallback};
-use crate::types::{FrequentPattern, MiningResult};
-use ffsm_core::{EnumeratorBackend, FfsmError, MeasureConfig, MeasureKind, SupportMeasure};
+use crate::engine::{EngineConfig, EngineState};
+use crate::prepared::PreparedGraph;
+use crate::stream::PatternStream;
+use crate::types::MiningResult;
+use ffsm_core::{
+    CancelToken, EnumeratorBackend, FfsmError, MeasureConfig, MeasureKind, SupportMeasure,
+};
 use ffsm_graph::LabeledGraph;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Safety caps bounding the cost of one mining run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +78,7 @@ impl Default for MiningBudget {
 #[derive(Clone)]
 pub enum MeasureSelection {
     /// A built-in measure, instantiated with the session's [`MeasureConfig`] at
-    /// [`MiningSession::run`] time.
+    /// [`MiningSession::run`] / [`MiningSession::stream`] time.
     Kind(MeasureKind),
     /// A user-defined pluggable measure.
     Custom(Arc<dyn SupportMeasure>),
@@ -74,9 +106,6 @@ impl From<Arc<dyn SupportMeasure>> for MeasureSelection {
 }
 
 /// The canonical mining configuration a [`MiningSession`] builds up.
-///
-/// This one struct replaces the old `MinerConfig` / `ParallelMinerConfig` /
-/// `TopKConfig` triple (which had already drifted apart field-by-field).
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Support threshold τ: a pattern is frequent when `support ≥ min_support`.
@@ -98,6 +127,11 @@ pub struct SessionConfig {
     pub threads: usize,
     /// `Some(k)` switches to top-k mining with a rising threshold.
     pub top_k: Option<usize>,
+    /// Cooperative cancellation token; fire it (from any thread) to stop the run
+    /// at a deterministic prefix.  Inert by default.
+    pub cancel: CancelToken,
+    /// Wall-clock deadline for the run, measured from `stream()` / `run()` time.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -110,23 +144,41 @@ impl Default for SessionConfig {
             budget: MiningBudget::default(),
             threads: 1,
             top_k: None,
+            cancel: CancelToken::default(),
+            deadline: None,
         }
     }
 }
 
-/// Builder-style mining session over one data graph.  See the module docs for an
-/// example; construct with [`MiningSession::on`].
-pub struct MiningSession<'g> {
-    graph: &'g LabeledGraph,
+/// Builder-style mining session over one prepared data graph.  See the module
+/// docs for examples; construct with [`MiningSession::on`] (one-shot, clones the
+/// graph) or [`MiningSession::over`] (shares a [`PreparedGraph`]).
+///
+/// The session is owned and `Send`: it holds an `Arc` handle to the prepared
+/// graph, never a borrow.
+pub struct MiningSession {
+    prepared: PreparedGraph,
     config: SessionConfig,
-    on_pattern: Option<PatternCallback<'g>>,
 }
 
-impl<'g> MiningSession<'g> {
-    /// Start a session over `graph` with default configuration (MNI, τ = 2,
-    /// patterns up to 4 edges, sequential).
-    pub fn on(graph: &'g LabeledGraph) -> Self {
-        MiningSession { graph, config: SessionConfig::default(), on_pattern: None }
+impl MiningSession {
+    /// Start a session over a shared [`PreparedGraph`] with default configuration
+    /// (MNI, τ = 2, patterns up to 4 edges, sequential).  Cheap: clones the `Arc`
+    /// handle, not the graph.
+    pub fn over(prepared: &PreparedGraph) -> Self {
+        MiningSession { prepared: prepared.clone(), config: SessionConfig::default() }
+    }
+
+    /// Start a one-shot session over `graph` (clones it into a private
+    /// [`PreparedGraph`]).  For repeated sessions over the same graph, prepare it
+    /// once and use [`MiningSession::over`] so the per-graph artifacts are shared.
+    pub fn on(graph: &LabeledGraph) -> Self {
+        Self::over(&PreparedGraph::new(graph.clone()))
+    }
+
+    /// The prepared graph this session mines.
+    pub fn prepared(&self) -> &PreparedGraph {
+        &self.prepared
     }
 
     /// The canonical configuration built so far.
@@ -163,11 +215,11 @@ impl<'g> MiningSession<'g> {
     /// Select the occurrence-enumeration backend (shorthand for setting
     /// `measure_config.iso_config.backend`).
     ///
-    /// Under the default [`EnumeratorBackend::CandidateSpace`] the engine builds
-    /// one per-graph matching index ([`ffsm_core::GraphIndex`]) at [`MiningSession::run`]
-    /// time and shares it across every candidate evaluation of the run — the index
-    /// is never rebuilt per pattern.  [`EnumeratorBackend::Naive`] selects the
-    /// recursive oracle (no index); results are identical, only slower.
+    /// Under the default [`EnumeratorBackend::CandidateSpace`] the engine uses the
+    /// prepared graph's shared matching index ([`ffsm_core::GraphIndex`]) — built
+    /// lazily exactly once per [`PreparedGraph`], never per session or per
+    /// pattern.  [`EnumeratorBackend::Naive`] selects the recursive oracle (no
+    /// index); results are identical, only slower.
     pub fn enumerator(mut self, backend: EnumeratorBackend) -> Self {
         self.config.measure_config.iso_config.backend = backend;
         self
@@ -192,15 +244,25 @@ impl<'g> MiningSession<'g> {
         self
     }
 
-    /// Stream every accepted pattern to `callback` as it is found (threshold mode:
-    /// each emitted pattern; top-k mode: each pattern entering the running top-k,
-    /// which a later, better pattern may still evict).
-    pub fn on_pattern(mut self, callback: impl FnMut(&FrequentPattern) + 'g) -> Self {
-        self.on_pattern = Some(Box::new(callback));
+    /// Attach a cancellation token.  Firing it (from any thread, any clone) stops
+    /// the run cooperatively — between levels and inside occurrence enumeration —
+    /// at a deterministic prefix with [`Completion::Cancelled`](crate::Completion).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.config.cancel = token;
         self
     }
 
-    /// Validate the configuration and run the miner.
+    /// Bound the run's wall-clock time, measured from the moment
+    /// [`MiningSession::stream`] / [`MiningSession::run`] is called.  A run past
+    /// its deadline stops at a deterministic prefix with
+    /// [`Completion::DeadlineExceeded`](crate::Completion).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Validate the configuration and open the lazy event stream.  No support is
+    /// evaluated until the stream is pulled.
     ///
     /// # Errors
     ///
@@ -208,8 +270,15 @@ impl<'g> MiningSession<'g> {
     ///   `top_k(0)`, or an `MNI-0` measure;
     /// * [`FfsmError::NotAntiMonotone`] — the selected measure refuses threshold
     ///   pruning (e.g. the raw occurrence count), which would make mining unsound.
-    pub fn run(self) -> Result<MiningResult, FfsmError> {
-        let MiningSession { graph, config, on_pattern } = self;
+    pub fn stream(self) -> Result<PatternStream, FfsmError> {
+        self.stream_with(false)
+    }
+
+    /// Shared validation + engine construction behind [`MiningSession::stream`]
+    /// (`quiet = false`) and [`MiningSession::run`] (`quiet = true`: no consumer
+    /// reads per-pattern events, so the engine skips materialising them).
+    fn stream_with(self, quiet: bool) -> Result<PatternStream, FfsmError> {
+        let MiningSession { prepared, config } = self;
         if !config.min_support.is_finite() || config.min_support < 0.0 {
             return Err(FfsmError::InvalidConfig(format!(
                 "min_support must be finite and non-negative, got {}",
@@ -225,8 +294,20 @@ impl<'g> MiningSession<'g> {
         if let MeasureSelection::Kind(MeasureKind::MniK(0)) = config.measure {
             return Err(FfsmError::InvalidConfig("MNI-k needs k >= 1".into()));
         }
+        // Combine the session token with the deadline into the token the
+        // enumerators poll, so interruption reaches inside a running level.
+        // `with_deadline` keeps the earlier bound, so a deadline the caller
+        // already attached to the token survives; the engine checks the same
+        // effective (tightest) deadline between levels.
+        let run_token = match config.deadline.map(|d| Instant::now() + d) {
+            Some(at) => config.cancel.with_deadline(at),
+            None => config.cancel.clone(),
+        };
+        let deadline_at = run_token.deadline();
+        let mut measure_config = config.measure_config.clone();
+        measure_config.iso_config.cancel = run_token;
         let measure: Arc<dyn SupportMeasure> = match config.measure {
-            MeasureSelection::Kind(kind) => kind.measure(config.measure_config.clone()),
+            MeasureSelection::Kind(kind) => kind.measure(measure_config.clone()),
             MeasureSelection::Custom(measure) => measure,
         };
         if !measure.is_anti_monotone() {
@@ -239,22 +320,54 @@ impl<'g> MiningSession<'g> {
         };
         let engine_config = EngineConfig {
             min_support: config.min_support,
-            iso_config: config.measure_config.iso_config,
+            iso_config: measure_config.iso_config,
             max_pattern_edges: config.max_edges,
             max_patterns: config.budget.max_patterns,
             max_evaluations: config.budget.max_evaluations,
             threads,
             top_k: config.top_k,
+            cancel: config.cancel,
+            deadline: deadline_at,
         };
-        Ok(run_engine(graph, &measure, &engine_config, on_pattern))
+        Ok(PatternStream::new(EngineState::new(prepared, measure, engine_config, quiet)))
+    }
+
+    /// Validate the configuration and run the miner to completion — a thin
+    /// adapter that collects [`MiningSession::stream`].  An interrupted run
+    /// returns `Ok` with the deterministic prefix and a non-`Complete`
+    /// [`Completion`](crate::Completion) in the result, never a silent truncation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MiningSession::stream`].
+    pub fn run(self) -> Result<MiningResult, FfsmError> {
+        Ok(self.stream_with(true)?.into_result())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::MiningEvent;
+    use crate::types::Completion;
     use ffsm_core::OccurrenceSet;
     use ffsm_graph::generators;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn sessions_are_owned_and_send() {
+        assert_send::<MiningSession>();
+        let graph = LabeledGraph::from_edges(&[0, 0], &[(0, 1)]);
+        let session = MiningSession::on(&graph).min_support(1.0);
+        // The session owns its graph handle: it outlives the borrow it was built
+        // from and can run on another thread.
+        drop(graph);
+        let handle = std::thread::spawn(move || session.run().unwrap());
+        let result = handle.join().unwrap();
+        assert!(!result.is_empty());
+        assert!(result.completion().is_complete());
+    }
 
     fn triangle_forest(copies: usize) -> LabeledGraph {
         let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
@@ -270,6 +383,7 @@ mod tests {
             .max_edges(6)
             .threads(3)
             .top_k(9)
+            .deadline(Duration::from_secs(4))
             .budget(MiningBudget { max_evaluations: 123, max_patterns: 45 });
         let config = session.config();
         assert!(matches!(config.measure, MeasureSelection::Kind(MeasureKind::Mis)));
@@ -277,6 +391,7 @@ mod tests {
         assert_eq!(config.max_edges, 6);
         assert_eq!(config.threads, 3);
         assert_eq!(config.top_k, Some(9));
+        assert_eq!(config.deadline, Some(Duration::from_secs(4)));
         assert_eq!(config.budget, MiningBudget { max_evaluations: 123, max_patterns: 45 });
     }
 
@@ -291,24 +406,32 @@ mod tests {
         assert_eq!(config.threads, d.threads);
         assert_eq!(config.top_k, d.top_k);
         assert_eq!(config.budget, d.budget);
+        assert_eq!(config.deadline, None);
+        assert!(config.cancel.is_inert());
         assert!(matches!(config.measure, MeasureSelection::Kind(MeasureKind::Mni)));
     }
 
     #[test]
     fn invalid_configurations_are_rejected() {
         let graph = triangle_forest(2);
-        let nan = MiningSession::on(&graph).min_support(f64::NAN).run();
+        let prepared = PreparedGraph::new(graph);
+        let nan = MiningSession::over(&prepared).min_support(f64::NAN).run();
         assert!(matches!(nan, Err(FfsmError::InvalidConfig(_))));
-        let negative = MiningSession::on(&graph).min_support(-1.0).run();
+        let negative = MiningSession::over(&prepared).min_support(-1.0).run();
         assert!(matches!(negative, Err(FfsmError::InvalidConfig(_))));
-        let zero_edges = MiningSession::on(&graph).max_edges(0).run();
+        let zero_edges = MiningSession::over(&prepared).max_edges(0).run();
         assert!(matches!(zero_edges, Err(FfsmError::InvalidConfig(_))));
-        let zero_k = MiningSession::on(&graph).top_k(0).run();
+        let zero_k = MiningSession::over(&prepared).top_k(0).run();
         assert!(matches!(zero_k, Err(FfsmError::InvalidConfig(_))));
-        let mni0 = MiningSession::on(&graph).measure(MeasureKind::MniK(0)).run();
+        let mni0 = MiningSession::over(&prepared).measure(MeasureKind::MniK(0)).run();
         assert!(matches!(mni0, Err(FfsmError::InvalidConfig(_))));
-        let unsound = MiningSession::on(&graph).measure(MeasureKind::OccurrenceCount).run();
+        let unsound = MiningSession::over(&prepared).measure(MeasureKind::OccurrenceCount).run();
         assert!(matches!(unsound, Err(FfsmError::NotAntiMonotone(_))));
+        // stream() rejects identically (run() is a thin adapter over it).
+        assert!(matches!(
+            MiningSession::over(&prepared).max_edges(0).stream().map(|_| ()),
+            Err(FfsmError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -322,6 +445,7 @@ mod tests {
             .unwrap();
         assert!(result.patterns.iter().any(|p| p.pattern.num_edges() == 3));
         assert_eq!(result.final_threshold, 5.0);
+        assert!(result.completion().is_complete());
         for p in &result.patterns {
             assert!(p.support >= 5.0);
         }
@@ -330,8 +454,9 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let graph = generators::community_graph(2, 10, 0.4, 0.05, 3, 9);
+        let prepared = PreparedGraph::new(graph);
         let collect = |threads: usize| {
-            MiningSession::on(&graph)
+            MiningSession::over(&prepared)
                 .min_support(3.0)
                 .max_edges(2)
                 .threads(threads)
@@ -346,6 +471,7 @@ mod tests {
         for threads in [2, 4, 0] {
             assert_eq!(base, collect(threads), "threads = {threads}");
         }
+        assert_eq!(prepared.index_build_count(), 1, "index shared across all runs");
     }
 
     #[test]
@@ -386,16 +512,54 @@ mod tests {
     }
 
     #[test]
-    fn on_pattern_streams_emitted_patterns() {
+    fn stream_emits_patterns_then_finishes() {
         let graph = triangle_forest(4);
+        let batch = MiningSession::on(&graph).min_support(4.0).max_edges(3).run().unwrap();
         let mut streamed = Vec::new();
-        let result = MiningSession::on(&graph)
-            .min_support(4.0)
-            .max_edges(3)
-            .on_pattern(|p| streamed.push(p.pattern.num_edges()))
+        let mut finished = None;
+        for event in MiningSession::on(&graph).min_support(4.0).max_edges(3).stream().unwrap() {
+            match event.unwrap() {
+                MiningEvent::Pattern(p) => streamed.push(p.pattern.num_edges()),
+                MiningEvent::LevelCompleted(_) => {}
+                MiningEvent::Finished(summary) => finished = Some(summary),
+            }
+        }
+        assert_eq!(streamed.len(), batch.len());
+        let summary = finished.expect("stream ends with Finished");
+        assert_eq!(summary.completion, Completion::Complete);
+        assert_eq!(summary.num_patterns, batch.len());
+    }
+
+    #[test]
+    fn pre_cancelled_session_yields_empty_prefix() {
+        let token = CancelToken::new();
+        token.cancel();
+        let graph = triangle_forest(4);
+        let result = MiningSession::on(&graph).min_support(1.0).cancel_token(token).run().unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.completion(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn deadline_carried_by_the_token_itself_is_honoured() {
+        // A deadline attached to the token (not via .deadline()) must stop the run
+        // and be attributed as DeadlineExceeded — never silently corrupt supports.
+        let token = CancelToken::new().with_timeout(Duration::ZERO);
+        let graph = triangle_forest(4);
+        let result = MiningSession::on(&graph).min_support(1.0).cancel_token(token).run().unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.completion(), Completion::DeadlineExceeded);
+
+        // And a looser session deadline must not override the token's tighter one.
+        let token = CancelToken::new().with_timeout(Duration::ZERO);
+        let result = MiningSession::on(&triangle_forest(4))
+            .min_support(1.0)
+            .cancel_token(token)
+            .deadline(Duration::from_secs(3600))
             .run()
             .unwrap();
-        assert_eq!(streamed.len(), result.len());
+        assert!(result.is_empty());
+        assert_eq!(result.completion(), Completion::DeadlineExceeded);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! [`PatternStream`] — lazy, pull-based mining with typed events.
+//!
+//! [`crate::MiningSession::stream`] returns a `PatternStream`: an owned, `Send`
+//! iterator of [`MiningEvent`]s that replaces the old lifetime-infected
+//! `on_pattern` callback.  Nothing is evaluated until the consumer pulls; each
+//! pull advances the engine by at most one pattern-growth level, so a server
+//! thread can interleave consumption with its own work, forward events over the
+//! wire as they happen (`ffsm mine --stream` does exactly this), or abandon the
+//! run early.
+//!
+//! ## Event contract
+//!
+//! For one session configuration the event sequence is fully deterministic:
+//!
+//! 1. zero or more [`MiningEvent::Pattern`] events per level, in the engine's
+//!    fixed candidate order (threshold mode: every emitted pattern; top-k mode:
+//!    every pattern *entering* the running top-k — a later, better pattern may
+//!    still evict it from the final result);
+//! 2. one [`MiningEvent::LevelCompleted`] per fully processed level, carrying a
+//!    stats snapshot;
+//! 3. exactly one final [`MiningEvent::Finished`] carrying the typed
+//!    [`Completion`] status, after which the iterator yields `None`.
+//!
+//! Streaming and batch mining are the same computation:
+//! [`PatternStream::into_result`] drains the remainder and returns precisely the
+//! [`MiningResult`] that [`crate::MiningSession::run`] (a thin adapter over this
+//! method) would have produced.  A cancelled or deadline-hit stream emits a
+//! deterministic *prefix* of the full run's events (whole levels only) and
+//! finishes with [`Completion::Cancelled`] / [`Completion::DeadlineExceeded`].
+//!
+//! Items are `Result<MiningEvent, FfsmError>` so future event sources with
+//! fallible transports can surface errors mid-stream; the in-process engine never
+//! yields `Err` today — interruptions are *events* (a typed `Finished`), not
+//! errors, because the prefix mined so far is still valid.
+
+use crate::engine::EngineState;
+use crate::types::{Completion, FrequentPattern, MiningResult, MiningStats};
+use ffsm_core::FfsmError;
+use std::collections::VecDeque;
+
+/// Progress of one fully processed pattern-growth level.
+#[derive(Debug, Clone)]
+pub struct LevelSummary {
+    /// 1-based level number (level 1 evaluates the single-edge seeds).
+    pub level: usize,
+    /// Candidates whose support was evaluated in this level.
+    pub evaluated: usize,
+    /// Candidates accepted in this level (threshold mode: emitted patterns;
+    /// top-k mode: patterns that entered the running top-k).
+    pub accepted: usize,
+    /// The threshold in force after the level (rises in top-k mode).
+    pub threshold: f64,
+    /// Cumulative statistics snapshot (its `completion` field stays
+    /// [`Completion::Complete`] until the run actually stops).
+    pub stats: MiningStats,
+}
+
+/// The final event of every stream.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Why the run stopped.
+    pub completion: Completion,
+    /// The threshold in force when the run stopped.
+    pub final_threshold: f64,
+    /// Number of patterns in the final result (top-k mode: after evictions, so
+    /// this can be smaller than the number of `Pattern` events).
+    pub num_patterns: usize,
+    /// Final statistics.
+    pub stats: MiningStats,
+}
+
+/// One streamed mining event.  See the [module docs](self) for the sequence
+/// contract.
+#[derive(Debug, Clone)]
+pub enum MiningEvent {
+    /// A pattern was accepted (threshold mode: final; top-k mode: provisional —
+    /// it may later be evicted from the running top-k).
+    Pattern(FrequentPattern),
+    /// A pattern-growth level was fully processed.
+    LevelCompleted(LevelSummary),
+    /// The run stopped; always the last event.
+    Finished(RunSummary),
+}
+
+/// A lazy, pull-based mining run.  Owned and `Send`: spawn it onto any thread.
+/// Construct via [`crate::MiningSession::stream`].
+pub struct PatternStream {
+    state: EngineState,
+    queue: VecDeque<MiningEvent>,
+    finished: bool,
+}
+
+impl PatternStream {
+    pub(crate) fn new(state: EngineState) -> Self {
+        PatternStream { state, queue: VecDeque::new(), finished: false }
+    }
+
+    /// The typed completion status, once the `Finished` event has been emitted
+    /// (`None` while the run is still in progress).
+    pub fn completion(&self) -> Option<Completion> {
+        self.state.completion()
+    }
+
+    /// Drain the remaining events and return the batch [`MiningResult`].
+    ///
+    /// Consuming the whole stream first is *not* required — this method runs the
+    /// rest of the mining loop itself.  To get a partial result instead, fire the
+    /// session's `CancelToken` first: the result then holds the deterministic
+    /// prefix with [`Completion::Cancelled`].
+    pub fn into_result(mut self) -> MiningResult {
+        for _event in &mut self {}
+        self.state.into_result()
+    }
+}
+
+impl Iterator for PatternStream {
+    type Item = Result<MiningEvent, FfsmError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(event) = self.queue.pop_front() {
+                if matches!(event, MiningEvent::Finished(_)) {
+                    self.finished = true;
+                }
+                return Some(Ok(event));
+            }
+            if self.finished {
+                return None;
+            }
+            // Lazy pull: advance the engine by one level (which pushes >= 1
+            // events — at minimum the Finished event).
+            self.state.step(&mut self.queue);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn stream_and_events_are_send() {
+        assert_send::<PatternStream>();
+        assert_send::<MiningEvent>();
+    }
+}

@@ -1,0 +1,71 @@
+//! Serving-style mining: prepare a graph once, answer many sessions over the
+//! shared handle — from several threads — and stream one run's events with a
+//! deadline, the way a request handler would.
+//!
+//! Run with: `cargo run --example streaming_service`
+
+use ffsm::core::MeasureKind;
+use ffsm::graph::datasets;
+use ffsm::miner::{MiningEvent, MiningSession, PreparedGraph};
+use std::time::Duration;
+
+fn main() {
+    // One-time preprocessing: load/build the graph and prepare it.  The matching
+    // index is built lazily on first use and then shared by every session below.
+    let dataset = datasets::chemical_like(60, 7);
+    let prepared = PreparedGraph::new(dataset.graph);
+    println!(
+        "prepared graph: {} vertices, {} edges, {} labels (index builds so far: {})",
+        prepared.graph().num_vertices(),
+        prepared.graph().num_edges(),
+        prepared.alphabet().len(),
+        prepared.index_build_count(),
+    );
+
+    // Concurrent "requests": different measures, one shared PreparedGraph.
+    // Sessions are owned and Send, so each runs on its own thread.
+    let answers: [(MeasureKind, usize); 3] = std::thread::scope(|scope| {
+        [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mis]
+            .map(|measure| {
+                let prepared = prepared.clone();
+                scope.spawn(move || {
+                    let result = MiningSession::over(&prepared)
+                        .measure(measure)
+                        .min_support(8.0)
+                        .max_edges(2)
+                        .run()
+                        .expect("valid session");
+                    (measure, result.len())
+                })
+            })
+            .map(|handle| handle.join().expect("request thread panicked"))
+    });
+    for (measure, count) in answers {
+        println!("{measure}: {count} frequent patterns at tau = 8");
+    }
+    println!("index builds after three concurrent sessions: {}", prepared.index_build_count());
+
+    // A streaming request with a latency budget: events arrive as they happen,
+    // and the typed completion says exactly how the run ended.
+    let stream = MiningSession::over(&prepared)
+        .min_support(6.0)
+        .max_edges(3)
+        .deadline(Duration::from_secs(5))
+        .stream()
+        .expect("valid session");
+    for event in stream {
+        match event.expect("in-process streams never error") {
+            MiningEvent::Pattern(p) => {
+                println!("  pattern: {} edges, support {}", p.pattern.num_edges(), p.support)
+            }
+            MiningEvent::LevelCompleted(level) => println!(
+                "  level {} done: {} evaluated, {} accepted",
+                level.level, level.evaluated, level.accepted
+            ),
+            MiningEvent::Finished(summary) => println!(
+                "  finished: {} ({} patterns in {:?})",
+                summary.completion, summary.num_patterns, summary.stats.elapsed
+            ),
+        }
+    }
+}

@@ -9,8 +9,12 @@
 //!   [--limit N]` — enumerate the pattern's embeddings with the candidate-space
 //!   engine (or the naive oracle), reporting candidate-space sizes and index
 //!   build / search timings;
-//! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]`
-//!   — run the frequent-subgraph miner and print the frequent patterns;
+//! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
+//!   [--stream] [--deadline-ms MS]` — run the frequent-subgraph miner.  The default
+//!   output is a table plus the run's typed completion status (complete vs which
+//!   budget cap vs deadline); `--stream` switches to NDJSON events (one JSON object
+//!   per line — `pattern`, `level`, `finished` — flushed as found), and
+//!   `--deadline-ms` bounds the run's wall-clock time;
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
 //! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
 //!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
@@ -18,7 +22,9 @@
 //! Graphs use the plain-text `.lg` format of `ffsm_graph::io` (`v <id> <label>` /
 //! `e <u> <v>` lines).  All mining goes through [`MiningSession`]; every failure is a
 //! typed [`FfsmError`].  Exit code 0 on success, 1 on a usage error, 2 on an I/O,
-//! parse or configuration error.
+//! parse or configuration error — including a mining run stopped by `--deadline-ms`
+//! or cancellation, which exits 2 via [`FfsmError::DeadlineExceeded`] /
+//! [`FfsmError::Cancelled`] after reporting the prefix it found.
 
 use ffsm::core::measures::{MeasureConfig, MeasureKind};
 use ffsm::core::{
@@ -29,9 +35,10 @@ use ffsm::graph::isomorphism::IsoConfig;
 use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
 use ffsm::matching::{GraphIndex, Matcher};
 use ffsm::miner::postprocess::maximal_patterns;
-use ffsm::miner::{MiningResult, MiningSession};
+use ffsm::miner::{Completion, MiningEvent, MiningResult, MiningSession};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// A CLI failure: either a usage problem (exit code 1) or a framework error
 /// (exit code 2).
@@ -100,7 +107,12 @@ commands:
                                                    overlap census / MIS per notion
                                                    (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
+           [--stream] [--deadline-ms MS]
                                                    frequent-subgraph mining
+                                                   (--stream: NDJSON events, one per
+                                                   line, flushed as found;
+                                                   --deadline-ms: wall-clock bound —
+                                                   a deadline/cancel stop exits 2)
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
                                                    top-k pattern mining
   generate <kind> <out.lg> [--seed S]              write a synthetic dataset
@@ -328,10 +340,95 @@ fn print_frequent(patterns: &[ffsm::miner::FrequentPattern]) {
     }
 }
 
+/// Minimal JSON string escaping for the NDJSON stream.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Map an interrupted completion to its typed error (the documented non-zero exit
+/// path for `--deadline-ms` / cancellation); budget-capped and complete runs are
+/// successes — their status is in the output.
+fn completion_exit(completion: Completion, deadline: Option<Duration>) -> Result<(), CliError> {
+    match completion {
+        Completion::DeadlineExceeded => {
+            Err(CliError::Ffsm(FfsmError::DeadlineExceeded(deadline.unwrap_or_default())))
+        }
+        Completion::Cancelled => Err(CliError::Ffsm(FfsmError::Cancelled)),
+        Completion::Complete | Completion::BudgetExhausted(_) => Ok(()),
+    }
+}
+
+/// Drive a session as NDJSON: one JSON object per line, flushed the moment the
+/// event happens, so a consumer sees patterns while the miner is still running.
+fn stream_ndjson(session: MiningSession) -> Result<Completion, CliError> {
+    use std::io::Write;
+    let stream = session.stream()?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut completion = Completion::Complete;
+    for event in stream {
+        let line = match event? {
+            MiningEvent::Pattern(p) => format!(
+                "{{\"event\": \"pattern\", \"support\": {}, \"vertices\": {}, \"edges\": {}, \
+                 \"occurrences\": {}, \"pattern\": {}}}",
+                p.support,
+                p.pattern.num_vertices(),
+                p.pattern.num_edges(),
+                p.num_occurrences,
+                json_escape(io::to_lg_string(&p.pattern).trim_end())
+            ),
+            MiningEvent::LevelCompleted(level) => format!(
+                "{{\"event\": \"level\", \"level\": {}, \"evaluated\": {}, \"accepted\": {}, \
+                 \"threshold\": {}}}",
+                level.level, level.evaluated, level.accepted, level.threshold
+            ),
+            MiningEvent::Finished(summary) => {
+                completion = summary.completion;
+                format!(
+                    "{{\"event\": \"finished\", \"completion\": \"{}\", \"patterns\": {}, \
+                     \"final_threshold\": {}, \"evaluated\": {}, \"elapsed_ms\": {}}}",
+                    summary.completion.name(),
+                    summary.num_patterns,
+                    summary.final_threshold,
+                    summary.stats.candidates_evaluated,
+                    summary.stats.elapsed.as_millis()
+                )
+            }
+        };
+        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+            // A consumer closing the pipe early (`... --stream | head`) is a normal
+            // way to stop consuming, not a mining failure: end the stream cleanly
+            // so exit code 2 keeps meaning "run interrupted", nothing else.
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                return Ok(Completion::Complete);
+            }
+            return Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(
+                e.to_string(),
+            ))));
+        }
+    }
+    Ok(completion)
+}
+
 fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
-            "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]"
+            "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] \
+             [--parallel] [--stream] [--deadline-ms MS]"
                 .into(),
         ));
     };
@@ -348,13 +445,28 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         None if args.iter().any(|a| a == "--parallel") => 0,
         None => 1,
     };
-    let graph = load_graph(graph_path)?;
-    let result: MiningResult = MiningSession::on(&graph)
+    let deadline = match flag_value(args, "--deadline-ms") {
+        Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("invalid --deadline-ms {v:?} (expected milliseconds)"))
+        })?)),
+        None => None,
+    };
+    // The CLI owns the loaded graph: move it into the prepared handle instead of
+    // paying `MiningSession::on`'s defensive clone.
+    let prepared = ffsm::miner::PreparedGraph::new(load_graph(graph_path)?);
+    let mut session = MiningSession::over(&prepared)
         .measure(measure)
         .min_support(tau)
         .max_edges(max_edges)
-        .threads(threads)
-        .run()?;
+        .threads(threads);
+    if let Some(d) = deadline {
+        session = session.deadline(d);
+    }
+    if args.iter().any(|a| a == "--stream") {
+        let completion = stream_ndjson(session)?;
+        return completion_exit(completion, deadline);
+    }
+    let result: MiningResult = session.run()?;
     println!(
         "{} frequent patterns under {measure} at tau = {tau} ({} maximal), {} candidates evaluated in {:?}",
         result.len(),
@@ -362,8 +474,11 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         result.stats.candidates_evaluated,
         result.stats.elapsed
     );
+    // Why the run stopped — a capped run is no longer indistinguishable from a
+    // complete one.
+    println!("status: {}", result.completion());
     print_frequent(&result.patterns);
-    Ok(())
+    completion_exit(result.completion(), deadline)
 }
 
 fn cmd_topk(args: &[String]) -> Result<(), CliError> {
@@ -377,8 +492,8 @@ fn cmd_topk(args: &[String]) -> Result<(), CliError> {
         .parse()
         .map_err(|_| CliError::Usage("invalid --k value".to_string()))?;
     let (measure, max_edges) = mining_params(args)?;
-    let graph = load_graph(graph_path)?;
-    let result = MiningSession::on(&graph)
+    let prepared = ffsm::miner::PreparedGraph::new(load_graph(graph_path)?);
+    let result = MiningSession::over(&prepared)
         .measure(measure)
         .min_support(1.0)
         .max_edges(max_edges)
@@ -388,6 +503,7 @@ fn cmd_topk(args: &[String]) -> Result<(), CliError> {
         "top-{k} patterns under {measure} (final threshold {:.1}, {} candidates evaluated)",
         result.final_threshold, result.stats.candidates_evaluated
     );
+    println!("status: {}", result.completion());
     print_frequent(&result.patterns);
     Ok(())
 }

@@ -31,9 +31,10 @@ pub mod prelude {
         OverlapKind,
     };
     pub use ffsm_graph::isomorphism::{EmbeddingVisitor, EnumeratorBackend, IsoConfig, VisitFlow};
-    pub use ffsm_graph::{GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
+    pub use ffsm_graph::{CancelToken, GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
     pub use ffsm_match::{CandidateSpace, GraphIndex, Matcher};
     pub use ffsm_miner::{
-        FrequentPattern, MiningBudget, MiningResult, MiningSession, MiningStats, SessionConfig,
+        Completion, FrequentPattern, MiningBudget, MiningEvent, MiningResult, MiningSession,
+        MiningStats, PatternStream, PreparedGraph, SessionConfig,
     };
 }

@@ -55,7 +55,7 @@ fn measure_vector(
     graph: &LabeledGraph,
     config: &MeasureConfig,
 ) -> Option<Vec<f64>> {
-    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+    let occ = OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone());
     if !occ.is_complete() {
         return None;
     }

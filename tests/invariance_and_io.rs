@@ -38,7 +38,7 @@ fn measures_of(
     graph: &LabeledGraph,
     config: &MeasureConfig,
 ) -> ffsm::core::SupportMeasures {
-    let occ = ffsm::core::OccurrenceSet::enumerate(pattern, graph, config.iso_config);
+    let occ = ffsm::core::OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone());
     ffsm::core::SupportMeasures::new(occ, config.clone())
 }
 

@@ -79,22 +79,22 @@ proptest! {
         let matcher = Matcher::new(&pattern, &graph, &index);
         for induced in [false, true] {
             let config = IsoConfig { induced, ..IsoConfig::default() };
-            let naive = enumerate_embeddings(&pattern, &graph, config);
+            let naive = enumerate_embeddings(&pattern, &graph, config.clone());
             prop_assert!(naive.complete);
             let oracle = sorted(naive.embeddings);
             let context = format!("seed {seed}, {edges}-edge pattern, induced {induced}");
-            let sequential = matcher.enumerate(config);
+            let sequential = matcher.enumerate(config.clone());
             prop_assert!(sequential.complete, "sequential incomplete, {}", context);
             prop_assert_eq!(sorted(sequential.embeddings.clone()), oracle.clone(),
                 "sequential vs oracle, {}", context);
             for threads in [3usize, 0] {
-                let parallel = matcher.enumerate(IsoConfig { threads, ..config });
+                let parallel = matcher.enumerate(IsoConfig { threads, ..config.clone() });
                 // The parallel contract is exact-order equality with sequential.
                 prop_assert_eq!(&parallel.embeddings, &sequential.embeddings,
                     "parallel order diverged, {} threads, {}", threads, context);
             }
             // Counting and existence agree with the materialising path.
-            let (count, complete) = matcher.count(config);
+            let (count, complete) = matcher.count(config.clone());
             prop_assert_eq!((count, complete), (oracle.len(), true), "count, {}", context);
             prop_assert_eq!(matcher.exists(config), !oracle.is_empty(), "exists, {}", context);
         }
@@ -109,11 +109,11 @@ proptest! {
             return Ok(());
         };
         let config = IsoConfig::default();
-        let indexed = OccurrenceSet::enumerate(&pattern, &graph, config);
+        let indexed = OccurrenceSet::enumerate(&pattern, &graph, config.clone());
         let naive = OccurrenceSet::enumerate(
             &pattern,
             &graph,
-            config.with_backend(EnumeratorBackend::Naive),
+            config.clone().with_backend(EnumeratorBackend::Naive),
         );
         prop_assert!(indexed.is_complete() && naive.is_complete());
         prop_assert_eq!(
@@ -179,7 +179,7 @@ fn streaming_visitor_counts_without_materialising() {
     // oracle's budgeted count agrees.
     let limit = IsoConfig::with_limit(11);
     for threads in [1usize, 2, 4] {
-        let config = IsoConfig { threads, ..limit };
+        let config = IsoConfig { threads, ..limit.clone() };
         assert_eq!(matcher.count(config), (11, false), "threads {threads}");
     }
     assert_eq!(ffsm::graph::isomorphism::count_embeddings(&pattern, &graph, limit), 11);

@@ -1,9 +1,6 @@
 //! Cross-crate checks for the MCP measure and the overlap-notion variants:
 //! ordering against MIS/MVC, behaviour under the MeasureKind API, and consistency of
 //! the overlap census across the dataset suite.
-// The legacy entry points are exercised on purpose: they are deprecated shims over
-// the MiningSession engine and this file is their regression coverage.
-#![allow(deprecated)]
 
 use ffsm::core::measures::{MeasureConfig, MeasureKind, SupportMeasures};
 use ffsm::core::{OccurrenceSet, OverlapAnalysis, OverlapKind};
@@ -58,29 +55,21 @@ fn measure_kind_mcp_matches_direct_call() {
 
 #[test]
 fn mining_with_mcp_is_anti_monotonic_in_threshold() {
-    use ffsm::miner::{Miner, MinerConfig};
+    use ffsm::miner::{MiningSession, PreparedGraph};
     let triangle = ffsm::graph::LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
-    let graph = generators::replicated(&triangle, 5, false);
-    let low = Miner::new(
-        &graph,
-        MinerConfig {
-            min_support: 2.0,
-            measure: MeasureKind::Mcp,
-            max_pattern_edges: 3,
-            ..Default::default()
-        },
-    )
-    .mine();
-    let high = Miner::new(
-        &graph,
-        MinerConfig {
-            min_support: 5.0,
-            measure: MeasureKind::Mcp,
-            max_pattern_edges: 3,
-            ..Default::default()
-        },
-    )
-    .mine();
+    let prepared = PreparedGraph::new(generators::replicated(&triangle, 5, false));
+    let low = MiningSession::over(&prepared)
+        .measure(MeasureKind::Mcp)
+        .min_support(2.0)
+        .max_edges(3)
+        .run()
+        .unwrap();
+    let high = MiningSession::over(&prepared)
+        .measure(MeasureKind::Mcp)
+        .min_support(5.0)
+        .max_edges(3)
+        .run()
+        .unwrap();
     assert!(high.len() <= low.len());
     // Every disjoint triangle counts once under MCP, so the triangle is frequent at 5.
     assert!(high.patterns.iter().any(|p| p.pattern.num_edges() == 3));

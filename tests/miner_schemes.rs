@@ -1,9 +1,8 @@
 //! End-to-end comparison of the mining search schemes (sequential, level-parallel,
 //! top-k) and the result condensations (maximal / closed / lattice) on realistic
-//! synthetic datasets, exercised purely through the public `ffsm` facade.
-// The legacy entry points are exercised on purpose: they are deprecated shims over
-// the MiningSession engine and this file is their regression coverage.
-#![allow(deprecated)]
+//! synthetic datasets, exercised purely through the public `ffsm` facade — all
+//! modes through the one [`MiningSession`] API, sharing a [`PreparedGraph`] per
+//! dataset like a serving deployment would.
 
 use ffsm::core::MeasureKind;
 use ffsm::graph::canonical::canonical_code;
@@ -12,7 +11,7 @@ use ffsm::miner::postprocess::{
     closed_pattern_indices, closed_patterns, maximal_pattern_indices, maximal_patterns,
     PatternLattice,
 };
-use ffsm::miner::{mine_parallel, mine_top_k, Miner, MinerConfig, ParallelMinerConfig, TopKConfig};
+use ffsm::miner::{MiningResult, MiningSession, PreparedGraph};
 use std::collections::BTreeSet;
 
 fn pattern_codes(patterns: &[ffsm::miner::FrequentPattern]) -> BTreeSet<Vec<u64>> {
@@ -20,25 +19,21 @@ fn pattern_codes(patterns: &[ffsm::miner::FrequentPattern]) -> BTreeSet<Vec<u64>
 }
 
 #[test]
-fn sequential_and_parallel_miners_agree_on_chemical_dataset() {
+fn sequential_and_parallel_sessions_agree_on_chemical_dataset() {
     let dataset = datasets::chemical_like(25, 3);
+    let prepared = PreparedGraph::new(dataset.graph);
     let tau = 6.0;
-    let sequential = Miner::new(
-        &dataset.graph,
-        MinerConfig { min_support: tau, max_pattern_edges: 3, ..Default::default() },
-    )
-    .mine();
-    let parallel = mine_parallel(
-        &dataset.graph,
-        &ParallelMinerConfig {
-            min_support: tau,
-            max_pattern_edges: 3,
-            num_threads: 4,
-            ..Default::default()
-        },
-    );
+    let sequential = MiningSession::over(&prepared).min_support(tau).max_edges(3).run().unwrap();
+    let parallel =
+        MiningSession::over(&prepared).min_support(tau).max_edges(3).threads(4).run().unwrap();
     assert_eq!(pattern_codes(&sequential.patterns), pattern_codes(&parallel.patterns));
     assert_eq!(sequential.len(), parallel.len());
+    // Supports agree pattern by pattern (same engine, same order).
+    for (s, p) in sequential.patterns.iter().zip(&parallel.patterns) {
+        assert_eq!(s.support.to_bits(), p.support.to_bits());
+    }
+    // Both sessions shared one prepared graph: the index was built exactly once.
+    assert_eq!(prepared.index_build_count(), 1);
 }
 
 #[test]
@@ -46,34 +41,31 @@ fn conservative_measures_admit_fewer_patterns_everywhere() {
     // σMIS <= σMVC <= σMI <= σMNI, so at a fixed threshold the frequent-pattern sets
     // are nested in the same direction (by count).
     let dataset = datasets::protein_like(6, 6, 13);
+    let prepared = PreparedGraph::new(dataset.graph);
     let tau = 4.0;
     let mut counts = Vec::new();
     for measure in [MeasureKind::Mis, MeasureKind::Mvc, MeasureKind::Mi, MeasureKind::Mni] {
-        let result = Miner::new(
-            &dataset.graph,
-            MinerConfig { min_support: tau, measure, max_pattern_edges: 2, ..Default::default() },
-        )
-        .mine();
+        let result = MiningSession::over(&prepared)
+            .measure(measure)
+            .min_support(tau)
+            .max_edges(2)
+            .run()
+            .unwrap();
         counts.push(result.len());
     }
     for w in counts.windows(2) {
         assert!(w[0] <= w[1], "counts not monotone along the bounding chain: {counts:?}");
     }
+    assert_eq!(prepared.index_build_count(), 1, "four measure runs, one index build");
 }
 
 #[test]
 fn topk_results_are_consistent_with_exhaustive_mining() {
     let dataset = datasets::chemical_like(20, 17);
+    let prepared = PreparedGraph::new(dataset.graph);
     let k = 6;
-    let topk = mine_top_k(
-        &dataset.graph,
-        &TopKConfig { k, min_support: 1.0, max_pattern_edges: 2, ..Default::default() },
-    );
-    let full = Miner::new(
-        &dataset.graph,
-        MinerConfig { min_support: 1.0, max_pattern_edges: 2, ..Default::default() },
-    )
-    .mine();
+    let topk = MiningSession::over(&prepared).min_support(1.0).max_edges(2).top_k(k).run().unwrap();
+    let full = MiningSession::over(&prepared).min_support(1.0).max_edges(2).run().unwrap();
     let mut full_supports: Vec<f64> = full.patterns.iter().map(|p| p.support).collect();
     full_supports.sort_by(|a, b| b.partial_cmp(a).unwrap());
     full_supports.truncate(k);
@@ -85,11 +77,8 @@ fn topk_results_are_consistent_with_exhaustive_mining() {
 #[test]
 fn condensations_and_lattice_are_consistent() {
     let graph = generators::community_graph(3, 12, 0.35, 0.02, 4, 21);
-    let result = Miner::new(
-        &graph,
-        MinerConfig { min_support: 3.0, max_pattern_edges: 3, ..Default::default() },
-    )
-    .mine();
+    let result: MiningResult =
+        MiningSession::on(&graph).min_support(3.0).max_edges(3).run().unwrap();
     if result.is_empty() {
         return; // nothing frequent at this threshold; other seeds cover the content
     }
@@ -119,29 +108,23 @@ fn condensations_and_lattice_are_consistent() {
 }
 
 #[test]
-fn parallel_miner_with_mvc_measure_matches_sequential() {
+fn parallel_session_with_mvc_measure_matches_sequential() {
     // The scheme comparison must hold for NP-hard measures too, not just MNI.
     let triangle = ffsm::graph::LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
-    let graph = generators::replicated(&triangle, 4, false);
-    let sequential = Miner::new(
-        &graph,
-        MinerConfig {
-            min_support: 4.0,
-            measure: MeasureKind::Mvc,
-            max_pattern_edges: 3,
-            ..Default::default()
-        },
-    )
-    .mine();
-    let parallel = mine_parallel(
-        &graph,
-        &ParallelMinerConfig {
-            min_support: 4.0,
-            measure: MeasureKind::Mvc,
-            max_pattern_edges: 3,
-            ..Default::default()
-        },
-    );
+    let prepared = PreparedGraph::new(generators::replicated(&triangle, 4, false));
+    let sequential = MiningSession::over(&prepared)
+        .measure(MeasureKind::Mvc)
+        .min_support(4.0)
+        .max_edges(3)
+        .run()
+        .unwrap();
+    let parallel = MiningSession::over(&prepared)
+        .measure(MeasureKind::Mvc)
+        .min_support(4.0)
+        .max_edges(3)
+        .threads(0)
+        .run()
+        .unwrap();
     assert_eq!(pattern_codes(&sequential.patterns), pattern_codes(&parallel.patterns));
     assert!(sequential.patterns.iter().any(|p| p.pattern.num_edges() == 3));
 }
