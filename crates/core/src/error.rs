@@ -5,13 +5,18 @@
 //! session configuration / execution (`ffsm-miner`) — reports through this one enum,
 //! so callers match on variants instead of scraping strings or catching panics.
 
-use ffsm_graph::GraphError;
+use ffsm_graph::{GraphError, UpdateError};
 
 /// Errors produced by the support-measure framework and the miner.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FfsmError {
     /// A graph-layer error: unknown vertex, self loop, `.lg` parse or I/O failure.
     Graph(GraphError),
+    /// A graph-update batch failed validation or application: the payload names
+    /// the offending update, its index in the batch and the underlying cause.
+    /// Raised by the dynamic-graph subsystem (`PreparedGraph::apply_updates`,
+    /// `ffsm-dynamic`).
+    Update(UpdateError),
     /// A configuration value that makes the requested computation meaningless
     /// (zero-vertex pattern budget, `top_k(0)`, `MNI-0`, …).  The message names the
     /// offending parameter.
@@ -39,6 +44,7 @@ impl std::fmt::Display for FfsmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FfsmError::Graph(e) => write!(f, "{e}"),
+            FfsmError::Update(e) => write!(f, "invalid graph update: {e}"),
             FfsmError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
             FfsmError::UnknownMeasure(name) => write!(
                 f,
@@ -65,6 +71,7 @@ impl std::error::Error for FfsmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FfsmError::Graph(e) => Some(e),
+            FfsmError::Update(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +80,12 @@ impl std::error::Error for FfsmError {
 impl From<GraphError> for FfsmError {
     fn from(e: GraphError) -> Self {
         FfsmError::Graph(e)
+    }
+}
+
+impl From<UpdateError> for FfsmError {
+    fn from(e: UpdateError) -> Self {
+        FfsmError::Update(e)
     }
 }
 
@@ -91,5 +104,13 @@ mod tests {
         let e: FfsmError = GraphError::SelfLoop(3).into();
         assert!(matches!(e, FfsmError::Graph(GraphError::SelfLoop(3))));
         assert!(e.to_string().contains("self loop"));
+        let e: FfsmError = UpdateError {
+            index: 4,
+            update: ffsm_graph::GraphUpdate::RemoveVertex(9),
+            source: GraphError::UnknownVertex(9),
+        }
+        .into();
+        assert!(matches!(e, FfsmError::Update(_)));
+        assert!(e.to_string().contains("update 4") && e.to_string().contains("rv 9"));
     }
 }

@@ -44,6 +44,9 @@ pub use error::FfsmError;
 // cooperative cancellation into the enumerators.
 pub use ffsm_graph::isomorphism::EnumeratorBackend;
 pub use ffsm_graph::CancelToken;
+// The dynamic-graph update vocabulary is re-exported for the same reason: the
+// miner's delta-aware mode and the `ffsm-dynamic` store speak these types.
+pub use ffsm_graph::{GraphDelta, GraphUpdate, UpdateError};
 pub use ffsm_match::GraphIndex;
 pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,

@@ -1,0 +1,54 @@
+//! # ffsm-dynamic — the versioned dynamic-graph subsystem
+//!
+//! The paper's support measures are defined over a fixed data graph, but a
+//! served graph changes between requests.  This crate makes change a
+//! first-class, *versioned* operation instead of a cold restart:
+//!
+//! * [`DynamicGraph`] — a store that accepts batches of typed
+//!   [`GraphUpdate`](ffsm_graph::GraphUpdate)s, validates them, and produces an
+//!   immutable **epoch snapshot** per batch: a
+//!   [`PreparedGraph`](ffsm_miner::PreparedGraph) (structurally sharing
+//!   untouched state with its parent epoch, matching index patched
+//!   incrementally) plus the [`GraphDelta`](ffsm_graph::GraphDelta) describing
+//!   the dirty region;
+//! * [`IncrementalMiner`] — a mining loop over consecutive epochs that carries
+//!   the per-pattern [`EvalCache`](ffsm_miner::EvalCache) forward, so each
+//!   re-mine only re-evaluates patterns whose occurrences touch the dirty
+//!   region — with results **bit-for-bit identical** to a cold full mine of the
+//!   same epoch.
+//!
+//! In-flight readers of an older epoch are never disturbed: snapshots are
+//! `Arc`-shared immutable handles, exactly like any other `PreparedGraph`.
+//!
+//! ```
+//! use ffsm_core::{GraphUpdate, MeasureKind};
+//! use ffsm_dynamic::{DynamicGraph, IncrementalMiner};
+//! use ffsm_graph::{generators, LabeledGraph};
+//! use ffsm_miner::MiningSession;
+//!
+//! let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+//! let mut store = DynamicGraph::new(generators::replicated(&triangle, 5, false));
+//! let config = MiningSession::over(store.current().prepared())
+//!     .measure(MeasureKind::Mni)
+//!     .min_support(4.0)
+//!     .max_edges(3)
+//!     .config()
+//!     .clone();
+//! let mut miner = IncrementalMiner::new(config);
+//!
+//! let before = miner.mine(store.current()).expect("epoch 0 mines cold");
+//! // Knock one triangle open: its copy no longer supports the triangle pattern.
+//! let epoch = store.apply(&[GraphUpdate::RemoveEdge(0, 1)]).expect("valid batch");
+//! let after = miner.mine(epoch).expect("epoch 1 mines incrementally");
+//! assert_eq!(store.epoch(), 1);
+//! assert!(after.len() <= before.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod remine;
+mod store;
+
+pub use remine::IncrementalMiner;
+pub use store::{DynamicGraph, EpochSnapshot};

@@ -1,0 +1,170 @@
+//! [`IncrementalMiner`] — delta re-mining over consecutive epochs.
+//!
+//! One session configuration, many epochs: the miner records every candidate
+//! evaluation of its first run ([`MiningSession::run_recorded`]) and, for each
+//! **consecutive** later epoch, feeds the cache and the epoch's
+//! [`GraphDelta`](ffsm_graph::GraphDelta) into [`MiningSession::run_delta`] so
+//! only patterns whose occurrences touch the dirty region are re-evaluated.
+//! Results are bit-for-bit those of a cold full mine of the same epoch.
+//!
+//! Skipping epochs (mining epoch 1, then epoch 4) breaks the delta chain; the
+//! miner detects it and transparently falls back to a cold recorded run, which
+//! re-arms the chain from that epoch on.  The same applies to re-mining the
+//! same epoch twice or mining backwards.
+
+use crate::store::EpochSnapshot;
+use ffsm_core::FfsmError;
+use ffsm_miner::{EvalCache, MiningResult, MiningSession, SessionConfig};
+
+/// A reusable mining loop over the epochs of a [`DynamicGraph`](crate::DynamicGraph).
+///
+/// Holds the session configuration applied at every epoch plus the rolling
+/// [`EvalCache`].  The configuration's measure, measure config and enumeration
+/// backend must stay fixed (they key the cache); threshold and budgets are free
+/// to vary via [`IncrementalMiner::config_mut`] between epochs.
+pub struct IncrementalMiner {
+    config: SessionConfig,
+    cache: Option<EvalCache>,
+    /// Epoch the cache describes; a mine of any other epoch than
+    /// `last_epoch + 1` runs cold.
+    last_epoch: Option<usize>,
+}
+
+impl IncrementalMiner {
+    /// A miner applying `config` at every epoch, starting with an empty cache.
+    pub fn new(config: SessionConfig) -> Self {
+        IncrementalMiner { config, cache: None, last_epoch: None }
+    }
+
+    /// The session configuration applied at every epoch.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration.  Changing the measure, measure
+    /// config or backend invalidates the cache — call
+    /// [`IncrementalMiner::reset`] afterwards; threshold/budget tweaks are safe.
+    pub fn config_mut(&mut self) -> &mut SessionConfig {
+        &mut self.config
+    }
+
+    /// Drop the cache, forcing the next [`IncrementalMiner::mine`] to run cold.
+    pub fn reset(&mut self) {
+        self.cache = None;
+        self.last_epoch = None;
+    }
+
+    /// `true` when the next mine of `epoch` would take the incremental path.
+    pub fn is_chained_to(&self, epoch: usize) -> bool {
+        self.cache.is_some() && self.last_epoch.is_some_and(|e| e + 1 == epoch)
+    }
+
+    /// Mine one epoch snapshot: incrementally when it directly succeeds the
+    /// last mined epoch (and carries a delta), cold otherwise.  Either way the
+    /// cache rolls forward to this epoch.
+    pub fn mine(&mut self, snapshot: &EpochSnapshot) -> Result<MiningResult, FfsmError> {
+        let session = MiningSession::with_config(snapshot.prepared(), self.config.clone());
+        let chained = self.is_chained_to(snapshot.epoch());
+        let (result, cache) = match (chained, snapshot.delta()) {
+            (true, Some(delta)) => {
+                let prior = self.cache.take().expect("chained implies cache");
+                session.run_delta(prior, delta)?
+            }
+            _ => session.run_recorded()?,
+        };
+        self.cache = Some(cache);
+        self.last_epoch = Some(snapshot.epoch());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicGraph;
+    use ffsm_core::{GraphUpdate, MeasureKind};
+    use ffsm_graph::{generators, LabeledGraph};
+
+    fn store() -> DynamicGraph {
+        let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        DynamicGraph::new(generators::replicated(&triangle, 6, false))
+    }
+
+    fn config(store: &DynamicGraph) -> SessionConfig {
+        MiningSession::over(store.current().prepared())
+            .measure(MeasureKind::Mni)
+            .min_support(3.0)
+            .max_edges(3)
+            .config()
+            .clone()
+    }
+
+    fn fingerprints(result: &MiningResult) -> Vec<(Vec<u64>, u64, usize)> {
+        result
+            .patterns
+            .iter()
+            .map(|p| {
+                (
+                    ffsm_graph::canonical::canonical_code(&p.pattern).as_slice().to_vec(),
+                    p.support.to_bits(),
+                    p.num_occurrences,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chained_epochs_match_cold_runs() {
+        let mut store = store();
+        let mut miner = IncrementalMiner::new(config(&store));
+        miner.mine(store.current()).unwrap();
+        let batches: Vec<Vec<GraphUpdate>> = vec![
+            vec![GraphUpdate::RemoveEdge(0, 1)],
+            vec![GraphUpdate::AddEdge(0, 1), GraphUpdate::RemoveVertex(5)],
+            vec![GraphUpdate::AddVertex(ffsm_graph::Label(1)), GraphUpdate::AddEdge(17, 0)],
+        ];
+        for batch in batches {
+            let snapshot = store.apply(&batch).unwrap().clone();
+            assert!(miner.is_chained_to(snapshot.epoch()));
+            let incremental = miner.mine(&snapshot).unwrap();
+            let cold = MiningSession::with_config(snapshot.prepared(), miner.config().clone())
+                .run()
+                .unwrap();
+            assert_eq!(fingerprints(&incremental), fingerprints(&cold), "batch {batch:?}");
+            assert_eq!(incremental.final_threshold.to_bits(), cold.final_threshold.to_bits());
+        }
+    }
+
+    #[test]
+    fn skipping_an_epoch_falls_back_to_cold() {
+        let mut store = store();
+        let mut miner = IncrementalMiner::new(config(&store));
+        miner.mine(store.current()).unwrap();
+        store.apply(&[GraphUpdate::RemoveEdge(0, 1)]).unwrap();
+        store.apply(&[GraphUpdate::RemoveEdge(3, 4)]).unwrap();
+        // Epoch 2 is not chained (epoch 1 was never mined) — must still be correct.
+        assert!(!miner.is_chained_to(store.epoch()));
+        let result = miner.mine(store.current()).unwrap();
+        let cold = MiningSession::with_config(store.current().prepared(), miner.config().clone())
+            .run()
+            .unwrap();
+        assert_eq!(fingerprints(&result), fingerprints(&cold));
+        // The chain re-arms from here.
+        let snapshot = store.apply(&[GraphUpdate::AddEdge(0, 1)]).unwrap().clone();
+        assert!(miner.is_chained_to(snapshot.epoch()));
+        let incremental = miner.mine(&snapshot).unwrap();
+        assert!(incremental.stats.evaluations_reused > 0, "delta path taken");
+    }
+
+    #[test]
+    fn reset_forces_cold() {
+        let mut store = store();
+        let mut miner = IncrementalMiner::new(config(&store));
+        miner.mine(store.current()).unwrap();
+        let snapshot = store.apply(&[GraphUpdate::RemoveEdge(0, 2)]).unwrap().clone();
+        miner.reset();
+        assert!(!miner.is_chained_to(snapshot.epoch()));
+        let result = miner.mine(&snapshot).unwrap();
+        assert_eq!(result.stats.evaluations_reused, 0);
+    }
+}

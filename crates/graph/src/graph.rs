@@ -6,9 +6,12 @@
 //!   comfortably in caches and avoid hashing overhead in hot loops;
 //! * adjacency lists are kept sorted so that `has_edge` is a binary search and
 //!   neighbourhood intersections are merge-joins;
-//! * the structure is append-only (vertices and edges can be added, not removed),
-//!   which matches how data graphs and patterns are built everywhere in this project
-//!   and keeps the invariants trivial.
+//! * vertex identifiers stay **dense** under mutation: [`LabeledGraph::remove_vertex`]
+//!   swap-removes, moving the last vertex into the freed slot and reporting the move,
+//!   so every other id is stable and no tombstones leak into iteration.  Patterns and
+//!   most data graphs are still built append-only; the removal/relabel primitives
+//!   exist for the dynamic-graph subsystem (`ffsm-dynamic`), which turns batches of
+//!   [`crate::update::GraphUpdate`]s into new epochs.
 
 use crate::{Label, VertexId};
 use serde::{Deserialize, Serialize};
@@ -45,6 +48,19 @@ impl std::fmt::Display for GraphError {
 }
 
 impl std::error::Error for GraphError {}
+
+/// Outcome of [`LabeledGraph::remove_vertex`]: what the removal disconnected and
+/// which vertex (if any) changed its identifier to keep ids dense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexRemoval {
+    /// The removed vertex's former neighbours, in pre-removal identifiers
+    /// (one implicitly removed edge each).
+    pub neighbors: Vec<VertexId>,
+    /// `Some(old_id)` when the last vertex was swapped into the freed slot: the
+    /// vertex formerly identified by `old_id` now answers to the removed id.
+    /// `None` when the removed vertex was the last one.
+    pub moved: Option<VertexId>,
+}
 
 /// An undirected, vertex-labeled graph (Definition 2.1.1).
 ///
@@ -134,6 +150,77 @@ impl LabeledGraph {
         self.adj[v as usize].insert(pos_v, u);
         self.num_edges += 1;
         Ok(true)
+    }
+
+    /// Remove the undirected edge `{u, v}`.  Returns `Ok(true)` if the edge was
+    /// removed, `Ok(false)` if it did not exist.  The inverse of
+    /// [`LabeledGraph::add_edge`], with the same validation.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        let n = self.num_vertices() as VertexId;
+        if u >= n {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if v >= n {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+            return Ok(false);
+        };
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize].binary_search(&u).expect("adjacency is symmetric");
+        self.adj[v as usize].remove(pos_v);
+        self.num_edges -= 1;
+        Ok(true)
+    }
+
+    /// Remove vertex `v` and all its incident edges, keeping identifiers dense by
+    /// moving the last vertex into the freed slot (swap-remove).  The returned
+    /// [`VertexRemoval`] lists the former neighbours (pre-removal ids) and, when a
+    /// move happened, the old id of the vertex that now answers to `v`.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<VertexRemoval, GraphError> {
+        let n = self.num_vertices() as VertexId;
+        if v >= n {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        // Detach v from its neighbours first, so the moved vertex's adjacency can
+        // never still reference it.
+        let neighbors = std::mem::take(&mut self.adj[v as usize]);
+        for &w in &neighbors {
+            let pos = self.adj[w as usize].binary_search(&v).expect("adjacency is symmetric");
+            self.adj[w as usize].remove(pos);
+        }
+        self.num_edges -= neighbors.len();
+        let last = n - 1;
+        self.labels.swap_remove(v as usize);
+        self.adj.swap_remove(v as usize);
+        let moved = if v == last {
+            None
+        } else {
+            // The vertex formerly known as `last` now lives in slot `v`: rewrite its
+            // id in every neighbour's (sorted) adjacency list.
+            let moved_neighbors = std::mem::take(&mut self.adj[v as usize]);
+            for &w in &moved_neighbors {
+                let list = &mut self.adj[w as usize];
+                let pos = list.binary_search(&last).expect("adjacency is symmetric");
+                list.remove(pos);
+                let ins = list.partition_point(|&x| x < v);
+                list.insert(ins, v);
+            }
+            self.adj[v as usize] = moved_neighbors;
+            Some(last)
+        };
+        Ok(VertexRemoval { neighbors, moved })
+    }
+
+    /// Replace the label of vertex `v`, returning the previous label.
+    pub fn relabel(&mut self, v: VertexId, label: Label) -> Result<Label, GraphError> {
+        if v as usize >= self.num_vertices() {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        Ok(std::mem::replace(&mut self.labels[v as usize], label))
     }
 
     /// Label of vertex `v`.
@@ -397,6 +484,64 @@ mod tests {
         assert_eq!(s.num_edges(), 1);
         assert_eq!(s.num_vertices(), 3);
         assert!(g.subgraph_with_edges(&[0, 1], &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn remove_edge_is_the_inverse_of_add_edge() {
+        let mut g = triangle();
+        assert_eq!(g.remove_edge(1, 0), Ok(true));
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.remove_edge(0, 1), Ok(false), "already gone");
+        assert_eq!(g.remove_edge(0, 9), Err(GraphError::UnknownVertex(9)));
+        assert_eq!(g.remove_edge(2, 2), Err(GraphError::SelfLoop(2)));
+        assert_eq!(g.add_edge(0, 1), Ok(true));
+        assert_eq!(g, triangle());
+    }
+
+    #[test]
+    fn remove_last_vertex_needs_no_move() {
+        let mut g = LabeledGraph::from_edges(&[5, 6, 7], &[(0, 1), (1, 2)]);
+        let removal = g.remove_vertex(2).unwrap();
+        assert_eq!(removal.neighbors, vec![1]);
+        assert_eq!(removal.moved, None);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_vertex_swaps_last_into_slot() {
+        // Path 0-1-2-3 with distinct labels; removing 1 moves 3 into slot 1.
+        let mut g = LabeledGraph::from_edges(&[5, 6, 7, 8], &[(0, 1), (1, 2), (2, 3)]);
+        let removal = g.remove_vertex(1).unwrap();
+        assert_eq!(removal.neighbors, vec![0, 2]);
+        assert_eq!(removal.moved, Some(3));
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.label(1), Label(8), "old vertex 3 now lives at id 1");
+        assert!(g.has_edge(1, 2), "edge (2,3) became (2,1)");
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.degree(0), 0);
+        // Adjacency lists stay sorted after the id rewrite.
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted neighbours of {v}");
+        }
+        assert_eq!(g.remove_vertex(7), Err(GraphError::UnknownVertex(7)));
+    }
+
+    #[test]
+    fn remove_isolated_and_relabel() {
+        let mut g = LabeledGraph::from_edges(&[1, 2, 3], &[(0, 2)]);
+        assert_eq!(g.relabel(1, Label(9)), Ok(Label(2)));
+        assert_eq!(g.label(1), Label(9));
+        assert_eq!(g.relabel(5, Label(0)), Err(GraphError::UnknownVertex(5)));
+        let removal = g.remove_vertex(1).unwrap();
+        assert!(removal.neighbors.is_empty());
+        assert_eq!(removal.moved, Some(2));
+        assert!(g.has_edge(0, 1), "edge (0,2) became (0,1)");
+        assert_eq!(g.label(1), Label(3));
     }
 
     #[test]

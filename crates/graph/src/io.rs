@@ -12,6 +12,15 @@
 //! label is accepted and ignored (this project models vertex-labeled graphs only,
 //! exactly like the paper).
 
+//! ## Update files (`.gu`)
+//!
+//! The dynamic-graph subsystem reads batches of [`GraphUpdate`]s from a sibling
+//! plain-text format: one update per line (`av`/`rv`/`ae`/`re`/`rl` records, see
+//! [`GraphUpdate`]), with `t <batch-id>` lines separating batches — each batch
+//! becomes one epoch when applied.  Comments and blank lines are skipped exactly
+//! like in `.lg` files.
+
+use crate::update::GraphUpdate;
 use crate::{GraphError, Label, LabeledGraph, VertexId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -101,6 +110,72 @@ pub fn load_lg(path: &Path) -> Result<LabeledGraph, GraphError> {
     read_lg(file)
 }
 
+/// Parse batches of graph updates from a reader (the `.gu` format, see the
+/// [module docs](self)).  Lines before the first `t` separator form the first
+/// batch; empty batches are dropped.
+pub fn read_updates<R: Read>(r: R) -> Result<Vec<Vec<GraphUpdate>>, GraphError> {
+    let reader = BufReader::new(r);
+    let mut batches: Vec<Vec<GraphUpdate>> = Vec::new();
+    let mut current: Vec<GraphUpdate> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Io(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Only a bare `t` / `t <id>` record separates batches; anything else
+        // starting with 't' must be a typo and falls through to the update
+        // parser's error (unlike `.lg`, where stray `t…` headers are inert,
+        // a swallowed separator here would silently re-shape the epochs).
+        if line == "t" || line.starts_with("t ") {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let update = line.parse::<GraphUpdate>().map_err(|e| match e {
+            GraphError::Parse { message, .. } => GraphError::Parse { line: line_no, message },
+            other => other,
+        })?;
+        current.push(update);
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+/// Parse update batches from a string.
+pub fn updates_from_string(s: &str) -> Result<Vec<Vec<GraphUpdate>>, GraphError> {
+    read_updates(s.as_bytes())
+}
+
+/// Load update batches from the `.gu` file at `path`.
+pub fn load_updates(path: &Path) -> Result<Vec<Vec<GraphUpdate>>, GraphError> {
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io(e.to_string()))?;
+    read_updates(file)
+}
+
+/// Serialise update batches in the `.gu` format (one `t <k>` line per batch).
+pub fn write_updates<W: Write>(batches: &[Vec<GraphUpdate>], mut w: W) -> Result<(), GraphError> {
+    let io_err = |e: std::io::Error| GraphError::Io(e.to_string());
+    for (k, batch) in batches.iter().enumerate() {
+        writeln!(w, "t {k}").map_err(io_err)?;
+        for update in batch {
+            writeln!(w, "{update}").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialise update batches to a `.gu` string.
+pub fn updates_to_string(batches: &[Vec<GraphUpdate>]) -> String {
+    let mut buf = Vec::new();
+    write_updates(batches, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("gu output is ASCII")
+}
+
 fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
     line: usize,
@@ -179,5 +254,45 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load_lg(Path::new("/nonexistent/ffsm.lg")).unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
+        let err = load_updates(Path::new("/nonexistent/ffsm.gu")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn update_batches_round_trip() {
+        let batches = vec![
+            vec![GraphUpdate::AddVertex(Label(3)), GraphUpdate::AddEdge(0, 4)],
+            vec![GraphUpdate::RemoveEdge(1, 2), GraphUpdate::Relabel(0, Label(7))],
+            vec![GraphUpdate::RemoveVertex(5)],
+        ];
+        let text = updates_to_string(&batches);
+        assert_eq!(updates_from_string(&text).unwrap(), batches);
+    }
+
+    #[test]
+    fn update_reader_skips_comments_and_drops_empty_batches() {
+        let text = "# prologue\n\nt 0\nav 2\n\nt 1\nt 2\n# nothing here\nae 0 1\n";
+        let batches = updates_from_string(text).unwrap();
+        assert_eq!(
+            batches,
+            vec![vec![GraphUpdate::AddVertex(Label(2))], vec![GraphUpdate::AddEdge(0, 1)]]
+        );
+        // Updates before any `t` line form the first batch.
+        let headless = updates_from_string("av 1\nt 1\nav 2\n").unwrap();
+        assert_eq!(headless.len(), 2);
+    }
+
+    #[test]
+    fn bad_update_lines_report_line_numbers() {
+        let err = updates_from_string("av 1\nxx 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err:?}");
+        let err = updates_from_string("ae 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err:?}");
+        // A typo that merely *starts* with 't' is an error, not a separator.
+        let err = updates_from_string("av 1\ntl 3 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err:?}");
+        // A bare `t` (no id) is still a valid separator.
+        let batches = updates_from_string("av 1\nt\nav 2\n").unwrap();
+        assert_eq!(batches.len(), 2);
     }
 }

@@ -16,7 +16,9 @@
 //! * [`generators`] / [`datasets`] — synthetic data-graph generators standing in for
 //!   the paper's real datasets (see DESIGN.md §5).
 //! * [`figures`] — the exact example graphs of the paper's Figures 1–10.
-//! * [`io`] — a plain-text `.lg` graph format reader/writer.
+//! * [`io`] — plain-text readers/writers for `.lg` graphs and `.gu` update batches.
+//! * [`update`] — typed [`GraphUpdate`]s, batch application and the [`GraphDelta`]
+//!   dirty-region bookkeeping behind the dynamic-graph subsystem.
 //!
 //! ```
 //! use ffsm_graph::{patterns, Label, LabeledGraph};
@@ -46,10 +48,12 @@ pub mod patterns;
 pub mod refinement;
 pub mod statistics;
 pub mod transform;
+pub mod update;
 
 pub use cancel::CancelToken;
-pub use graph::{GraphError, LabeledGraph};
+pub use graph::{GraphError, LabeledGraph, VertexRemoval};
 pub use statistics::{DegreeSummary, GraphStatistics};
+pub use update::{apply_batch, GraphDelta, GraphUpdate, UpdateError};
 
 /// Identifier of a vertex inside a [`LabeledGraph`] (dense, `0..num_vertices`).
 pub type VertexId = u32;

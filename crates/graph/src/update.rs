@@ -1,0 +1,465 @@
+//! Typed graph updates and the delta they induce.
+//!
+//! The dynamic-graph subsystem (`ffsm-dynamic`) evolves a data graph through
+//! batches of [`GraphUpdate`]s.  [`apply_batch`] validates and applies one batch
+//! to a [`LabeledGraph`] and returns a [`GraphDelta`] describing the **dirty
+//! region** — exactly the bookkeeping the incremental layers need:
+//!
+//! * `ffsm-match`'s `GraphIndex::apply_delta` repairs the per-vertex index slots
+//!   in [`GraphDelta::dirty_new`] and rebuilds only the label buckets in
+//!   [`GraphDelta::affected_labels`];
+//! * the delta-aware miner re-evaluates only patterns whose occurrences touch
+//!   [`GraphDelta::dirty_old`] (cached results, pre-batch id space) or
+//!   [`GraphDelta::dirty_new`] (the new graph, post-batch id space).
+//!
+//! ## Two id spaces
+//!
+//! [`LabeledGraph::remove_vertex`] keeps identifiers dense by swap-removal, so a
+//! batch containing removals *renames* the moved vertices.  The delta therefore
+//! tracks dirtiness in both spaces: `dirty_old` holds pre-batch ids (for
+//! interpreting state cached before the batch), `dirty_new` holds post-batch ids
+//! (for querying the updated graph).  A moved vertex is dirty in both — anything
+//! cached under its old name must be re-derived.
+//!
+//! ## Dirtiness invariants
+//!
+//! After `apply_batch`, the following hold (the foundation of every incremental
+//! correctness argument downstream):
+//!
+//! * every occurrence (subgraph isomorphism image) present in the old graph but
+//!   not the new one touches a vertex in `dirty_old`;
+//! * every occurrence present in the new graph but not the old one touches a
+//!   vertex in `dirty_new`;
+//! * every vertex whose degree, label or neighbour-label set changed — and every
+//!   vertex whose id changed — is in `dirty_new`, and its label (old and new) is
+//!   in `affected_labels`.
+//!
+//! Updates are validated strictly against vertex ranges (and self loops);
+//! *redundant* edge updates (adding an existing edge, removing a missing one) and
+//! identity relabels are accepted as no-ops and do not dirty anything, which is
+//! what replayable update streams want.  A failed update aborts the batch with a
+//! typed [`UpdateError`] naming the offending index; callers that need atomicity
+//! apply the batch to a scratch clone (as `ffsm-miner`'s
+//! `PreparedGraph::apply_updates` does).
+
+use crate::graph::GraphError;
+use crate::{Label, LabeledGraph, VertexId};
+use std::collections::BTreeSet;
+
+/// One typed update to a [`LabeledGraph`].
+///
+/// The text form (one update per line, parsed by [`FromStr`](std::str::FromStr)
+/// and emitted by [`Display`](std::fmt::Display)) mirrors the `.lg` record style:
+///
+/// ```text
+/// av <label>        # add a vertex (ids are assigned densely)
+/// rv <vertex>       # remove a vertex (swap-removal renames the last vertex)
+/// ae <u> <v>        # add the undirected edge {u, v}
+/// re <u> <v>        # remove the undirected edge {u, v}
+/// rl <vertex> <label>   # relabel a vertex
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Append a vertex with the given label (its id is the current vertex count).
+    AddVertex(Label),
+    /// Remove a vertex and its incident edges (swap-removal keeps ids dense).
+    RemoveVertex(VertexId),
+    /// Insert the undirected edge `{u, v}`.
+    AddEdge(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}`.
+    RemoveEdge(VertexId, VertexId),
+    /// Change the label of a vertex.
+    Relabel(VertexId, Label),
+}
+
+impl std::fmt::Display for GraphUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphUpdate::AddVertex(label) => write!(f, "av {}", label.0),
+            GraphUpdate::RemoveVertex(v) => write!(f, "rv {v}"),
+            GraphUpdate::AddEdge(u, v) => write!(f, "ae {u} {v}"),
+            GraphUpdate::RemoveEdge(u, v) => write!(f, "re {u} {v}"),
+            GraphUpdate::Relabel(v, label) => write!(f, "rl {v} {}", label.0),
+        }
+    }
+}
+
+impl std::str::FromStr for GraphUpdate {
+    type Err = GraphError;
+
+    /// Parse one update line.  Errors are [`GraphError::Parse`] with `line == 0`;
+    /// file readers (`io::read_updates`) rewrite the real line number.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_err = |message: String| GraphError::Parse { line: 0, message };
+        let mut parts = s.split_whitespace();
+        let kind = parts.next().ok_or_else(|| parse_err("empty update".into()))?;
+        let mut field = |what: &str| -> Result<u32, GraphError> {
+            let raw = parts
+                .next()
+                .ok_or_else(|| parse_err(format!("update {kind:?} is missing its {what}")))?;
+            raw.parse().map_err(|_| parse_err(format!("cannot parse {what} from {raw:?}")))
+        };
+        let update = match kind {
+            "av" => GraphUpdate::AddVertex(Label(field("label")?)),
+            "rv" => GraphUpdate::RemoveVertex(field("vertex id")?),
+            "ae" => GraphUpdate::AddEdge(field("edge source")?, field("edge target")?),
+            "re" => GraphUpdate::RemoveEdge(field("edge source")?, field("edge target")?),
+            "rl" => GraphUpdate::Relabel(field("vertex id")?, Label(field("label")?)),
+            other => {
+                return Err(parse_err(format!(
+                    "unknown update type {other:?} (expected av, rv, ae, re or rl)"
+                )))
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(parse_err(format!("trailing field {extra:?} after {update}")));
+        }
+        Ok(update)
+    }
+}
+
+/// A batch update that could not be applied: which update failed, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateError {
+    /// 0-based index of the offending update within its batch.
+    pub index: usize,
+    /// The update itself.
+    pub update: GraphUpdate,
+    /// The underlying graph error (unknown vertex, self loop, …).
+    pub source: GraphError,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update {} ({}): {}", self.index, self.update, self.source)
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The dirty region induced by one applied update batch.  See the
+/// [module docs](self) for the id-space convention and the invariants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Vertex count before the batch (the size of the old id space).
+    pub base_vertices: usize,
+    /// Edge count before the batch.  Together with `base_vertices` and the
+    /// added/removed counts this lets consumers cheaply validate that a delta
+    /// is paired with the graph epoch it actually describes.
+    pub base_edges: usize,
+    /// Dirty vertices in **pre-batch** ids, sorted ascending: vertices whose
+    /// incident structure, label or id changed, plus removed vertices.
+    pub dirty_old: Vec<VertexId>,
+    /// Dirty vertices in **post-batch** ids, sorted ascending: the same set
+    /// restricted to surviving vertices, plus added and moved ones.
+    pub dirty_new: Vec<VertexId>,
+    /// Labels whose vertex membership, bucket order or id content may have
+    /// changed, sorted ascending.  Empty for a pure no-op batch.  Note this is
+    /// about per-label *index structures*: a plain edge update lands its
+    /// endpoints' labels here (their degree-bucket order changes) without
+    /// changing any label statistic — see [`GraphDelta::labels_changed`].
+    pub affected_labels: Vec<Label>,
+    /// `true` when the graph's **labelling** changed — a vertex was added,
+    /// removed or relabelled — i.e. when label histograms / alphabets computed
+    /// from the old graph are stale.  Pure edge batches leave this `false`, so
+    /// label statistics can be carried over wholesale.
+    pub labels_changed: bool,
+    /// Vertices appended by the batch.
+    pub vertices_added: usize,
+    /// Vertices removed by the batch.
+    pub vertices_removed: usize,
+    /// Edges inserted (no-op duplicates excluded).
+    pub edges_added: usize,
+    /// Edges deleted, including those removed implicitly by vertex removal.
+    pub edges_removed: usize,
+    /// Vertices whose label actually changed.
+    pub relabelled: usize,
+}
+
+impl GraphDelta {
+    /// `true` when the batch changed nothing (every update was a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.dirty_old.is_empty() && self.dirty_new.is_empty()
+    }
+
+    /// Compact human-readable summary, e.g. `+2e -1e +1v -0v ~1l`.
+    pub fn summary(&self) -> String {
+        format!(
+            "+{}e -{}e +{}v -{}v ~{}l ({} dirty)",
+            self.edges_added,
+            self.edges_removed,
+            self.vertices_added,
+            self.vertices_removed,
+            self.relabelled,
+            self.dirty_new.len()
+        )
+    }
+}
+
+/// Tracks dirtiness across the two id spaces while a batch is applied.
+struct DeltaBuilder {
+    /// For each *current* id, the pre-batch id (`None` for vertices added by the
+    /// batch).  Swap-removals re-key this alongside the graph.
+    orig: Vec<Option<VertexId>>,
+    dirty_old: BTreeSet<VertexId>,
+    dirty_new: BTreeSet<VertexId>,
+    affected_labels: BTreeSet<Label>,
+    delta: GraphDelta,
+}
+
+impl DeltaBuilder {
+    fn new(graph: &LabeledGraph) -> Self {
+        DeltaBuilder {
+            orig: (0..graph.num_vertices() as VertexId).map(Some).collect(),
+            dirty_old: BTreeSet::new(),
+            dirty_new: BTreeSet::new(),
+            affected_labels: BTreeSet::new(),
+            delta: GraphDelta {
+                base_vertices: graph.num_vertices(),
+                base_edges: graph.num_edges(),
+                ..GraphDelta::default()
+            },
+        }
+    }
+
+    /// Mark a currently-present vertex dirty: in both id spaces, with its current
+    /// label's bucket flagged for rebuild.
+    fn mark(&mut self, graph: &LabeledGraph, v: VertexId) {
+        self.dirty_new.insert(v);
+        if let Some(o) = self.orig[v as usize] {
+            self.dirty_old.insert(o);
+        }
+        self.affected_labels.insert(graph.label(v));
+    }
+
+    fn finish(mut self) -> GraphDelta {
+        self.delta.dirty_old = self.dirty_old.into_iter().collect();
+        self.delta.dirty_new = self.dirty_new.into_iter().collect();
+        self.delta.affected_labels = self.affected_labels.into_iter().collect();
+        self.delta
+    }
+}
+
+/// Validate and apply one update batch to `graph`, returning the induced
+/// [`GraphDelta`].  On error the graph is left in the partially-updated state of
+/// the failing index — apply to a scratch clone for atomic semantics.
+pub fn apply_batch(
+    graph: &mut LabeledGraph,
+    updates: &[GraphUpdate],
+) -> Result<GraphDelta, UpdateError> {
+    let mut b = DeltaBuilder::new(graph);
+    for (index, update) in updates.iter().enumerate() {
+        let fail = |source: GraphError| UpdateError { index, update: *update, source };
+        match *update {
+            GraphUpdate::AddVertex(label) => {
+                let id = graph.add_vertex(label);
+                b.orig.push(None);
+                b.mark(graph, id);
+                b.delta.vertices_added += 1;
+                b.delta.labels_changed = true;
+            }
+            GraphUpdate::AddEdge(u, v) => {
+                if graph.add_edge(u, v).map_err(fail)? {
+                    b.mark(graph, u);
+                    b.mark(graph, v);
+                    b.delta.edges_added += 1;
+                }
+            }
+            GraphUpdate::RemoveEdge(u, v) => {
+                if graph.remove_edge(u, v).map_err(fail)? {
+                    b.mark(graph, u);
+                    b.mark(graph, v);
+                    b.delta.edges_removed += 1;
+                }
+            }
+            GraphUpdate::Relabel(v, label) => {
+                let old = graph.relabel(v, label).map_err(fail)?;
+                if old != label {
+                    // The vertex moves between label buckets, and every
+                    // neighbour's neighbour-label view changes.
+                    b.mark(graph, v);
+                    b.affected_labels.insert(old);
+                    for &w in graph.neighbors(v) {
+                        b.mark(graph, w);
+                    }
+                    b.delta.relabelled += 1;
+                    b.delta.labels_changed = true;
+                }
+            }
+            GraphUpdate::RemoveVertex(v) => {
+                if v as usize >= graph.num_vertices() {
+                    return Err(fail(GraphError::UnknownVertex(v)));
+                }
+                // The vertex is dirty only in the old space (it has no new id);
+                // its label bucket loses an entry either way.
+                if let Some(o) = b.orig[v as usize] {
+                    b.dirty_old.insert(o);
+                }
+                b.dirty_new.remove(&v);
+                b.affected_labels.insert(graph.label(v));
+                let removal = graph.remove_vertex(v).expect("bounds checked above");
+                b.delta.vertices_removed += 1;
+                b.delta.labels_changed = true;
+                b.delta.edges_removed += removal.neighbors.len();
+                if let Some(last) = removal.moved {
+                    // Re-key: the vertex formerly at `last` now answers to `v`.
+                    // Its id changed, so it is dirty in both spaces.
+                    b.dirty_new.remove(&last);
+                    b.orig[v as usize] = b.orig[last as usize];
+                    b.orig.pop();
+                    b.mark(graph, v);
+                } else {
+                    b.orig.pop();
+                }
+                // Former neighbours lost an edge (degree and fingerprint change);
+                // translate the moved id if it was among them.
+                for &w in &removal.neighbors {
+                    let w_now = if removal.moved == Some(w) { v } else { w };
+                    b.mark(graph, w_now);
+                }
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> LabeledGraph {
+        LabeledGraph::from_edges(&[5, 6, 7, 8], &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let updates = [
+            GraphUpdate::AddVertex(Label(9)),
+            GraphUpdate::RemoveVertex(3),
+            GraphUpdate::AddEdge(0, 2),
+            GraphUpdate::RemoveEdge(1, 2),
+            GraphUpdate::Relabel(2, Label(4)),
+        ];
+        for u in updates {
+            let text = u.to_string();
+            assert_eq!(text.parse::<GraphUpdate>().unwrap(), u, "round trip of {text:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_updates_are_parse_errors() {
+        for bad in ["", "xx 1", "av", "av x", "ae 1", "ae 1 2 3", "rl 1", "rv 1 2"] {
+            assert!(
+                matches!(bad.parse::<GraphUpdate>(), Err(GraphError::Parse { .. })),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_updates_mark_endpoints_only() {
+        let mut g = path4();
+        let delta = apply_batch(&mut g, &[GraphUpdate::AddEdge(0, 3)]).unwrap();
+        assert_eq!(delta.dirty_new, vec![0, 3]);
+        assert_eq!(delta.dirty_old, vec![0, 3]);
+        assert_eq!(delta.affected_labels, vec![Label(5), Label(8)]);
+        assert_eq!((delta.edges_added, delta.edges_removed), (1, 0));
+        assert!(!delta.labels_changed, "edge updates leave the labelling intact");
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn redundant_updates_are_clean_no_ops() {
+        let mut g = path4();
+        let before = g.clone();
+        let delta = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::AddEdge(0, 1),        // already present
+                GraphUpdate::RemoveEdge(0, 3),     // not present
+                GraphUpdate::Relabel(2, Label(7)), // identity
+            ],
+        )
+        .unwrap();
+        assert!(delta.is_empty(), "no-ops must not dirty anything: {delta:?}");
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn relabel_marks_vertex_and_neighbors() {
+        let mut g = path4();
+        let delta = apply_batch(&mut g, &[GraphUpdate::Relabel(1, Label(9))]).unwrap();
+        assert_eq!(delta.dirty_new, vec![0, 1, 2]);
+        assert_eq!(delta.relabelled, 1);
+        assert!(delta.labels_changed);
+        // Old and new label buckets plus the neighbours' buckets.
+        assert_eq!(delta.affected_labels, vec![Label(5), Label(6), Label(7), Label(9)]);
+        assert_eq!(g.label(1), Label(9));
+    }
+
+    #[test]
+    fn vertex_removal_tracks_both_id_spaces() {
+        let mut g = path4();
+        // Removing vertex 1 swaps vertex 3 into slot 1.
+        let delta = apply_batch(&mut g, &[GraphUpdate::RemoveVertex(1)]).unwrap();
+        // Old space: 1 (removed), 0 and 2 (lost an edge), 3 (renamed).
+        assert_eq!(delta.dirty_old, vec![0, 1, 2, 3]);
+        // New space: 0 and 2 (lost an edge), 1 (the moved vertex).
+        assert_eq!(delta.dirty_new, vec![0, 1, 2]);
+        assert_eq!(delta.vertices_removed, 1);
+        assert_eq!(delta.edges_removed, 2);
+        assert!(delta.affected_labels.contains(&Label(6)), "removed vertex's label");
+        assert!(delta.affected_labels.contains(&Label(8)), "moved vertex's label");
+    }
+
+    #[test]
+    fn add_then_remove_vertex_in_one_batch() {
+        let mut g = path4();
+        let delta = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::AddVertex(Label(1)), // id 4
+                GraphUpdate::AddEdge(4, 0),
+                GraphUpdate::RemoveVertex(4), // removes the vertex it just added
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g, path4());
+        // Vertex 0 gained and lost an edge; the scratch vertex never existed in
+        // the old space.
+        assert_eq!(delta.dirty_old, vec![0]);
+        assert_eq!(delta.dirty_new, vec![0]);
+        assert_eq!((delta.vertices_added, delta.vertices_removed), (1, 1));
+        assert_eq!((delta.edges_added, delta.edges_removed), (1, 1));
+    }
+
+    #[test]
+    fn failing_update_reports_its_index() {
+        let mut g = path4();
+        let err = apply_batch(&mut g, &[GraphUpdate::AddEdge(0, 2), GraphUpdate::RemoveVertex(9)])
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.update, GraphUpdate::RemoveVertex(9));
+        assert_eq!(err.source, GraphError::UnknownVertex(9));
+        assert!(err.to_string().contains("update 1"));
+    }
+
+    #[test]
+    fn self_loop_update_is_rejected() {
+        let mut g = path4();
+        let err = apply_batch(&mut g, &[GraphUpdate::AddEdge(2, 2)]).unwrap_err();
+        assert_eq!(err.source, GraphError::SelfLoop(2));
+    }
+
+    #[test]
+    fn delta_summary_mentions_counts() {
+        let mut g = path4();
+        let delta = apply_batch(&mut g, &[GraphUpdate::AddEdge(0, 2)]).unwrap();
+        assert!(delta.summary().contains("+1e"));
+    }
+}

@@ -11,8 +11,19 @@
 //!   bit per distinct neighbour label.  A pattern vertex can only map onto a data
 //!   vertex whose fingerprint is a superset of the pattern vertex's — hash
 //!   collisions only ever make the filter *more* permissive, never unsound.
+//!
+//! ## Incremental maintenance
+//!
+//! Under the dynamic-graph subsystem the data graph evolves in epochs;
+//! [`GraphIndex::apply_delta`] repairs an index in place from the
+//! [`GraphDelta`](ffsm_graph::GraphDelta) of one applied update batch instead of
+//! rebuilding it: only the per-vertex slots in `dirty_new` are recomputed and only
+//! the label buckets in `affected_labels` are rebuilt and re-sorted.  The full
+//! [`GraphIndex::build`] stays the **differential oracle** — a patched index must
+//! equal the from-scratch rebuild exactly (`PartialEq`), and the
+//! `dynamic_differential` proptest harness asserts it on random update batches.
 
-use ffsm_graph::{Label, LabeledGraph, VertexId};
+use ffsm_graph::{GraphDelta, Label, LabeledGraph, VertexId};
 use std::collections::HashMap;
 
 /// Per-data-graph index consulted by the candidate-space builder.
@@ -20,7 +31,7 @@ use std::collections::HashMap;
 /// The index holds no reference to the graph it was built from; callers pair them
 /// (the two are only meaningful together, and keeping the index free of lifetimes
 /// lets a mining session share one `Arc<GraphIndex>` across worker threads).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphIndex {
     /// label → vertices with that label, ascending by vertex id.
     label_index: HashMap<Label, Vec<VertexId>>,
@@ -103,6 +114,51 @@ impl GraphIndex {
     pub fn degree(&self, v: VertexId) -> usize {
         self.degrees[v as usize] as usize
     }
+
+    /// Repair this index in place after `graph` absorbed the update batch that
+    /// produced `delta` (see the [module docs](self)).  `graph` must be the
+    /// **post-batch** graph the index was tracking; the patched index equals
+    /// `GraphIndex::build(graph)` exactly.
+    ///
+    /// Cost: `O(|dirty| · deg)` per-vertex repairs plus one `O(V)` label scan and
+    /// bucket re-sort per affected label — independent of the total edge count,
+    /// which is what a cold rebuild pays.
+    pub fn apply_delta(&mut self, graph: &LabeledGraph, delta: &GraphDelta) {
+        let n = graph.num_vertices();
+        debug_assert_eq!(
+            self.fingerprints.len(),
+            delta.base_vertices,
+            "apply_delta: index was not built from the delta's pre-batch graph"
+        );
+        debug_assert_eq!(
+            n,
+            delta.base_vertices + delta.vertices_added - delta.vertices_removed,
+            "apply_delta: graph is not the delta's post-batch graph"
+        );
+        // Swap-removal means only dirty slots (and truncated tail slots) changed:
+        // resize, then recompute exactly the dirty per-vertex entries.
+        self.fingerprints.resize(n, 0);
+        self.degrees.resize(n, 0);
+        for &v in &delta.dirty_new {
+            self.fingerprints[v as usize] = Self::neighbor_fingerprint(graph, v);
+            self.degrees[v as usize] = graph.degree(v) as u32;
+        }
+        // A label's lists change only when a member's membership, id or degree
+        // changed — all such vertices are dirty and their labels are in
+        // `affected_labels`; untouched labels keep their vectors untouched.
+        for &label in &delta.affected_labels {
+            let vertices = graph.vertices_with_label(label);
+            if vertices.is_empty() {
+                self.label_index.remove(&label);
+                self.degree_buckets.remove(&label);
+                continue;
+            }
+            let mut bucket = vertices.clone();
+            bucket.sort_by_key(|&v| (self.degrees[v as usize], v));
+            self.label_index.insert(label, vertices);
+            self.degree_buckets.insert(label, bucket);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +214,39 @@ mod tests {
         let need = GraphIndex::label_bit(Label(0));
         assert_eq!(need & !ix.fingerprint(1), 0);
         assert_ne!(need & !ix.fingerprint(0), 0);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_on_each_update_kind() {
+        use ffsm_graph::{apply_batch, GraphUpdate};
+        let batches: Vec<Vec<GraphUpdate>> = vec![
+            vec![GraphUpdate::AddEdge(2, 3)],
+            vec![GraphUpdate::RemoveEdge(0, 1)],
+            vec![GraphUpdate::AddVertex(Label(3)), GraphUpdate::AddEdge(7, 0)],
+            vec![GraphUpdate::Relabel(6, Label(2))],
+            vec![GraphUpdate::RemoveVertex(0)], // removes the hub, moves the last vertex
+            vec![GraphUpdate::RemoveVertex(2), GraphUpdate::AddEdge(0, 1)],
+        ];
+        let mut graph = sample();
+        let mut index = GraphIndex::build(&graph);
+        for batch in batches {
+            let delta = apply_batch(&mut graph, &batch).expect("valid batch");
+            index.apply_delta(&graph, &delta);
+            assert_eq!(index, GraphIndex::build(&graph), "after {batch:?}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_drops_emptied_labels() {
+        use ffsm_graph::{apply_batch, GraphUpdate};
+        let mut graph = sample();
+        let mut index = GraphIndex::build(&graph);
+        // Vertex 5 is the only label-2 vertex; relabelling it empties the bucket.
+        let delta = apply_batch(&mut graph, &[GraphUpdate::Relabel(5, Label(1))]).unwrap();
+        index.apply_delta(&graph, &delta);
+        assert!(index.vertices_with_label(Label(2)).is_empty());
+        assert!(index.vertices_with_min_degree(Label(2), 0).is_empty());
+        assert_eq!(index, GraphIndex::build(&graph));
     }
 
     #[test]

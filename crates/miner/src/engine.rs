@@ -20,13 +20,15 @@
 //! Support is computed through an `Arc<dyn SupportMeasure>`, so built-in and
 //! user-defined measures take exactly the same path.
 
-use crate::extension::{dedupe_by_canonical_code, extensions, seed_patterns};
+use crate::delta::{occurrences_touch, sorted_intersects, CacheMode, CachedEval, EvalCache};
+use crate::extension::{dedupe_with_codes, extensions, seed_patterns};
 use crate::prepared::PreparedGraph;
 use crate::stream::{LevelSummary, MiningEvent, RunSummary};
 use crate::types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
 use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SupportMeasure};
+use ffsm_graph::canonical::CanonicalCode;
 use ffsm_graph::isomorphism::IsoConfig;
-use ffsm_graph::Pattern;
+use ffsm_graph::{Pattern, VertexId};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,21 +60,70 @@ pub(crate) struct EngineConfig {
     pub deadline: Option<Instant>,
 }
 
+/// One evaluated (or cache-reused) candidate.
+#[derive(Debug, Clone)]
+struct EvalOutcome {
+    support: f64,
+    num_occurrences: usize,
+    /// Sorted distinct image vertices — only populated when a cache is recorded
+    /// (shared, so reuse across epochs never copies the list).
+    touched: Arc<[VertexId]>,
+    /// `false` when the enumeration hit its embedding budget.
+    complete: bool,
+    /// `true` when the value came out of the prior epoch's cache.
+    reused: bool,
+}
+
+impl Default for EvalOutcome {
+    fn default() -> Self {
+        EvalOutcome {
+            support: 0.0,
+            num_occurrences: 0,
+            touched: Arc::from(Vec::new()),
+            complete: false,
+            reused: false,
+        }
+    }
+}
+
 /// Evaluate the support of every candidate, in order, on `threads` workers.
 ///
 /// Candidates are split round-robin and merged back in candidate order, so the result
 /// does not depend on the thread count.  `index` is the prepared graph's shared
 /// matching index (`None` under the naive enumerator backend), consulted read-only by
 /// every worker so no candidate evaluation rebuilds it.
+///
+/// Under [`CacheMode::Delta`] a candidate whose occurrences provably avoid the
+/// dirty region (see the `delta` module docs for the argument) is answered from
+/// the prior epoch's cache without enumerating anything; the decision is
+/// per-candidate and deterministic, so the thread partition still never changes
+/// the result.
 fn evaluate_level(
     prepared: &PreparedGraph,
     index: Option<&GraphIndex>,
-    candidates: &[Pattern],
+    candidates: &[(Pattern, CanonicalCode)],
     measure: &Arc<dyn SupportMeasure>,
     config: &EngineConfig,
-) -> Vec<(f64, usize)> {
+    mode: &CacheMode,
+) -> Vec<EvalOutcome> {
     let graph = prepared.graph();
-    let evaluate = |pattern: &Pattern| -> (f64, usize) {
+    let evaluate = |(pattern, code): &(Pattern, CanonicalCode)| -> EvalOutcome {
+        if let CacheMode::Delta(ctx) = mode {
+            if let Some(cached) = ctx.prior.get(code) {
+                if cached.complete
+                    && !sorted_intersects(&cached.touched, &ctx.dirty_old)
+                    && !occurrences_touch(pattern, graph, &config.iso_config, &ctx.dirty_new)
+                {
+                    return EvalOutcome {
+                        support: cached.support,
+                        num_occurrences: cached.num_occurrences,
+                        touched: cached.touched.clone(),
+                        complete: true,
+                        reused: true,
+                    };
+                }
+            }
+        }
         let occ = match index {
             Some(index) => OccurrenceSet::enumerate_with_index(
                 pattern,
@@ -82,14 +133,26 @@ fn evaluate_level(
             ),
             None => OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone()),
         };
-        let num_occurrences = occ.num_occurrences();
-        (measure.support(&occ), num_occurrences)
+        let touched: Arc<[VertexId]> = if mode.caching() {
+            let mut t: Vec<VertexId> = (0..occ.num_images()).map(|i| occ.image_vertex(i)).collect();
+            t.sort_unstable();
+            Arc::from(t)
+        } else {
+            Arc::from(Vec::new())
+        };
+        EvalOutcome {
+            support: measure.support(&occ),
+            num_occurrences: occ.num_occurrences(),
+            touched,
+            complete: occ.is_complete(),
+            reused: false,
+        }
     };
     let workers = config.threads.min(candidates.len());
     if workers <= 1 {
         return candidates.iter().map(evaluate).collect();
     }
-    let mut results = vec![(0.0, 0usize); candidates.len()];
+    let mut results = vec![EvalOutcome::default(); candidates.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -100,7 +163,7 @@ fn evaluate_level(
                     .enumerate()
                     .filter(|(i, _)| i % workers == w)
                     .map(|(i, p)| (i, evaluate(p)))
-                    .collect::<Vec<(usize, (f64, usize))>>()
+                    .collect::<Vec<(usize, EvalOutcome)>>()
             }));
         }
         for handle in handles {
@@ -144,11 +207,11 @@ pub(crate) struct EngineState {
     config: EngineConfig,
     /// The prepared graph's shared index (`None` under the naive backend).
     index: Option<Arc<GraphIndex>>,
-    seen: HashSet<ffsm_graph::canonical::CanonicalCode>,
+    seen: HashSet<CanonicalCode>,
     frequent: Vec<FrequentPattern>,
     threshold: f64,
     floor: f64,
-    level: Vec<Pattern>,
+    level: Vec<(Pattern, CanonicalCode)>,
     stats: MiningStats,
     start: Instant,
     /// Set exactly once, when the run stops.
@@ -158,6 +221,11 @@ pub(crate) struct EngineState {
     /// batch run pays no clone-per-pattern event tax.  The final `Finished` event
     /// is always pushed — the stream machinery keys off it.
     quiet: bool,
+    /// Cache interaction: off for plain runs, recording for `run_recorded`,
+    /// recording + reuse for `run_delta`.
+    mode: CacheMode,
+    /// The cache recorded by this run (empty under [`CacheMode::Off`]).
+    cache_out: EvalCache,
 }
 
 impl EngineState {
@@ -169,6 +237,7 @@ impl EngineState {
         measure: Arc<dyn SupportMeasure>,
         config: EngineConfig,
         quiet: bool,
+        mode: CacheMode,
     ) -> Self {
         let index = match config.iso_config.backend {
             ffsm_core::EnumeratorBackend::CandidateSpace => Some(prepared.index()),
@@ -178,7 +247,7 @@ impl EngineState {
         let mut seen = HashSet::new();
         let seeds = seed_patterns(prepared.graph());
         stats.candidates_generated += seeds.len();
-        let level = dedupe_by_canonical_code(seeds, &mut seen);
+        let level = dedupe_with_codes(seeds, &mut seen);
         let threshold = config.min_support;
         EngineState {
             prepared,
@@ -194,6 +263,8 @@ impl EngineState {
             start: Instant::now(),
             completion: None,
             quiet,
+            mode,
+            cache_out: EvalCache::default(),
         }
     }
 
@@ -253,16 +324,17 @@ impl EngineState {
             return;
         }
 
-        let supports = evaluate_level(
+        let outcomes = evaluate_level(
             &self.prepared,
             self.index.as_deref(),
             &self.level,
             &self.measure,
             &self.config,
+            &self.mode,
         );
         // An interruption during the evaluation may have truncated enumerations
         // arbitrarily; discard the whole level so the emitted patterns stay a
-        // deterministic prefix of the full run.
+        // deterministic prefix of the full run (and never enter the cache).
         if let Some(interrupt) = self.interrupted() {
             self.finish(interrupt, out);
             return;
@@ -273,9 +345,16 @@ impl EngineState {
         // Apply the (possibly rising) threshold in candidate order.
         let mut accepted = 0usize;
         let mut survivors: Vec<Pattern> = Vec::new();
-        for (pattern, (support, num_occurrences)) in
-            std::mem::take(&mut self.level).into_iter().zip(supports)
+        for ((pattern, code), outcome) in std::mem::take(&mut self.level).into_iter().zip(outcomes)
         {
+            let EvalOutcome { support, num_occurrences, touched, complete, reused } = outcome;
+            if reused {
+                self.stats.evaluations_reused += 1;
+            }
+            if self.mode.caching() {
+                self.cache_out
+                    .insert(code, CachedEval { support, num_occurrences, touched, complete });
+            }
             match self.config.top_k {
                 None => {
                     if support >= self.threshold {
@@ -328,14 +407,14 @@ impl EngineState {
 
         // Next level: one-edge extensions of every surviving pattern.  Pruned
         // candidates are never extended — sound because the measure is anti-monotone.
-        let mut next: Vec<Pattern> = Vec::new();
+        let mut next: Vec<(Pattern, CanonicalCode)> = Vec::new();
         for pattern in &survivors {
             if pattern.num_edges() >= self.config.max_pattern_edges {
                 continue;
             }
             let candidates = extensions(pattern, self.prepared.alphabet());
             self.stats.candidates_generated += candidates.len();
-            next.extend(dedupe_by_canonical_code(candidates, &mut self.seen));
+            next.extend(dedupe_with_codes(candidates, &mut self.seen));
         }
         self.level = next;
     }
@@ -348,5 +427,14 @@ impl EngineState {
             self.stats.elapsed = self.start.elapsed();
         }
         MiningResult { patterns: self.frequent, final_threshold: self.threshold, stats: self.stats }
+    }
+
+    /// Like [`EngineState::into_result`], also handing back the [`EvalCache`]
+    /// this run recorded (empty under [`CacheMode::Off`]).  An interrupted run's
+    /// cache covers the completed levels only — feeding it forward is sound, the
+    /// next delta run simply re-evaluates the uncovered patterns.
+    pub(crate) fn into_result_and_cache(mut self) -> (MiningResult, EvalCache) {
+        let cache = std::mem::take(&mut self.cache_out);
+        (self.into_result(), cache)
     }
 }

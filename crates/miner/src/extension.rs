@@ -41,11 +41,21 @@ pub fn dedupe_by_canonical_code(
     candidates: Vec<Pattern>,
     seen: &mut std::collections::HashSet<CanonicalCode>,
 ) -> Vec<Pattern> {
+    dedupe_with_codes(candidates, seen).into_iter().map(|(pattern, _)| pattern).collect()
+}
+
+/// [`dedupe_by_canonical_code`], but keeping each survivor's canonical code —
+/// the mining engine threads the codes through to the per-pattern
+/// [`EvalCache`](crate::EvalCache) instead of canonicalising twice.
+pub fn dedupe_with_codes(
+    candidates: Vec<Pattern>,
+    seen: &mut std::collections::HashSet<CanonicalCode>,
+) -> Vec<(Pattern, CanonicalCode)> {
     let mut out = Vec::new();
     for candidate in candidates {
         let code = canonical_code(&candidate);
-        if seen.insert(code) {
-            out.push(candidate);
+        if seen.insert(code.clone()) {
+            out.push((candidate, code));
         }
     }
     out

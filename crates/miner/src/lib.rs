@@ -103,6 +103,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod engine;
 pub mod extension;
 pub mod postprocess;
@@ -111,6 +112,7 @@ mod session;
 mod stream;
 mod types;
 
+pub use delta::{CachedEval, EvalCache};
 pub use prepared::PreparedGraph;
 pub use session::{MeasureSelection, MiningBudget, MiningSession, SessionConfig};
 pub use stream::{LevelSummary, MiningEvent, PatternStream, RunSummary};

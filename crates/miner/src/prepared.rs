@@ -19,16 +19,23 @@
 //!   winner, they never duplicate the work).  [`PreparedGraph::index_build_count`]
 //!   exposes the build counter so tests can assert the exactly-once contract.
 //!
-//! ## Immutability
+//! ## Immutability and epochs
 //!
 //! The handle is immutable: nothing behind it ever changes after construction
 //! (lazy initialisation is write-once), so clones — which share the underlying
 //! storage, they are `Arc` handles — can be sent freely across threads and every
 //! session sees the same graph and the same index.  There is deliberately no
-//! mutable access; to mine a changed graph, prepare a new handle.
+//! mutable access; to mine a changed graph, derive a **new epoch handle** with
+//! [`PreparedGraph::apply_updates`]: the batch is applied to a private copy of
+//! the graph, the label statistics are `Arc`-shared with the parent when the
+//! batch touched no labels (the common pure-edge-delta case) and recomputed
+//! otherwise, and an already-built matching index is **patched incrementally**
+//! (`GraphIndex::apply_delta` over the dirty region) instead of rebuilt — the
+//! expensive from-scratch build is never repeated for a small delta.  The old
+//! handle stays fully valid; in-flight sessions keep mining the old epoch.
 
 use ffsm_core::{FfsmError, GraphIndex};
-use ffsm_graph::{io, Label, LabeledGraph};
+use ffsm_graph::{io, GraphDelta, GraphUpdate, Label, LabeledGraph};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -36,10 +43,11 @@ use std::sync::{Arc, OnceLock};
 #[derive(Debug)]
 struct PreparedInner {
     graph: LabeledGraph,
-    /// Distinct labels, ascending — the extension alphabet.
-    alphabet: Vec<Label>,
-    /// Per-label vertex counts, ascending by label.
-    label_counts: Vec<(Label, usize)>,
+    /// Distinct labels, ascending — the extension alphabet.  `Arc`-shared with
+    /// the parent epoch when an update batch left every label untouched.
+    alphabet: Arc<Vec<Label>>,
+    /// Per-label vertex counts, ascending by label (shared like `alphabet`).
+    label_counts: Arc<Vec<(Label, usize)>>,
     /// The matching index, built at most once (see module docs).
     index: OnceLock<Arc<GraphIndex>>,
     /// How many times the index has been built — 0 or 1 for the handle's lifetime.
@@ -63,12 +71,58 @@ impl PreparedGraph {
         PreparedGraph {
             inner: Arc::new(PreparedInner {
                 graph,
-                alphabet,
-                label_counts,
+                alphabet: Arc::new(alphabet),
+                label_counts: Arc::new(label_counts),
                 index: OnceLock::new(),
                 index_builds: AtomicUsize::new(0),
             }),
         }
+    }
+
+    /// Derive the next epoch: validate and apply one [`GraphUpdate`] batch,
+    /// returning the new immutable handle together with the [`GraphDelta`]
+    /// describing the dirty region.  `self` is untouched (atomic: a failing
+    /// update leaves no partial state behind).
+    ///
+    /// Untouched per-graph state is carried over instead of recomputed: label
+    /// statistics are `Arc`-shared when the batch affected no labels, and a
+    /// matching index this handle already built is patched incrementally over
+    /// the dirty region (`GraphIndex::apply_delta`) — the new handle then serves
+    /// [`PreparedGraph::index`] without ever running a from-scratch build
+    /// (its [`PreparedGraph::index_build_count`] stays 0).
+    pub fn apply_updates(
+        &self,
+        updates: &[GraphUpdate],
+    ) -> Result<(PreparedGraph, GraphDelta), FfsmError> {
+        let mut graph = self.inner.graph.clone();
+        let delta = ffsm_graph::apply_batch(&mut graph, updates).map_err(FfsmError::Update)?;
+        let (alphabet, label_counts) = if !delta.labels_changed {
+            // Pure-edge delta: the label statistics cannot have changed — share
+            // the parent epoch's allocations.  (`affected_labels` may still be
+            // non-empty: edge endpoints land there for the index's degree
+            // buckets, but that says nothing about the labelling itself.)
+            (self.inner.alphabet.clone(), self.inner.label_counts.clone())
+        } else {
+            let label_counts = graph.label_histogram();
+            let alphabet = label_counts.iter().map(|&(l, _)| l).collect();
+            (Arc::new(alphabet), Arc::new(label_counts))
+        };
+        let index = OnceLock::new();
+        if let Some(built) = self.inner.index.get() {
+            let mut patched = (**built).clone();
+            patched.apply_delta(&graph, &delta);
+            index.set(Arc::new(patched)).expect("fresh OnceLock is empty");
+        }
+        let prepared = PreparedGraph {
+            inner: Arc::new(PreparedInner {
+                graph,
+                alphabet,
+                label_counts,
+                index,
+                index_builds: AtomicUsize::new(0),
+            }),
+        };
+        Ok((prepared, delta))
     }
 
     /// Load a `.lg` graph file (the `ffsm_graph::io` format) and prepare it.
@@ -159,6 +213,71 @@ mod tests {
             }
         });
         assert_eq!(prepared.index_build_count(), 1);
+    }
+
+    #[test]
+    fn apply_updates_shares_label_stats_for_pure_edge_deltas() {
+        let graph = generators::gnm_random(30, 40, 3, 5);
+        let (u, v) = graph.edges().next().expect("graph has edges");
+        let prepared = PreparedGraph::new(graph);
+        // An *effective* edge removal: the delta is non-empty, yet the labelling
+        // is untouched, so the label statistics must be Arc-shared wholesale.
+        let (next, delta) =
+            prepared.apply_updates(&[ffsm_graph::GraphUpdate::RemoveEdge(u, v)]).unwrap();
+        assert!(!delta.is_empty(), "removal of an existing edge dirties its endpoints");
+        assert!(!delta.labels_changed);
+        assert!(
+            Arc::ptr_eq(&prepared.inner.alphabet, &next.inner.alphabet),
+            "edge-only deltas must share the alphabet allocation"
+        );
+        assert!(Arc::ptr_eq(&prepared.inner.label_counts, &next.inner.label_counts));
+        // Parent is untouched.
+        assert_eq!(prepared.graph().num_edges(), 40);
+        // A relabel, in contrast, recomputes the statistics.
+        let (relabelled, delta) = next
+            .apply_updates(&[ffsm_graph::GraphUpdate::Relabel(u, ffsm_graph::Label(9))])
+            .unwrap();
+        assert!(delta.labels_changed);
+        assert!(!Arc::ptr_eq(&next.inner.alphabet, &relabelled.inner.alphabet));
+        assert_eq!(relabelled.alphabet().last(), Some(&ffsm_graph::Label(9)));
+    }
+
+    #[test]
+    fn apply_updates_patches_a_built_index_without_rebuilding() {
+        let prepared = PreparedGraph::new(generators::gnm_random(40, 80, 4, 6));
+        let _ = prepared.index();
+        let updates = [
+            ffsm_graph::GraphUpdate::AddVertex(ffsm_graph::Label(2)),
+            ffsm_graph::GraphUpdate::AddEdge(40, 3),
+            ffsm_graph::GraphUpdate::RemoveVertex(7),
+        ];
+        let (next, _delta) = prepared.apply_updates(&updates).unwrap();
+        // The child handle carries the patched index: serving it is not a build.
+        let patched = next.index();
+        assert_eq!(next.index_build_count(), 0, "patched, never rebuilt");
+        assert_eq!(*patched, GraphIndex::build(next.graph()), "patch == rebuild oracle");
+        // An unbuilt parent hands the child nothing; the child builds lazily.
+        let cold = PreparedGraph::new(prepared.graph().clone());
+        let (cold_next, _) = cold.apply_updates(&updates).unwrap();
+        assert_eq!(cold_next.index_build_count(), 0);
+        let _ = cold_next.index();
+        assert_eq!(cold_next.index_build_count(), 1);
+    }
+
+    #[test]
+    fn apply_updates_rejects_invalid_batches_atomically() {
+        let prepared = PreparedGraph::new(LabeledGraph::from_edges(&[0, 1], &[(0, 1)]));
+        let err = prepared
+            .apply_updates(&[
+                ffsm_graph::GraphUpdate::AddEdge(0, 1),
+                ffsm_graph::GraphUpdate::RemoveVertex(5),
+            ])
+            .unwrap_err();
+        match err {
+            FfsmError::Update(e) => assert_eq!(e.index, 1),
+            other => panic!("expected Update error, got {other:?}"),
+        }
+        assert_eq!(prepared.graph().num_vertices(), 2, "parent untouched");
     }
 
     #[test]

@@ -48,12 +48,14 @@
 //! at a deterministic prefix with a typed
 //! [`Completion`](crate::Completion) status.
 
+use crate::delta::{CacheMode, DeltaContext, EvalCache};
 use crate::engine::{EngineConfig, EngineState};
 use crate::prepared::PreparedGraph;
 use crate::stream::PatternStream;
 use crate::types::MiningResult;
 use ffsm_core::{
-    CancelToken, EnumeratorBackend, FfsmError, MeasureConfig, MeasureKind, SupportMeasure,
+    CancelToken, EnumeratorBackend, FfsmError, GraphDelta, MeasureConfig, MeasureKind,
+    SupportMeasure,
 };
 use ffsm_graph::LabeledGraph;
 use std::sync::Arc;
@@ -176,6 +178,13 @@ impl MiningSession {
         Self::over(&PreparedGraph::new(graph.clone()))
     }
 
+    /// Start a session over a shared [`PreparedGraph`] with a fully built
+    /// [`SessionConfig`] — the re-run entry point for callers that keep one
+    /// configuration across many epochs (`ffsm-dynamic`'s incremental miner).
+    pub fn with_config(prepared: &PreparedGraph, config: SessionConfig) -> Self {
+        MiningSession { prepared: prepared.clone(), config }
+    }
+
     /// The prepared graph this session mines.
     pub fn prepared(&self) -> &PreparedGraph {
         &self.prepared
@@ -271,13 +280,14 @@ impl MiningSession {
     /// * [`FfsmError::NotAntiMonotone`] — the selected measure refuses threshold
     ///   pruning (e.g. the raw occurrence count), which would make mining unsound.
     pub fn stream(self) -> Result<PatternStream, FfsmError> {
-        self.stream_with(false)
+        self.stream_with(false, CacheMode::Off)
     }
 
     /// Shared validation + engine construction behind [`MiningSession::stream`]
     /// (`quiet = false`) and [`MiningSession::run`] (`quiet = true`: no consumer
     /// reads per-pattern events, so the engine skips materialising them).
-    fn stream_with(self, quiet: bool) -> Result<PatternStream, FfsmError> {
+    /// `mode` selects the cache interaction (off / record / delta reuse).
+    fn stream_with(self, quiet: bool, mode: CacheMode) -> Result<PatternStream, FfsmError> {
         let MiningSession { prepared, config } = self;
         if !config.min_support.is_finite() || config.min_support < 0.0 {
             return Err(FfsmError::InvalidConfig(format!(
@@ -329,7 +339,7 @@ impl MiningSession {
             cancel: config.cancel,
             deadline: deadline_at,
         };
-        Ok(PatternStream::new(EngineState::new(prepared, measure, engine_config, quiet)))
+        Ok(PatternStream::new(EngineState::new(prepared, measure, engine_config, quiet, mode)))
     }
 
     /// Validate the configuration and run the miner to completion — a thin
@@ -341,7 +351,61 @@ impl MiningSession {
     ///
     /// Exactly those of [`MiningSession::stream`].
     pub fn run(self) -> Result<MiningResult, FfsmError> {
-        Ok(self.stream_with(true)?.into_result())
+        Ok(self.stream_with(true, CacheMode::Off)?.into_result())
+    }
+
+    /// Run to completion like [`MiningSession::run`], additionally recording
+    /// every candidate evaluation into an [`EvalCache`] — the cold leg of the
+    /// dynamic-graph protocol.  After the graph absorbs an update batch
+    /// ([`PreparedGraph::apply_updates`]), feed the cache and the batch's
+    /// [`GraphDelta`] to [`MiningSession::run_delta`] over the new epoch.
+    pub fn run_recorded(self) -> Result<(MiningResult, EvalCache), FfsmError> {
+        Ok(self.stream_with(true, CacheMode::Record)?.into_result_and_cache())
+    }
+
+    /// Re-mine a new graph epoch incrementally: candidates whose occurrences
+    /// provably avoid the delta's dirty region are answered from `prior` (the
+    /// immediately preceding epoch's cache) without enumerating anything; all
+    /// others are re-evaluated.  The result is **bit-for-bit identical** to a
+    /// cold [`MiningSession::run`] over the same epoch (see the `delta` module
+    /// docs for the argument), and the returned cache feeds the next epoch.
+    ///
+    /// The session must be configured like the run that produced `prior` (same
+    /// measure, measure config and enumeration backend); the threshold, top-k
+    /// and budget settings are free to change between epochs.
+    /// [`MiningStats::evaluations_reused`](crate::MiningStats) reports how many
+    /// evaluations the cache absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MiningSession::stream`].
+    pub fn run_delta(
+        self,
+        prior: EvalCache,
+        delta: &GraphDelta,
+    ) -> Result<(MiningResult, EvalCache), FfsmError> {
+        // Guard against a delta from a different graph lineage: the session's
+        // epoch must match the delta's post-batch vertex AND edge counts (a
+        // pure-edge batch leaves the vertex count unchanged, so either check
+        // alone would let a mismatched pairing through silently).
+        let expected_vertices = delta.base_vertices + delta.vertices_added - delta.vertices_removed;
+        let expected_edges = delta.base_edges + delta.edges_added - delta.edges_removed;
+        let graph = self.prepared.graph();
+        if graph.num_vertices() != expected_vertices || graph.num_edges() != expected_edges {
+            return Err(FfsmError::InvalidConfig(format!(
+                "run_delta: delta describes a batch ending at {expected_vertices} vertices / \
+                 {expected_edges} edges, but the session's graph has {} vertices / {} edges — \
+                 the cache and delta must come from the immediately preceding epoch of this graph",
+                graph.num_vertices(),
+                graph.num_edges()
+            )));
+        }
+        let context = DeltaContext {
+            prior,
+            dirty_old: delta.dirty_old.clone(),
+            dirty_new: delta.dirty_new.clone(),
+        };
+        Ok(self.stream_with(true, CacheMode::Delta(context))?.into_result_and_cache())
     }
 }
 
@@ -560,6 +624,55 @@ mod tests {
             .unwrap();
         assert!(result.is_empty());
         assert_eq!(result.completion(), Completion::DeadlineExceeded);
+    }
+
+    #[test]
+    fn delta_rerun_matches_cold_run_and_reuses_evaluations() {
+        use ffsm_graph::GraphUpdate;
+        let prepared = PreparedGraph::new(generators::community_graph(3, 12, 0.35, 0.03, 4, 17));
+        let configure = |p: &PreparedGraph| {
+            MiningSession::over(p).measure(MeasureKind::Mni).min_support(2.0).max_edges(2)
+        };
+        let (_, cache) = configure(&prepared).run_recorded().unwrap();
+        assert!(!cache.is_empty());
+        // A small edge delta far from most of the graph.
+        let (next, delta) = prepared
+            .apply_updates(&[GraphUpdate::AddEdge(0, 1), GraphUpdate::RemoveEdge(2, 3)])
+            .unwrap_or_else(|_| prepared.apply_updates(&[GraphUpdate::AddEdge(0, 2)]).unwrap());
+        let cold = configure(&next).run().unwrap();
+        let (incremental, next_cache) = configure(&next).run_delta(cache, &delta).unwrap();
+        assert_eq!(incremental.len(), cold.len());
+        for (a, b) in incremental.patterns.iter().zip(&cold.patterns) {
+            assert_eq!(a.support.to_bits(), b.support.to_bits());
+            assert_eq!(a.num_occurrences, b.num_occurrences);
+            assert_eq!(
+                ffsm_graph::canonical::canonical_code(&a.pattern),
+                ffsm_graph::canonical::canonical_code(&b.pattern)
+            );
+        }
+        assert_eq!(incremental.stats.candidates_evaluated, cold.stats.candidates_evaluated);
+        assert_eq!(cold.stats.evaluations_reused, 0);
+        assert_eq!(next_cache.len(), incremental.stats.candidates_evaluated);
+    }
+
+    #[test]
+    fn run_delta_rejects_a_delta_from_another_lineage() {
+        use ffsm_graph::GraphUpdate;
+        let prepared = PreparedGraph::new(triangle_forest(3));
+        let (_, cache) = MiningSession::over(&prepared).run_recorded().unwrap();
+        // A delta whose post-batch vertex count does not match this graph.
+        let other = PreparedGraph::new(triangle_forest(5));
+        let (_, delta) =
+            other.apply_updates(&[GraphUpdate::AddVertex(ffsm_graph::Label(0))]).unwrap();
+        let err = MiningSession::over(&prepared).run_delta(cache, &delta).unwrap_err();
+        assert!(matches!(err, FfsmError::InvalidConfig(_)), "{err:?}");
+        // Same vertex count, different lineage: a pure-edge batch on a 9-vertex
+        // path must still be rejected against the 9-vertex triangle forest.
+        let path = PreparedGraph::new(ffsm_graph::patterns::uniform_path(9, ffsm_graph::Label(0)));
+        let (_, cache) = MiningSession::over(&prepared).run_recorded().unwrap();
+        let (_, delta) = path.apply_updates(&[GraphUpdate::RemoveEdge(0, 1)]).unwrap();
+        let err = MiningSession::over(&prepared).run_delta(cache, &delta).unwrap_err();
+        assert!(matches!(err, FfsmError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -111,6 +111,14 @@ impl PatternStream {
         for _event in &mut self {}
         self.state.into_result()
     }
+
+    /// Drain the remaining events and return the batch result together with the
+    /// per-pattern [`EvalCache`](crate::EvalCache) the run recorded (empty unless
+    /// the session asked for recording — `run_recorded` / `run_delta`).
+    pub(crate) fn into_result_and_cache(mut self) -> (MiningResult, crate::EvalCache) {
+        for _event in &mut self {}
+        self.state.into_result_and_cache()
+    }
 }
 
 impl Iterator for PatternStream {

@@ -16,6 +16,16 @@
 //!   per line — `pattern`, `level`, `finished` — flushed as found), and
 //!   `--deadline-ms` bounds the run's wall-clock time;
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
+//! * `update <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
+//!   [--threads K] [--cold] [--stream]` — apply batches of graph updates (the `.gu`
+//!   format of `ffsm_graph::io`: `av`/`rv`/`ae`/`re`/`rl` lines, `t` separators) as
+//!   epochs of a versioned [`DynamicGraph`], re-mining each epoch **incrementally**
+//!   (delta re-mine over the dirty region; `--cold` forces full re-mines for
+//!   comparison) and printing one completion line per epoch; `--stream` switches to
+//!   NDJSON events (`pattern` per frequent pattern, `epoch` per completed epoch;
+//!   flushed per epoch — a delta re-mine answers most patterns from cache in one
+//!   step, so the epoch, not the level, is the streaming unit here).
+//!   A malformed or out-of-range updates file is a usage error (exit 1);
 //! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
 //!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
 //!
@@ -74,6 +84,7 @@ fn main() -> ExitCode {
         "overlap" => cmd_overlap(&args[1..]),
         "mine" => cmd_mine(&args[1..]),
         "topk" => cmd_topk(&args[1..]),
+        "update" => cmd_update(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -115,6 +126,13 @@ commands:
                                                    a deadline/cancel stop exits 2)
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
                                                    top-k pattern mining
+  update   <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
+           [--threads K] [--cold] [--stream]
+                                                   apply update batches as epochs and
+                                                   re-mine each one incrementally
+                                                   (--cold: full re-mine per epoch;
+                                                   --stream: NDJSON epoch/pattern
+                                                   events; bad update files exit 1)
   generate <kind> <out.lg> [--seed S]              write a synthetic dataset
                                                    (chemical|social|citation|protein|grid|star-overlap)
 
@@ -505,6 +523,138 @@ fn cmd_topk(args: &[String]) -> Result<(), CliError> {
     );
     println!("status: {}", result.completion());
     print_frequent(&result.patterns);
+    Ok(())
+}
+
+/// Report one mined epoch: human-readable line, or NDJSON `pattern` events plus
+/// one `epoch` event when streaming.  Returns `Ok(false)` when a streaming
+/// consumer closed the pipe (`... --stream | head`) — the caller then stops
+/// cleanly, exactly like `ffsm mine --stream`.
+fn report_epoch(
+    epoch: usize,
+    delta_summary: Option<String>,
+    result: &MiningResult,
+    stream: bool,
+) -> Result<bool, CliError> {
+    use std::io::Write;
+    let stats = &result.stats;
+    if !stream {
+        let delta = delta_summary.map(|s| format!(" ({s})")).unwrap_or_default();
+        println!(
+            "epoch {epoch}{delta}: {} patterns, status {}, {} evaluated ({} reused), {:?}",
+            result.len(),
+            result.completion(),
+            stats.candidates_evaluated,
+            stats.evaluations_reused,
+            stats.elapsed
+        );
+        return Ok(true);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |line: String| -> Result<bool, CliError> {
+        match writeln!(out, "{line}").and_then(|()| out.flush()) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+            Err(e) => {
+                Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(e.to_string()))))
+            }
+        }
+    };
+    for p in &result.patterns {
+        if !emit(format!(
+            "{{\"event\": \"pattern\", \"epoch\": {epoch}, \"support\": {}, \"vertices\": {}, \
+             \"edges\": {}, \"occurrences\": {}, \"pattern\": {}}}",
+            p.support,
+            p.pattern.num_vertices(),
+            p.pattern.num_edges(),
+            p.num_occurrences,
+            json_escape(io::to_lg_string(&p.pattern).trim_end())
+        ))? {
+            return Ok(false);
+        }
+    }
+    emit(format!(
+        "{{\"event\": \"epoch\", \"epoch\": {epoch}, \"completion\": \"{}\", \"patterns\": {}, \
+         \"evaluated\": {}, \"reused\": {}, \"elapsed_ms\": {}}}",
+        result.completion().name(),
+        result.len(),
+        result.stats.candidates_evaluated,
+        result.stats.evaluations_reused,
+        result.stats.elapsed.as_millis()
+    ))
+}
+
+fn cmd_update(args: &[String]) -> Result<(), CliError> {
+    let Some(graph_path) = args.first() else {
+        return Err(CliError::Usage(
+            "ffsm update <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N] \
+             [--threads K] [--cold] [--stream]"
+                .into(),
+        ));
+    };
+    let updates_path = flag_value(args, "--updates")
+        .ok_or_else(|| CliError::Usage("--updates <u.gu> is required".to_string()))?;
+    let tau: f64 = flag_value(args, "--tau")
+        .ok_or_else(|| CliError::Usage("--tau <threshold> is required".to_string()))?
+        .parse()
+        .map_err(|_| CliError::Usage("invalid --tau value".to_string()))?;
+    let (measure, max_edges) = mining_params(args)?;
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --threads {v:?}")))?
+        }
+        None => 1,
+    };
+    let cold = args.iter().any(|a| a == "--cold");
+    let stream = args.iter().any(|a| a == "--stream");
+    // Malformed update files are usage errors (exit 1), keeping exit 2 for
+    // mining-side failures — the typed parse error still names the line.
+    let batches = io::load_updates(Path::new(updates_path))
+        .map_err(|e| CliError::Usage(format!("bad updates file {updates_path}: {e}")))?;
+
+    let mut store = ffsm::dynamic::DynamicGraph::new(load_graph(graph_path)?);
+    let config = MiningSession::over(store.current().prepared())
+        .measure(measure)
+        .min_support(tau)
+        .max_edges(max_edges)
+        .threads(threads)
+        .config()
+        .clone();
+    let mut miner = ffsm::dynamic::IncrementalMiner::new(config);
+    if !stream {
+        println!(
+            "mining {graph_path} under {measure} at tau = {tau} through {} update batch(es) from \
+             {updates_path}{}",
+            batches.len(),
+            if cold { " (cold re-mines)" } else { "" }
+        );
+    }
+    let mut last = miner.mine(store.current()).map_err(CliError::Ffsm)?;
+    if !report_epoch(0, None, &last, stream)? {
+        return Ok(());
+    }
+    for batch in &batches {
+        // Out-of-range updates are usage errors too: the file asked for an
+        // impossible edit, mining never started for this epoch.
+        let snapshot = match store.apply(batch) {
+            Ok(snapshot) => snapshot.clone(),
+            Err(e) => return Err(CliError::Usage(format!("bad updates file {updates_path}: {e}"))),
+        };
+        if cold {
+            miner.reset();
+        }
+        last = miner.mine(&snapshot).map_err(CliError::Ffsm)?;
+        let summary = snapshot.delta().map(|d| d.summary());
+        if !report_epoch(snapshot.epoch(), summary, &last, stream)? {
+            return Ok(());
+        }
+        // Keep only what chaining needs; old epochs remain valid for readers.
+        store.retain_recent(2);
+    }
+    if !stream {
+        print_frequent(&last.patterns);
+    }
     Ok(())
 }
 

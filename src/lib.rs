@@ -10,12 +10,15 @@
 //! * [`core`] — the paper's contribution: the occurrence/instance hypergraph framework
 //!   and the MNI, MI, MVC, MIS/MIES and relaxed support measures.
 //! * [`miner`] — a single-graph frequent-subgraph miner with pluggable measures.
+//! * [`dynamic`] — the versioned dynamic-graph subsystem: typed update batches,
+//!   epoch snapshots with incremental index maintenance, and delta re-mining.
 //!
 //! See `README.md` for a quickstart, the CLI reference and the measure-selection
 //! table.  [`miner::MiningSession`] is the single mining entry point; measures are
 //! pluggable through the [`core::measures::SupportMeasure`] trait.
 
 pub use ffsm_core as core;
+pub use ffsm_dynamic as dynamic;
 pub use ffsm_graph as graph;
 pub use ffsm_hypergraph as hypergraph;
 pub use ffsm_lp as lp;
@@ -30,11 +33,15 @@ pub mod prelude {
         FfsmError, MeasureProfile, OverlapAnalysis, OverlapBuild, OverlapCache, OverlapConfig,
         OverlapKind,
     };
+    pub use ffsm_dynamic::{DynamicGraph, EpochSnapshot, IncrementalMiner};
     pub use ffsm_graph::isomorphism::{EmbeddingVisitor, EnumeratorBackend, IsoConfig, VisitFlow};
-    pub use ffsm_graph::{CancelToken, GraphStatistics, Label, LabeledGraph, Pattern, VertexId};
+    pub use ffsm_graph::{
+        CancelToken, GraphDelta, GraphStatistics, GraphUpdate, Label, LabeledGraph, Pattern,
+        VertexId,
+    };
     pub use ffsm_match::{CandidateSpace, GraphIndex, Matcher};
     pub use ffsm_miner::{
-        Completion, FrequentPattern, MiningBudget, MiningEvent, MiningResult, MiningSession,
-        MiningStats, PatternStream, PreparedGraph, SessionConfig,
+        Completion, EvalCache, FrequentPattern, MiningBudget, MiningEvent, MiningResult,
+        MiningSession, MiningStats, PatternStream, PreparedGraph, SessionConfig,
     };
 }

@@ -1,0 +1,220 @@
+//! Differential harness for the dynamic-graph subsystem, alongside
+//! `overlap_differential.rs` / `match_differential.rs`:
+//!
+//! * **index patch == rebuild** — `GraphIndex::apply_delta` over the
+//!   `GraphDelta` of a random update batch equals `GraphIndex::build` of the
+//!   updated graph, chained across several batches (proptest);
+//! * **delta re-mine == cold full mine** — `MiningSession::run_delta` over a
+//!   random update batch reproduces a cold `run()` of the new epoch bit-for-bit
+//!   (canonical codes, support bits, occurrence counts, final threshold,
+//!   completion and evaluation counts) across all four paper measures
+//!   (MNI / MI / MVC / MIS) and both enumerator backends, with the cache
+//!   chained across consecutive epochs through `IncrementalMiner`;
+//! * the **reuse path actually fires** on small deltas (it would be trivially
+//!   "correct" to re-evaluate everything — the speedup claim needs reuse).
+//!
+//! Update batches are generated against a step-wise clone of the evolving graph
+//! so every generated update is valid in context; the proptest shim seeds each
+//! generator deterministically from the test name, so every run replays the
+//! same fixed case sequence.
+
+use ffsm::core::{EnumeratorBackend, GraphUpdate, MeasureKind};
+use ffsm::dynamic::{DynamicGraph, IncrementalMiner};
+use ffsm::graph::canonical::canonical_code;
+use ffsm::graph::{apply_batch, generators, Label, LabeledGraph};
+use ffsm::matching::GraphIndex;
+use ffsm::miner::{MiningResult, MiningSession, PreparedGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One random-but-valid update against the current state of `graph`, applied to
+/// the mirror immediately so later updates in the batch see its effect.
+fn random_update(graph: &mut LabeledGraph, rng: &mut StdRng, num_labels: u32) -> GraphUpdate {
+    loop {
+        let n = graph.num_vertices() as u32;
+        let update = match rng.gen_range(0..6u32) {
+            0 => GraphUpdate::AddVertex(Label(rng.gen_range(0..num_labels))),
+            1 | 2 if n >= 2 => {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u == v {
+                    continue;
+                }
+                GraphUpdate::AddEdge(u, v)
+            }
+            3 if graph.num_edges() > 0 => {
+                let edges: Vec<_> = graph.edges().collect();
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                GraphUpdate::RemoveEdge(u, v)
+            }
+            4 if n > 4 => GraphUpdate::RemoveVertex(rng.gen_range(0..n)),
+            5 if n >= 1 => {
+                GraphUpdate::Relabel(rng.gen_range(0..n), Label(rng.gen_range(0..num_labels)))
+            }
+            _ => continue,
+        };
+        apply_batch(graph, &[update]).expect("generated update is valid");
+        return update;
+    }
+}
+
+/// A batch of `size` random updates, valid in sequence against `graph` (which
+/// ends up with the batch applied).
+fn random_batch(
+    graph: &mut LabeledGraph,
+    rng: &mut StdRng,
+    size: usize,
+    num_labels: u32,
+) -> Vec<GraphUpdate> {
+    (0..size).map(|_| random_update(graph, rng, num_labels)).collect()
+}
+
+type PatternFingerprint = (Vec<u64>, u64, usize);
+
+fn fingerprints(result: &MiningResult) -> Vec<PatternFingerprint> {
+    result
+        .patterns
+        .iter()
+        .map(|p| {
+            (canonical_code(&p.pattern).as_slice().to_vec(), p.support.to_bits(), p.num_occurrences)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// Incremental index maintenance vs the full-rebuild oracle, chained over
+    /// several random batches (including vertex removals that rename ids).
+    #[test]
+    fn index_patch_equals_rebuild_on_random_batches(seed in 0u64..10_000) {
+        let mut graph = generators::community_graph(2, 10, 0.4, 0.06, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        let mut index = GraphIndex::build(&graph);
+        for round in 0..4 {
+            let mut next = graph.clone();
+            let batch = random_batch(&mut next, &mut rng, 1 + (seed as usize + round) % 6, 4);
+            let delta = apply_batch(&mut graph, &batch).expect("batch replays");
+            prop_assert_eq!(&graph, &next, "mirror and store agree");
+            index.apply_delta(&graph, &delta);
+            prop_assert_eq!(&index, &GraphIndex::build(&graph),
+                "seed {}, round {}, batch {:?}", seed, round, &batch);
+        }
+    }
+
+    /// Delta re-mine == cold full mine, bit for bit, across all four paper
+    /// measures and both enumerator backends.
+    #[test]
+    fn delta_remine_equals_cold_mine_across_measures_and_backends(seed in 0u64..10_000) {
+        let base = generators::community_graph(2, 9, 0.45, 0.08, 3, seed);
+        prop_assume!(base.num_edges() >= 4);
+        let mut mirror = base.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE17A);
+        let batch = random_batch(&mut mirror, &mut rng, 1 + (seed as usize) % 5, 3);
+        let prepared = PreparedGraph::new(base);
+        for measure in [MeasureKind::Mni, MeasureKind::Mi, MeasureKind::Mvc, MeasureKind::Mis] {
+            for backend in [EnumeratorBackend::CandidateSpace, EnumeratorBackend::Naive] {
+                let context = format!("seed {seed}, {measure}, {backend:?}, batch {batch:?}");
+                let session = |p: &PreparedGraph| {
+                    MiningSession::over(p)
+                        .measure(measure)
+                        .min_support(2.0)
+                        .max_edges(2)
+                        .enumerator(backend)
+                };
+                let (_, cache) = session(&prepared).run_recorded().expect("valid session");
+                let (next, delta) = prepared.apply_updates(&batch).expect("valid batch");
+                let cold = session(&next).run().expect("valid session");
+                let (incremental, _) =
+                    session(&next).run_delta(cache, &delta).expect("valid session");
+                prop_assert_eq!(fingerprints(&incremental), fingerprints(&cold),
+                    "patterns diverged: {}", &context);
+                prop_assert_eq!(incremental.final_threshold.to_bits(),
+                    cold.final_threshold.to_bits(), "threshold: {}", &context);
+                prop_assert_eq!(incremental.completion(), cold.completion(),
+                    "completion: {}", &context);
+                prop_assert_eq!(incremental.stats.candidates_evaluated,
+                    cold.stats.candidates_evaluated, "evaluation counts: {}", &context);
+            }
+        }
+    }
+
+    /// The cache chains across consecutive epochs: every epoch of a random
+    /// update stream re-mines to exactly the cold result (MNI; parallel
+    /// evaluation on the cold side to also cross the thread partition).
+    #[test]
+    fn chained_epochs_equal_cold_mines(seed in 0u64..10_000) {
+        let base = generators::community_graph(2, 9, 0.5, 0.08, 3, seed.wrapping_add(77));
+        prop_assume!(base.num_edges() >= 4);
+        let mut mirror = base.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A1);
+        let mut store = DynamicGraph::new(base);
+        let config = MiningSession::over(store.current().prepared())
+            .min_support(2.0)
+            .max_edges(2)
+            .config()
+            .clone();
+        let mut miner = IncrementalMiner::new(config.clone());
+        miner.mine(store.current()).expect("epoch 0");
+        for round in 0..3 {
+            let batch = random_batch(&mut mirror, &mut rng, 1 + (round + seed as usize) % 4, 3);
+            let snapshot = store.apply(&batch).expect("valid batch").clone();
+            prop_assert!(miner.is_chained_to(snapshot.epoch()));
+            let incremental = miner.mine(&snapshot).expect("delta mine");
+            let cold = MiningSession::with_config(snapshot.prepared(), config.clone())
+                .threads(3)
+                .run()
+                .expect("cold mine");
+            prop_assert_eq!(fingerprints(&incremental), fingerprints(&cold),
+                "seed {}, round {}, batch {:?}", seed, round, &batch);
+        }
+    }
+}
+
+/// Reuse must actually fire on a small delta to a larger graph — the speedup
+/// contract, not just the correctness contract.
+#[test]
+fn small_deltas_reuse_most_evaluations() {
+    let graph = generators::gnm_random(600, 900, 6, 11);
+    let prepared = PreparedGraph::new(graph);
+    let session = |p: &PreparedGraph| MiningSession::over(p).min_support(4.0).max_edges(2);
+    let (_, cache) = session(&prepared).run_recorded().unwrap();
+    let (next, delta) = prepared
+        .apply_updates(&[GraphUpdate::AddEdge(0, 1), GraphUpdate::RemoveEdge(2, 3)])
+        .or_else(|_| prepared.apply_updates(&[GraphUpdate::AddEdge(0, 2)]))
+        .unwrap();
+    let (incremental, _) = session(&next).run_delta(cache, &delta).unwrap();
+    let evaluated = incremental.stats.candidates_evaluated;
+    let reused = incremental.stats.evaluations_reused;
+    assert!(
+        reused * 2 > evaluated,
+        "a 2-edge delta on a 600-vertex graph must reuse most evaluations \
+         (reused {reused} of {evaluated})"
+    );
+    // And the reused run still matches the cold oracle.
+    let cold = session(&next).run().unwrap();
+    assert_eq!(fingerprints(&incremental), fingerprints(&cold));
+}
+
+/// Relabels shift patterns between label classes; make sure a relabel-heavy
+/// stream stays correct under the conservative MIS measure too.
+#[test]
+fn relabel_stream_stays_exact_under_mis() {
+    let triangle = LabeledGraph::from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+    let base = generators::replicated(&triangle, 5, false);
+    let prepared = PreparedGraph::new(base);
+    let session = |p: &PreparedGraph| {
+        MiningSession::over(p).measure(MeasureKind::Mis).min_support(2.0).max_edges(3)
+    };
+    let (_, cache) = session(&prepared).run_recorded().unwrap();
+    let batch = [
+        GraphUpdate::Relabel(0, Label(1)),
+        GraphUpdate::Relabel(4, Label(0)),
+        GraphUpdate::AddEdge(0, 3),
+    ];
+    let (next, delta) = prepared.apply_updates(&batch).unwrap();
+    let cold = session(&next).run().unwrap();
+    let (incremental, _) = session(&next).run_delta(cache, &delta).unwrap();
+    assert_eq!(fingerprints(&incremental), fingerprints(&cold));
+}
