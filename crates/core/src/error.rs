@@ -38,6 +38,21 @@ pub enum FfsmError {
     /// configured deadline.  Like [`FfsmError::Cancelled`], this is the error-channel
     /// form of `Completion::DeadlineExceeded`.
     DeadlineExceeded(std::time::Duration),
+    /// A request named a graph the serving registry does not hold.  The payload
+    /// is the requested name.
+    UnknownGraph(String),
+    /// The serving scheduler's admission queue was full — the typed `429`: the
+    /// request was never admitted, nothing was computed, and the client should
+    /// back off and retry.  The payload is the queue capacity that was exceeded.
+    Overloaded {
+        /// Admission-queue capacity in force when the request was rejected.
+        capacity: usize,
+    },
+    /// A malformed wire-protocol frame: not a JSON object, an unknown `op`, a
+    /// missing or ill-typed field.  The message names the offending part.
+    Protocol(String),
+    /// The server is draining for shutdown and no longer admits requests.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for FfsmError {
@@ -62,6 +77,17 @@ impl std::fmt::Display for FfsmError {
             FfsmError::Cancelled => write!(f, "mining run was cancelled before completing"),
             FfsmError::DeadlineExceeded(deadline) => {
                 write!(f, "mining run exceeded its {deadline:?} deadline")
+            }
+            FfsmError::UnknownGraph(name) => {
+                write!(f, "unknown graph {name:?}: not registered with the serving registry")
+            }
+            FfsmError::Overloaded { capacity } => write!(
+                f,
+                "server overloaded: admission queue (capacity {capacity}) is full — back off and retry"
+            ),
+            FfsmError::Protocol(message) => write!(f, "protocol error: {message}"),
+            FfsmError::ShuttingDown => {
+                write!(f, "server is shutting down and no longer admits requests")
             }
         }
     }
@@ -112,5 +138,16 @@ mod tests {
         .into();
         assert!(matches!(e, FfsmError::Update(_)));
         assert!(e.to_string().contains("update 4") && e.to_string().contains("rv 9"));
+    }
+
+    #[test]
+    fn serving_variants_display_their_payloads() {
+        let e = FfsmError::UnknownGraph("orders".into());
+        assert!(e.to_string().contains("orders") && e.to_string().contains("registry"));
+        let e = FfsmError::Overloaded { capacity: 16 };
+        assert!(e.to_string().contains("16") && e.to_string().contains("overloaded"));
+        let e = FfsmError::Protocol("missing field \"op\"".into());
+        assert!(e.to_string().contains("missing field"));
+        assert!(FfsmError::ShuttingDown.to_string().contains("shutting down"));
     }
 }

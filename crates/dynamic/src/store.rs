@@ -93,6 +93,14 @@ impl DynamicGraph {
         self.epochs.len()
     }
 
+    /// The `(oldest, newest)` epoch numbers still retained — what a serving
+    /// registry reports as the epoch-cache span (snapshots inside it answer
+    /// `snapshot()` without recomputation; older epochs have been pruned).
+    pub fn retained_range(&self) -> (usize, usize) {
+        let first = self.epochs.first().expect("store always has a current epoch").epoch;
+        (first, self.current().epoch)
+    }
+
     /// Validate and apply one update batch, committing a new epoch on success
     /// and leaving the store untouched on failure.
     ///
@@ -168,6 +176,7 @@ mod tests {
         store.retain_recent(2);
         assert_eq!(store.retained(), 2);
         assert_eq!(store.epoch(), 5);
+        assert_eq!(store.retained_range(), (4, 5));
         assert!(store.snapshot(3).is_none(), "pruned");
         assert_eq!(store.snapshot(4).unwrap().epoch(), 4);
         assert_eq!(store.snapshot(5).unwrap().epoch(), 5);

@@ -164,6 +164,15 @@ impl PreparedGraph {
         self.inner.index_builds.load(Ordering::Relaxed)
     }
 
+    /// `true` once the matching index is available without further work — built
+    /// by a session over this handle, or inherited pre-patched from a parent
+    /// epoch via [`PreparedGraph::apply_updates`].  Never triggers a build: this
+    /// is the warm/cold peek the serving registry's epoch cache reports through
+    /// its hit/miss statistics.
+    pub fn index_is_built(&self) -> bool {
+        self.inner.index.get().is_some()
+    }
+
     /// `true` when both handles share the same underlying storage.
     pub fn same_graph(&self, other: &PreparedGraph) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
@@ -195,10 +204,20 @@ mod tests {
     fn index_is_lazy_and_built_once() {
         let prepared = PreparedGraph::new(generators::gnm_random(30, 60, 3, 5));
         assert_eq!(prepared.index_build_count(), 0, "index must be lazy");
+        assert!(!prepared.index_is_built(), "peek must not trigger a build");
+        assert_eq!(prepared.index_build_count(), 0, "peek is free");
         let a = prepared.index();
         let b = prepared.clone().index();
         assert!(Arc::ptr_eq(&a, &b), "all callers share one index");
         assert_eq!(prepared.index_build_count(), 1);
+        assert!(prepared.index_is_built());
+        // A child epoch inherits the patched index: warm from birth.
+        let (next, _) =
+            prepared.apply_updates(&[ffsm_graph::GraphUpdate::AddEdge(0, 1)]).unwrap_or_else(
+                |_| prepared.apply_updates(&[ffsm_graph::GraphUpdate::RemoveEdge(0, 1)]).unwrap(),
+            );
+        assert!(next.index_is_built(), "patched index inherited");
+        assert_eq!(next.index_build_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! The NDJSON event serializer — single source of truth for the wire format.
+//!
+//! Every streaming surface of the framework speaks the same newline-delimited
+//! JSON vocabulary: `ffsm mine --stream` and `ffsm update --stream` on stdout,
+//! and the `ffsm serve` TCP protocol on sockets.  Before this module each path
+//! hand-assembled its lines, so the formats could (and did) only agree by
+//! discipline; now every frame is composed here and the consumers cannot drift.
+//!
+//! ## Vocabulary
+//!
+//! * `pattern` — one frequent pattern (support, sizes, occurrence count, the
+//!   `.lg` text of the pattern itself), optionally tagged with the epoch that
+//!   produced it (the `update` streaming path);
+//! * `level` — one fully processed pattern-growth level;
+//! * `finished` — the typed end of one mining run ([`RunSummary`]);
+//! * `epoch` — one completed epoch of an incremental re-mine, or (on the server)
+//!   one committed update batch;
+//! * `error` — a typed [`FfsmError`], as a stable machine `code` plus the
+//!   human message;
+//! * `done` — the server's per-request terminator (exactly one per request).
+//!
+//! Frames are built with [`Frame`], which writes keys in call order — callers
+//! append protocol-level fields (request ids, graph names) to the shared event
+//! bodies without re-stating the format.
+//!
+//! ## Disconnect handling
+//!
+//! [`write_frame`] is the one way frames reach a consumer.  It distinguishes a
+//! consumer that *went away* (broken pipe, connection reset — a normal way to
+//! stop consuming) from a genuine I/O failure, so every streaming path tears
+//! down the same way: cancel the session's `CancelToken` and stop, never
+//! unwind.
+
+use ffsm_core::FfsmError;
+use ffsm_graph::io;
+use ffsm_miner::{FrequentPattern, LevelSummary, MiningResult, RunSummary};
+use std::io::Write;
+
+/// An in-progress NDJSON frame: one JSON object, keys in insertion order.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    buf: String,
+}
+
+impl Frame {
+    /// Start a frame with its `event` discriminator — always the first key, so
+    /// consumers can dispatch on a prefix.
+    pub fn event(name: &str) -> Frame {
+        let mut frame = Frame { buf: String::with_capacity(128) };
+        frame.buf.push('{');
+        frame.push_key("event");
+        frame.buf.push_str(&json_string(name));
+        frame
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.buf.ends_with('{') {
+            self.buf.push_str(", ");
+        }
+        self.buf.push_str(&json_string(key));
+        self.buf.push_str(": ");
+    }
+
+    /// Append a raw (unquoted) JSON value — numbers, booleans, `null`.
+    pub fn raw(mut self, key: &str, value: impl std::fmt::Display) -> Frame {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Append an escaped, quoted string value.
+    pub fn str(mut self, key: &str, value: &str) -> Frame {
+        self.push_key(key);
+        self.buf.push_str(&json_string(value));
+        self
+    }
+
+    /// Append the request id, if the client supplied one.  A no-op for `None`,
+    /// so CLI frames (which have no request ids) stay byte-identical.
+    pub fn id(self, id: Option<u64>) -> Frame {
+        match id {
+            Some(id) => self.raw("id", id),
+            None => self,
+        }
+    }
+
+    /// Close the object and return the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a JSON string literal (escaped and quoted).
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// One frequent pattern.  `epoch` tags the pattern with the epoch that produced
+/// it (the `update` streaming path); `None` omits the field (the `mine` path).
+pub fn pattern_frame(p: &FrequentPattern, epoch: Option<usize>) -> Frame {
+    let frame = Frame::event("pattern");
+    let frame = match epoch {
+        Some(epoch) => frame.raw("epoch", epoch),
+        None => frame,
+    };
+    frame
+        .raw("support", p.support)
+        .raw("vertices", p.pattern.num_vertices())
+        .raw("edges", p.pattern.num_edges())
+        .raw("occurrences", p.num_occurrences)
+        .str("pattern", io::to_lg_string(&p.pattern).trim_end())
+}
+
+/// One fully processed pattern-growth level.
+pub fn level_frame(level: &LevelSummary) -> Frame {
+    Frame::event("level")
+        .raw("level", level.level)
+        .raw("evaluated", level.evaluated)
+        .raw("accepted", level.accepted)
+        .raw("threshold", level.threshold)
+}
+
+/// The typed end of one mining run.
+pub fn finished_frame(summary: &RunSummary) -> Frame {
+    Frame::event("finished")
+        .str("completion", summary.completion.name())
+        .raw("patterns", summary.num_patterns)
+        .raw("final_threshold", summary.final_threshold)
+        .raw("evaluated", summary.stats.candidates_evaluated)
+        .raw("elapsed_ms", summary.stats.elapsed.as_millis())
+}
+
+/// One completed epoch of an incremental re-mine (the `update` streaming path).
+pub fn epoch_frame(epoch: usize, result: &MiningResult) -> Frame {
+    Frame::event("epoch")
+        .raw("epoch", epoch)
+        .str("completion", result.completion().name())
+        .raw("patterns", result.len())
+        .raw("evaluated", result.stats.candidates_evaluated)
+        .raw("reused", result.stats.evaluations_reused)
+        .raw("elapsed_ms", result.stats.elapsed.as_millis())
+}
+
+/// The stable machine code naming an [`FfsmError`] variant on the wire.
+pub fn error_code(e: &FfsmError) -> &'static str {
+    match e {
+        FfsmError::Graph(_) => "graph",
+        FfsmError::Update(_) => "update",
+        FfsmError::InvalidConfig(_) => "invalid-config",
+        FfsmError::UnknownMeasure(_) => "unknown-measure",
+        FfsmError::UnknownOverlap(_) => "unknown-overlap",
+        FfsmError::NotAntiMonotone(_) => "not-anti-monotone",
+        FfsmError::Cancelled => "cancelled",
+        FfsmError::DeadlineExceeded(_) => "deadline-exceeded",
+        FfsmError::UnknownGraph(_) => "unknown-graph",
+        FfsmError::Overloaded { .. } => "overloaded",
+        FfsmError::Protocol(_) => "protocol",
+        FfsmError::ShuttingDown => "shutting-down",
+    }
+}
+
+/// A typed error frame: stable `code` for dispatch plus the display message.
+pub fn error_frame(e: &FfsmError) -> Frame {
+    Frame::event("error").str("code", error_code(e)).str("message", &e.to_string())
+}
+
+/// Outcome of writing one frame to a consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameWrite {
+    /// The frame reached the consumer (written and flushed).
+    Written,
+    /// The consumer went away — broken pipe, connection reset.  A normal way to
+    /// stop consuming, not an I/O failure: the caller cancels the session's
+    /// `CancelToken` and tears down cleanly.
+    Disconnected,
+}
+
+/// Write one frame (a line, newline appended here) and flush it, classifying a
+/// vanished consumer as [`FrameWrite::Disconnected`] instead of an error.  This
+/// is the uniform teardown contract shared by the CLI stream paths and every
+/// server connection.
+pub fn write_frame<W: Write>(w: &mut W, frame: &str) -> std::io::Result<FrameWrite> {
+    let outcome = writeln!(w, "{frame}").and_then(|()| w.flush());
+    match outcome {
+        Ok(()) => Ok(FrameWrite::Written),
+        Err(e) if is_disconnect(&e) => Ok(FrameWrite::Disconnected),
+        Err(e) => Err(e),
+    }
+}
+
+/// `true` for I/O errors that mean "the consumer went away" rather than "the
+/// write failed": broken pipe (closed stdout pipe, half-closed socket),
+/// connection reset/aborted (TCP peer vanished), and write timeouts (a stalled
+/// peer holding a worker hostage is indistinguishable from a dead one).
+pub fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsm_graph::LabeledGraph;
+
+    fn sample_pattern() -> FrequentPattern {
+        FrequentPattern {
+            pattern: LabeledGraph::from_edges(&[0, 1], &[(0, 1)]),
+            support: 5.0,
+            num_occurrences: 12,
+        }
+    }
+
+    #[test]
+    fn frame_builder_orders_keys_and_escapes() {
+        let line = Frame::event("demo").raw("n", 3).str("s", "a\"b\n").finish();
+        assert_eq!(line, "{\"event\": \"demo\", \"n\": 3, \"s\": \"a\\\"b\\n\"}");
+    }
+
+    #[test]
+    fn id_is_appended_only_when_present() {
+        assert_eq!(Frame::event("done").id(None).finish(), "{\"event\": \"done\"}");
+        assert_eq!(Frame::event("done").id(Some(7)).finish(), "{\"event\": \"done\", \"id\": 7}");
+    }
+
+    #[test]
+    fn pattern_frame_matches_the_cli_shape() {
+        let line = pattern_frame(&sample_pattern(), None).finish();
+        assert!(line.starts_with("{\"event\": \"pattern\", \"support\": 5, \"vertices\": 2"));
+        assert!(line.contains("\"occurrences\": 12"));
+        assert!(line.contains("\"pattern\": \"t 0\\nv 0 0\\nv 1 1\\ne 0 1\""));
+        assert!(!line.contains("epoch"));
+        let line = pattern_frame(&sample_pattern(), Some(3)).finish();
+        assert!(line.starts_with("{\"event\": \"pattern\", \"epoch\": 3, \"support\": 5"));
+    }
+
+    #[test]
+    fn error_frames_carry_stable_codes() {
+        let line = error_frame(&FfsmError::Overloaded { capacity: 4 }).finish();
+        assert!(line.contains("\"code\": \"overloaded\""));
+        assert!(line.contains("capacity 4"));
+        let line = error_frame(&FfsmError::UnknownGraph("g".into())).finish();
+        assert!(line.contains("\"code\": \"unknown-graph\""));
+        // Every variant has a distinct code.
+        let all = [
+            error_code(&FfsmError::Cancelled),
+            error_code(&FfsmError::ShuttingDown),
+            error_code(&FfsmError::Protocol(String::new())),
+            error_code(&FfsmError::Overloaded { capacity: 0 }),
+            error_code(&FfsmError::UnknownGraph(String::new())),
+            error_code(&FfsmError::InvalidConfig(String::new())),
+        ];
+        let distinct: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn write_frame_classifies_disconnects() {
+        let mut buf = Vec::new();
+        assert_eq!(write_frame(&mut buf, "{}").unwrap(), FrameWrite::Written);
+        assert_eq!(buf, b"{}\n");
+
+        /// A sink whose consumer has gone away.
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert_eq!(write_frame(&mut BrokenPipe, "{}").unwrap(), FrameWrite::Disconnected);
+
+        /// A sink with a genuine failure.
+        struct DiskFull;
+        impl Write for DiskFull {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(write_frame(&mut DiskFull, "{}").is_err());
+    }
+}

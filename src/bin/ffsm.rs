@@ -26,6 +26,12 @@
 //!   flushed per epoch — a delta re-mine answers most patterns from cache in one
 //!   step, so the epoch, not the level, is the streaming unit here).
 //!   A malformed or out-of-range updates file is a usage error (exit 1);
+//! * `serve --graph NAME=PATH [--graph ...] [--listen ADDR] [--workers N] [--queue N]
+//!   [--retain N] [--deadline-ms MS]` — run the multi-tenant mining server: the named
+//!   graphs become a registry of versioned [`DynamicGraph`](ffsm::dynamic::DynamicGraph)s,
+//!   clients speak the NDJSON-over-TCP protocol of `PROTOCOL.md` (ops `mine`, `update`,
+//!   `list`, `stat`, `shutdown`), and Ctrl-C or a `shutdown` request drains gracefully
+//!   (in-flight sessions are cancelled but still flush their terminal frames);
 //! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
 //!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
 //!
@@ -46,6 +52,7 @@ use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Patte
 use ffsm::matching::{GraphIndex, Matcher};
 use ffsm::miner::postprocess::maximal_patterns;
 use ffsm::miner::{Completion, MiningEvent, MiningResult, MiningSession};
+use ffsm::serve::{events, Server, ServerConfig};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -85,6 +92,7 @@ fn main() -> ExitCode {
         "mine" => cmd_mine(&args[1..]),
         "topk" => cmd_topk(&args[1..]),
         "update" => cmd_update(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -133,6 +141,12 @@ commands:
                                                    (--cold: full re-mine per epoch;
                                                    --stream: NDJSON epoch/pattern
                                                    events; bad update files exit 1)
+  serve    --graph NAME=PATH [--graph NAME=PATH ...] [--listen ADDR] [--workers N]
+           [--queue N] [--retain N] [--deadline-ms MS]
+                                                   serve the named graphs over the
+                                                   NDJSON-over-TCP protocol (see
+                                                   PROTOCOL.md); Ctrl-C or a shutdown
+                                                   request drains gracefully
   generate <kind> <out.lg> [--seed S]              write a synthetic dataset
                                                    (chemical|social|citation|protein|grid|star-overlap)
 
@@ -358,25 +372,6 @@ fn print_frequent(patterns: &[ffsm::miner::FrequentPattern]) {
     }
 }
 
-/// Minimal JSON string escaping for the NDJSON stream.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Map an interrupted completion to its typed error (the documented non-zero exit
 /// path for `--deadline-ms` / cancellation); budget-capped and complete runs are
 /// successes — their status is in the output.
@@ -392,51 +387,41 @@ fn completion_exit(completion: Completion, deadline: Option<Duration>) -> Result
 
 /// Drive a session as NDJSON: one JSON object per line, flushed the moment the
 /// event happens, so a consumer sees patterns while the miner is still running.
+/// Frames come from the shared serializer in [`ffsm::serve::events`] — the exact
+/// bytes a server session writes to its socket.
 fn stream_ndjson(session: MiningSession) -> Result<Completion, CliError> {
-    use std::io::Write;
-    let stream = session.stream()?;
+    // The token lets a vanished consumer stop the miner the same way a server
+    // session does: cancel, don't unwind.
+    let token = ffsm::graph::CancelToken::new();
+    let stream = session.cancel_token(token.clone()).stream()?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut completion = Completion::Complete;
     for event in stream {
-        let line = match event? {
-            MiningEvent::Pattern(p) => format!(
-                "{{\"event\": \"pattern\", \"support\": {}, \"vertices\": {}, \"edges\": {}, \
-                 \"occurrences\": {}, \"pattern\": {}}}",
-                p.support,
-                p.pattern.num_vertices(),
-                p.pattern.num_edges(),
-                p.num_occurrences,
-                json_escape(io::to_lg_string(&p.pattern).trim_end())
-            ),
-            MiningEvent::LevelCompleted(level) => format!(
-                "{{\"event\": \"level\", \"level\": {}, \"evaluated\": {}, \"accepted\": {}, \
-                 \"threshold\": {}}}",
-                level.level, level.evaluated, level.accepted, level.threshold
-            ),
+        let frame = match event? {
+            MiningEvent::Pattern(p) => events::pattern_frame(&p, None),
+            MiningEvent::LevelCompleted(level) => events::level_frame(&level),
             MiningEvent::Finished(summary) => {
                 completion = summary.completion;
-                format!(
-                    "{{\"event\": \"finished\", \"completion\": \"{}\", \"patterns\": {}, \
-                     \"final_threshold\": {}, \"evaluated\": {}, \"elapsed_ms\": {}}}",
-                    summary.completion.name(),
-                    summary.num_patterns,
-                    summary.final_threshold,
-                    summary.stats.candidates_evaluated,
-                    summary.stats.elapsed.as_millis()
-                )
+                events::finished_frame(&summary)
             }
         };
-        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+        match events::write_frame(&mut out, &frame.finish()) {
+            Ok(events::FrameWrite::Written) => {}
             // A consumer closing the pipe early (`... --stream | head`) is a normal
-            // way to stop consuming, not a mining failure: end the stream cleanly
-            // so exit code 2 keeps meaning "run interrupted", nothing else.
-            if e.kind() == std::io::ErrorKind::BrokenPipe {
+            // way to stop consuming, not a mining failure: cancel the session and
+            // end the stream cleanly so exit code 2 keeps meaning "run
+            // interrupted", nothing else.
+            Ok(events::FrameWrite::Disconnected) => {
+                token.cancel();
                 return Ok(Completion::Complete);
             }
-            return Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(
-                e.to_string(),
-            ))));
+            Err(e) => {
+                token.cancel();
+                return Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(
+                    e.to_string(),
+                ))));
+            }
         }
     }
     Ok(completion)
@@ -536,7 +521,6 @@ fn report_epoch(
     result: &MiningResult,
     stream: bool,
 ) -> Result<bool, CliError> {
-    use std::io::Write;
     let stats = &result.stats;
     if !stream {
         let delta = delta_summary.map(|s| format!(" ({s})")).unwrap_or_default();
@@ -552,37 +536,22 @@ fn report_epoch(
     }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let mut emit = |line: String| -> Result<bool, CliError> {
-        match writeln!(out, "{line}").and_then(|()| out.flush()) {
-            Ok(()) => Ok(true),
-            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+    // Same serializer, same teardown contract as `mine --stream` and the server.
+    let mut emit = |frame: events::Frame| -> Result<bool, CliError> {
+        match events::write_frame(&mut out, &frame.finish()) {
+            Ok(events::FrameWrite::Written) => Ok(true),
+            Ok(events::FrameWrite::Disconnected) => Ok(false),
             Err(e) => {
                 Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(e.to_string()))))
             }
         }
     };
     for p in &result.patterns {
-        if !emit(format!(
-            "{{\"event\": \"pattern\", \"epoch\": {epoch}, \"support\": {}, \"vertices\": {}, \
-             \"edges\": {}, \"occurrences\": {}, \"pattern\": {}}}",
-            p.support,
-            p.pattern.num_vertices(),
-            p.pattern.num_edges(),
-            p.num_occurrences,
-            json_escape(io::to_lg_string(&p.pattern).trim_end())
-        ))? {
+        if !emit(events::pattern_frame(p, Some(epoch)))? {
             return Ok(false);
         }
     }
-    emit(format!(
-        "{{\"event\": \"epoch\", \"epoch\": {epoch}, \"completion\": \"{}\", \"patterns\": {}, \
-         \"evaluated\": {}, \"reused\": {}, \"elapsed_ms\": {}}}",
-        result.completion().name(),
-        result.len(),
-        result.stats.candidates_evaluated,
-        result.stats.evaluations_reused,
-        result.stats.elapsed.as_millis()
-    ))
+    emit(events::epoch_frame(epoch, result))
 }
 
 fn cmd_update(args: &[String]) -> Result<(), CliError> {
@@ -655,6 +624,101 @@ fn cmd_update(args: &[String]) -> Result<(), CliError> {
     if !stream {
         print_frequent(&last.patterns);
     }
+    Ok(())
+}
+
+/// SIGINT (Ctrl-C) latch for `ffsm serve`, registered through the C `signal`
+/// entry point so the binary needs no extra dependency.  The handler only sets
+/// an atomic flag (the one async-signal-safe thing worth doing); a watcher
+/// thread turns the flag into a graceful drain.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// POSIX `SIGINT`.
+    const SIGINT: i32 = 2;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    const SERVE_USAGE: &str = "ffsm serve --graph NAME=PATH [--graph NAME=PATH ...] \
+         [--listen ADDR] [--workers N] [--queue N] [--retain N] [--deadline-ms MS]";
+    let mut graphs: Vec<(&str, &str)> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--graph" {
+            let spec = args.get(i + 1).ok_or_else(|| {
+                CliError::Usage(format!("--graph needs NAME=PATH\n{SERVE_USAGE}"))
+            })?;
+            let (name, path) = spec.split_once('=').ok_or_else(|| {
+                CliError::Usage(format!("--graph expects NAME=PATH, got {spec:?}"))
+            })?;
+            graphs.push((name, path));
+        }
+    }
+    if graphs.is_empty() {
+        return Err(CliError::Usage(format!("at least one --graph is required\n{SERVE_USAGE}")));
+    }
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:7878");
+    let parse_count = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match flag_value(args, flag) {
+            Some(v) => v.parse().map_err(|_| CliError::Usage(format!("invalid {flag} {v:?}"))),
+            None => Ok(default),
+        }
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: parse_count("--workers", defaults.workers)?,
+        queue_capacity: parse_count("--queue", defaults.queue_capacity)?,
+        retain_epochs: parse_count("--retain", defaults.retain_epochs)?,
+        default_deadline: match flag_value(args, "--deadline-ms") {
+            Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("invalid --deadline-ms {v:?} (expected milliseconds)"))
+            })?)),
+            None => None,
+        },
+        ..defaults
+    };
+    let server = Server::bind(listen, config)?;
+    for (name, path) in &graphs {
+        server.registry().register(name, load_graph(path)?)?;
+    }
+    let addr = server.local_addr()?;
+    println!(
+        "serving {} graph(s) on {addr} — NDJSON protocol (see PROTOCOL.md); \
+         Ctrl-C or {{\"op\": \"shutdown\"}} drains gracefully",
+        graphs.len()
+    );
+    sigint::install();
+    let handle = server.handle();
+    let watcher = std::thread::spawn(move || {
+        // Turn the SIGINT latch into a drain; exits quietly when the drain
+        // started elsewhere (a client's `shutdown` request).
+        while !handle.is_shutting_down() {
+            if sigint::INTERRUPTED.load(std::sync::atomic::Ordering::SeqCst) {
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    let outcome = server.run();
+    let _ = watcher.join();
+    outcome?;
+    println!("drained; all sessions flushed");
     Ok(())
 }
 

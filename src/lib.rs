@@ -12,6 +12,9 @@
 //! * [`miner`] — a single-graph frequent-subgraph miner with pluggable measures.
 //! * [`dynamic`] — the versioned dynamic-graph subsystem: typed update batches,
 //!   epoch snapshots with incremental index maintenance, and delta re-mining.
+//! * [`serve`] — the multi-tenant mining server: named-graph registry with an
+//!   epoch-keyed prepared cache, bounded session scheduler, the shared NDJSON
+//!   event serializer, and the NDJSON-over-TCP protocol behind `ffsm serve`.
 //!
 //! See `README.md` for a quickstart, the CLI reference and the measure-selection
 //! table.  [`miner::MiningSession`] is the single mining entry point; measures are
@@ -24,6 +27,7 @@ pub use ffsm_hypergraph as hypergraph;
 pub use ffsm_lp as lp;
 pub use ffsm_match as matching;
 pub use ffsm_miner as miner;
+pub use ffsm_serve as serve;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
@@ -44,4 +48,5 @@ pub mod prelude {
         Completion, EvalCache, FrequentPattern, MiningBudget, MiningEvent, MiningResult,
         MiningSession, MiningStats, PatternStream, PreparedGraph, SessionConfig,
     };
+    pub use ffsm_serve::{GraphRegistry, Server, ServerConfig, ServerHandle, SessionScheduler};
 }
