@@ -126,6 +126,25 @@ pub fn dense_triangle_workload(copies: usize) -> (LabeledGraph, Pattern) {
     (generators::replicated(&clique, copies, false), patterns::uniform_clique(3, Label(0)))
 }
 
+/// The dense-community workload of the `match_scaling` bench: two equal random
+/// communities of `community_size` vertices over only **two** labels, dense inside
+/// (`p = 0.85`) and well-connected across (`p = 0.4`), queried with the
+/// alternating-label 4-cycle `0-1-0-1`.
+///
+/// This is the matcher pathology the dense-graph fix targets: with two labels the
+/// label filter prunes almost nothing, candidate sets stay at ~half the graph, and
+/// at `community_size = 32` the average degree clears the hub-bitset gate
+/// (`ffsm_match` builds adjacency bitsets for vertices of degree ≥ 32 in graphs of
+/// ≤ 8192 vertices), so the word-parallel pool intersection — not the label
+/// pruning — carries the search.  The seed fixed at `0xd5` keeps every run on the
+/// same graph.
+pub fn dense_community_workload(community_size: usize) -> (LabeledGraph, Pattern) {
+    (
+        generators::community_graph(2, community_size, 0.85, 0.4, 2, 0xd5),
+        patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)]),
+    )
+}
+
 /// The layer-size grid of the `match_scaling` bench: doubling from 8 up to `max`.
 pub fn match_scaling_sizes(max: usize) -> Vec<usize> {
     let mut sizes = Vec::new();
@@ -206,6 +225,20 @@ mod tests {
         let (g, p) = dense_triangle_workload(7);
         let occ = enumerate(&p, &g, 1_000_000);
         assert_eq!(occ.num_occurrences(), 7 * 24);
+    }
+
+    #[test]
+    fn dense_community_workload_is_dense_and_two_labeled() {
+        let (g, p) = dense_community_workload(32);
+        assert_eq!(g.num_vertices(), 64);
+        // Average degree clears the hub-bitset gate of `ffsm_match` (>= 32).
+        assert!(2 * g.num_edges() >= 32 * g.num_vertices(), "{} edges", g.num_edges());
+        assert!((0..g.num_vertices() as u32).all(|v| g.label(v).0 < 2));
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 4);
+        let occ = enumerate(&p, &g, 2_000_000);
+        assert!(occ.is_complete());
+        assert!(occ.num_occurrences() > 0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use ffsm_graph::CancelToken;
 // The dynamic-graph update vocabulary is re-exported for the same reason: the
 // miner's delta-aware mode and the `ffsm-dynamic` store speak these types.
 pub use ffsm_graph::{GraphDelta, GraphUpdate, UpdateError};
-pub use ffsm_match::GraphIndex;
+pub use ffsm_match::{GraphIndex, SearchArena};
 pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
 };

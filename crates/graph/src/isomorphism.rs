@@ -45,6 +45,39 @@ pub enum EnumeratorBackend {
     /// The indexed candidate-space engine of `ffsm-match`.  The default.
     #[default]
     CandidateSpace,
+    /// Pick [`Naive`](Self::Naive) or [`CandidateSpace`](Self::CandidateSpace) per
+    /// pattern from `GraphIndex` statistics (label entropy, estimated candidate
+    /// reduction, pattern size).  The decision is deterministic for a given
+    /// (pattern, index) pair, and both backends produce the same embedding
+    /// multiset, so `Auto` never changes any support value — only which engine
+    /// pays for it.  Resolution happens one layer up, in `ffsm-match`.
+    Auto,
+}
+
+impl std::str::FromStr for EnumeratorBackend {
+    type Err = String;
+
+    /// Accepts `naive`, `candidate-space` (or `candidate_space`/`cs`), and `auto`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(EnumeratorBackend::Naive),
+            "candidate-space" | "candidate_space" | "cs" => Ok(EnumeratorBackend::CandidateSpace),
+            "auto" => Ok(EnumeratorBackend::Auto),
+            other => Err(format!(
+                "unknown enumerator backend `{other}` (expected `naive`, `candidate-space`, or `auto`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EnumeratorBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EnumeratorBackend::Naive => "naive",
+            EnumeratorBackend::CandidateSpace => "candidate-space",
+            EnumeratorBackend::Auto => "auto",
+        })
+    }
 }
 
 /// Configuration for the embedding enumerator.

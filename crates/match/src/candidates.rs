@@ -10,6 +10,17 @@
 //!    `u`, some data neighbour of `v` is in `C(u')`.  Deletions propagate until a
 //!    fixpoint is reached.
 //!
+//! The refinement is executed **word-parallel**: for each pattern vertex `u'` the
+//! builder materialises the neighbourhood bitset `N(C(u')) = ⋃_{w ∈ C(u')} adj(w)`
+//! once (OR-ing hub adjacency bitsets from the [`GraphIndex`] 64 vertices at a
+//! time where available) and then ANDs it word-wise into the member bitset of
+//! every pattern neighbour of `u'` — the per-candidate "does `v` have a neighbour
+//! in `C(u')`" scan of the naive formulation disappears, as do the one-bit-at-a-
+//! time deletions.  A **dirty worklist** keeps later sweeps from rescanning the
+//! whole pattern: only vertices whose candidate set shrank during the previous
+//! sweep re-propagate their constraint.  The fixpoint is unique regardless of
+//! sweep order, so the surviving sets are identical to the naive formulation's.
+//!
 //! Both phases only ever delete vertices that cannot participate in any embedding
 //! (for the non-induced semantics; the induced semantics matches a subset of those
 //! embeddings, so the space is sound for both).  The search then enumerates inside
@@ -21,28 +32,74 @@
 use crate::index::GraphIndex;
 use ffsm_graph::{LabeledGraph, Pattern, VertexId};
 
-/// Dense bitset over data-graph vertices: O(1) membership for the refinement loop
-/// and the search's pivot-adjacency filter.
+/// Dense bitset over data-graph vertices: O(1) membership for the search's
+/// feasibility checks and word-parallel AND/OR for refinement and pool filtering.
 #[derive(Debug, Clone)]
-struct Bitset {
+pub(crate) struct Bitset {
     words: Vec<u64>,
 }
 
 impl Bitset {
-    fn with_len(n: usize) -> Self {
+    pub(crate) fn with_len(n: usize) -> Self {
         Bitset { words: vec![0u64; n.div_ceil(64)] }
     }
 
-    fn set(&mut self, i: usize) {
+    pub(crate) fn set(&mut self, i: usize) {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
-    fn clear(&mut self, i: usize) {
+    #[cfg(test)]
+    pub(crate) fn clear(&mut self, i: usize) {
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
-    fn get(&self, i: usize) -> bool {
+    pub(crate) fn get(&self, i: usize) -> bool {
         self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The backing words (bit `i` of the set is bit `i % 64` of word `i / 64`).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// `self &= other`, word-parallel.  Returns `true` if any bit was cleared.
+    pub(crate) fn and_assign(&mut self, other: &[u64]) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other) {
+            let masked = *a & b;
+            if masked != *a {
+                *a = masked;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Overwrite `out` with the set bits in ascending order.
+    pub(crate) fn collect_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push((wi * 64 + bit) as VertexId);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// OR the adjacency of data vertex `w` into `scratch` — word-parallel via the
+/// index's hub bitset when `w` has one, per-neighbour otherwise.
+fn or_adjacency(scratch: &mut [u64], graph: &LabeledGraph, index: &GraphIndex, w: VertexId) {
+    if let Some(bits) = index.adjacency_words(w) {
+        for (s, &b) in scratch.iter_mut().zip(bits) {
+            *s |= b;
+        }
+    } else {
+        for &x in graph.neighbors(w) {
+            scratch[x as usize / 64] |= 1u64 << (x % 64);
+        }
     }
 }
 
@@ -87,41 +144,54 @@ impl CandidateSpace {
             member.push(bits);
         }
 
-        // Refinement to fixpoint.  Deletions take effect immediately (the bitsets
-        // are updated in place), so later checks in the same sweep see them and the
-        // fixpoint is reached in fewer sweeps; the fixpoint itself is unique
-        // regardless of sweep order, so this does not affect the result.
+        // Refinement to fixpoint, word-parallel.  For each (still-dirty) pattern
+        // vertex u', materialise N(C(u')) = ⋃_{w ∈ C(u')} adj(w) in one scratch
+        // bitset, then AND it into the member bitset of every pattern neighbour of
+        // u' — a candidate v of a neighbour survives iff bit v is set, i.e. iff
+        // some data neighbour of v lies in C(u').  Deletions take effect
+        // immediately (the bitsets are updated in place), so later constraints in
+        // the same sweep see them; the fixpoint is unique regardless of sweep
+        // order.  The dirty worklist re-propagates only constraints whose source
+        // set shrank in the previous sweep; the scratch buffer is hoisted out of
+        // the loop and batch-cleared once per source vertex.
+        let words = graph.num_vertices().div_ceil(64);
+        let mut scratch = vec![0u64; words];
+        let mut dirty = vec![true; n];
         let mut rounds = 0usize;
         loop {
             rounds += 1;
-            let mut changed = false;
-            for u in 0..n {
-                let pattern_neighbors = pattern.neighbors(u as VertexId);
+            let mut changed_any = false;
+            let sweep: Vec<usize> = (0..n).filter(|&u| dirty[u]).collect();
+            dirty.iter_mut().for_each(|d| *d = false);
+            for &u_prime in &sweep {
+                let pattern_neighbors = pattern.neighbors(u_prime as VertexId);
                 if pattern_neighbors.is_empty() {
                     continue;
                 }
-                let mut removed: Vec<VertexId> = Vec::new();
-                candidates[u].retain(|&v| {
-                    let supported = pattern_neighbors.iter().all(|&u_prime| {
-                        graph.neighbors(v).iter().any(|&w| member[u_prime as usize].get(w as usize))
-                    });
-                    if !supported {
-                        removed.push(v);
-                    }
-                    supported
-                });
-                if !removed.is_empty() {
-                    changed = true;
-                    for v in removed {
-                        member[u].clear(v as usize);
+                scratch.iter_mut().for_each(|w| *w = 0);
+                for &w in &candidates[u_prime] {
+                    or_adjacency(&mut scratch, graph, index, w);
+                }
+                for &u in pattern_neighbors {
+                    let u = u as usize;
+                    if member[u].and_assign(&scratch) {
+                        member[u].collect_into(&mut candidates[u]);
+                        dirty[u] = true;
+                        changed_any = true;
                     }
                 }
             }
-            if !changed {
+            if !changed_any {
                 break;
             }
         }
         CandidateSpace { candidates, member, initial_sizes, refinement_rounds: rounds }
+    }
+
+    /// The member bitset words of pattern vertex `u` (for word-parallel pool
+    /// intersection in the search loop).
+    pub(crate) fn member_words(&self, u: VertexId) -> &[u64] {
+        self.member[u as usize].words()
     }
 
     /// Number of pattern vertices.
@@ -181,6 +251,23 @@ mod tests {
         assert!(b.get(0) && b.get(64) && b.get(129));
         b.clear(64);
         assert!(!b.get(64) && b.get(129));
+    }
+
+    #[test]
+    fn bitset_word_ops_and_extraction() {
+        let mut a = Bitset::with_len(130);
+        for i in [0usize, 3, 64, 129] {
+            a.set(i);
+        }
+        let mut mask = Bitset::with_len(130);
+        for i in [3usize, 64, 100] {
+            mask.set(i);
+        }
+        assert!(a.and_assign(mask.words()));
+        assert!(!a.and_assign(mask.words()), "AND is idempotent at the fixpoint");
+        let mut out = Vec::new();
+        a.collect_into(&mut out);
+        assert_eq!(out, vec![3, 64]);
     }
 
     #[test]

@@ -2,9 +2,35 @@
 //!
 //! Unlike the naive recursive oracle (`ffsm_graph::isomorphism`), the search here is
 //! an explicit-stack loop — no recursion depth limits, no per-step candidate-list
-//! clones.  Every candidate pool is a borrowed slice: either a candidate set of the
-//! space or the adjacency list of the already-matched pivot image with the smallest
-//! degree, filtered through the space's membership bitsets.
+//! clones.  Three mechanisms keep the dense-graph hot path tight:
+//!
+//! * **Intersected pools.**  The pool at each depth is the exact intersection of
+//!   the depth's refined candidate set with the adjacency of the cheapest
+//!   already-matched pivot image, materialised into a reusable arena buffer.  The
+//!   builder walks whichever side is smaller (`min(|adj(pivot)|, |C(u)|)`), and
+//!   when the pivot image has a hub adjacency bitset in the [`GraphIndex`] the
+//!   intersection is computed **word-parallel** — the pivot's adjacency words are
+//!   ANDed with the candidate membership words 64 vertices at a time.  When
+//!   *every* earlier-matched neighbour's image is a hub, the pool is instead the
+//!   word-parallel AND across **all** of them: the pool is then fully
+//!   edge-verified, and the per-candidate backward `has_edge` ladder disappears
+//!   entirely — the dense-graph hot path runs on `used` probes alone.
+//! * **Reusable [`SearchArena`].**  All per-search buffers (assignment, used
+//!   flags, per-depth pools, scan positions, failing sets) live in an arena owned
+//!   by the call site, so a mining worker evaluating thousands of patterns
+//!   allocates them once instead of once per pattern.
+//! * **Failing-set backjumping** (CFL-Match / Sun & Luo lineage).  Every depth
+//!   tracks a *failing set*: the set of pattern vertices whose assignments the
+//!   failure of the subtree below could depend on.  When a subtree is exhausted
+//!   without finding any embedding and the parent's own pattern vertex is *not*
+//!   in the failing set, re-assigning the parent cannot repair the failure, so
+//!   the parent's remaining candidates are skipped wholesale (the failing set
+//!   propagates upward unchanged).  Any found embedding poisons the failing set
+//!   to "all vertices", so **only provably embedding-free subtrees are ever
+//!   jumped over** — the emitted embedding sequence is identical to plain
+//!   backtracking, order included.  Patterns with more than 64 vertices disable
+//!   the machinery (the sets are `u64` masks) and fall back to plain
+//!   backtracking.
 //!
 //! ## Matching order
 //!
@@ -12,19 +38,23 @@
 //! the vertex with the fewest candidates (ties: higher pattern degree, then lower
 //! id), then repeatedly pick the unmatched vertex adjacent to the matched prefix
 //! with the fewest candidates (ties: more matched neighbours, then lower id).
+//! The matched-neighbour counts are maintained incrementally as vertices are
+//! placed, so order construction is `O(n·deg + n²)` instead of `O(n²·deg)`.
 //! Disconnected patterns fall back to the globally best unmatched vertex when no
 //! adjacent one exists.
 //!
 //! ## Determinism contract
 //!
 //! For a fixed pattern, graph and config, embeddings are emitted in one fixed
-//! order: candidate pools are ascending by data vertex id (candidate sets) or in
-//! adjacency-list order (pivot pools), and the matching order depends only on the
-//! candidate space.  The parallel enumerator partitions the *root* pool into
+//! order: every pool is ascending by data vertex id (candidate sets are sorted and
+//! all three intersection strategies preserve ascending order), the matching order
+//! depends only on the candidate space, and backjumping only skips subtrees that
+//! contain no embedding.  The parallel enumerator partitions the *root* pool into
 //! contiguous chunks and concatenates the per-chunk results, which reproduces this
 //! sequential order exactly.
 
 use crate::candidates::CandidateSpace;
+use crate::index::GraphIndex;
 use ffsm_graph::cancel::{CancelToken, CHECK_STRIDE};
 use ffsm_graph::isomorphism::{EmbeddingVisitor, VisitFlow};
 use ffsm_graph::{LabeledGraph, Pattern, VertexId};
@@ -39,6 +69,9 @@ pub(crate) struct MatchingOrder {
     /// Per depth, the pattern *non*-neighbours matched at earlier depths (the
     /// induced-semantics check set).
     pub earlier_non_neighbors: Vec<Vec<VertexId>>,
+    /// Per depth, the `u64` failing-set mask of `earlier_neighbors` (valid for
+    /// patterns of at most 64 vertices — exactly when backjumping is armed).
+    pub earlier_mask: Vec<u64>,
 }
 
 impl MatchingOrder {
@@ -46,6 +79,9 @@ impl MatchingOrder {
         let n = pattern.num_vertices();
         let mut order: Vec<VertexId> = Vec::with_capacity(n);
         let mut placed = vec![false; n];
+        // Matched-neighbour count per vertex, updated when a vertex is placed —
+        // the O(deg) recount per candidate per iteration is gone.
+        let mut placed_count = vec![0usize; n];
         // (candidate count, fewer pattern neighbours is worse, id) — smaller is better.
         let global_cost =
             |v: VertexId| (space.candidates(v).len(), std::cmp::Reverse(pattern.degree(v)), v);
@@ -54,19 +90,21 @@ impl MatchingOrder {
                 order,
                 earlier_neighbors: Vec::new(),
                 earlier_non_neighbors: Vec::new(),
+                earlier_mask: Vec::new(),
             };
         }
         let start = pattern.vertices().min_by_key(|&v| global_cost(v)).expect("non-empty");
         order.push(start);
         placed[start as usize] = true;
+        for &w in pattern.neighbors(start) {
+            placed_count[w as usize] += 1;
+        }
         while order.len() < n {
-            let placed_neighbors =
-                |v: VertexId| pattern.neighbors(v).iter().filter(|&&w| placed[w as usize]).count();
             let next = pattern
                 .vertices()
-                .filter(|&v| !placed[v as usize] && placed_neighbors(v) > 0)
+                .filter(|&v| !placed[v as usize] && placed_count[v as usize] > 0)
                 .min_by_key(|&v| {
-                    (space.candidates(v).len(), std::cmp::Reverse(placed_neighbors(v)), v)
+                    (space.candidates(v).len(), std::cmp::Reverse(placed_count[v as usize]), v)
                 })
                 .or_else(|| {
                     // Disconnected pattern: open the next component at its best root.
@@ -78,6 +116,9 @@ impl MatchingOrder {
                 .expect("some vertex unplaced");
             order.push(next);
             placed[next as usize] = true;
+            for &w in pattern.neighbors(next) {
+                placed_count[w as usize] += 1;
+            }
         }
         let mut position = vec![usize::MAX; n];
         for (d, &v) in order.iter().enumerate() {
@@ -97,12 +138,182 @@ impl MatchingOrder {
                 order[..d].iter().copied().filter(|&w| !pattern.has_edge(v, w)).collect()
             })
             .collect();
-        MatchingOrder { order, earlier_neighbors, earlier_non_neighbors }
+        let earlier_mask = earlier_neighbors
+            .iter()
+            .map(|ns| ns.iter().fold(0u64, |m, &pn| m | 1u64 << (pn & 63)))
+            .collect();
+        MatchingOrder { order, earlier_neighbors, earlier_non_neighbors, earlier_mask }
     }
 }
 
 /// Sentinel for "pattern vertex not yet assigned".
 const UNSET: VertexId = VertexId::MAX;
+
+/// Reusable buffers for one embedding search.
+///
+/// Owned by the enumeration call site and handed to every search, so the
+/// per-search allocations (assignment, used flags, per-depth pools, positions,
+/// failing sets) happen once per *worker*, not once per *pattern*: a mining level
+/// worker keeps one arena across thousands of candidate-pattern evaluations, and
+/// each parallel root-chunk worker keeps one across its chunk.
+///
+/// The arena carries no results and imposes no invariants on callers — any arena
+/// (fresh or previously used, regardless of which pattern or graph it last served)
+/// yields identical output, because every search re-prepares the buffers it needs.
+/// The only interior state that survives a search is capacity.  Not shareable
+/// across concurrent searches (each thread needs its own).
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    /// `assignment[pv]` = data image of pattern vertex `pv`, or [`UNSET`].
+    assignment: Vec<VertexId>,
+    /// Per data vertex: currently used by some assigned pattern vertex.
+    used: Vec<bool>,
+    /// Per data vertex: which pattern vertex uses it (valid only where `used`).
+    owner: Vec<VertexId>,
+    /// Per depth: the materialised candidate pool.
+    pools: Vec<Vec<VertexId>>,
+    /// Per depth: the pattern vertex whose image's adjacency seeded the pool
+    /// ([`UNSET`] for full-candidate-set pools).
+    pool_pivot: Vec<VertexId>,
+    /// Per depth: the pool was intersected with *every* earlier neighbour's
+    /// adjacency, so backward edges need no re-checking.
+    pool_verified: Vec<bool>,
+    /// Word scratch for the all-neighbour bitset intersection.
+    scratch: Vec<u64>,
+    /// Per depth: scan position within the pool.
+    pos: Vec<usize>,
+    /// Per depth: the failing set (`u64` mask over pattern vertices).
+    fs: Vec<u64>,
+}
+
+impl SearchArena {
+    /// An empty arena; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        SearchArena::default()
+    }
+
+    /// Size the buffers for a pattern of `n` vertices against a graph of
+    /// `num_data_vertices`.  `used` must be (and stays) all-false between
+    /// searches — searches clear exactly the flags they set on every exit path.
+    fn prepare(&mut self, n: usize, num_data_vertices: usize) {
+        self.assignment.clear();
+        self.assignment.resize(n, UNSET);
+        if self.used.len() < num_data_vertices {
+            self.used.resize(num_data_vertices, false);
+            self.owner.resize(num_data_vertices, UNSET);
+        }
+        if self.pools.len() < n {
+            self.pools.resize_with(n, Vec::new);
+        }
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.fs.clear();
+        self.fs.resize(n, 0);
+        self.pool_pivot.clear();
+        self.pool_pivot.resize(n, UNSET);
+        self.pool_verified.clear();
+        self.pool_verified.resize(n, false);
+        debug_assert!(self.used.iter().all(|&u| !u), "arena left dirty by a previous search");
+    }
+}
+
+/// Fill `pool` with the depth's candidates: `C(u) ∩ adj(pivot image)` where a
+/// matched pivot exists, the full candidate set otherwise.  Walks whichever side
+/// of the intersection is smaller; uses the pivot's hub adjacency bitset for
+/// O(1) membership or a word-parallel AND when available.  When every earlier
+/// neighbour's image is a hub, the pool is the word-parallel AND of the
+/// candidate membership words with **all** their adjacency words — then the pool
+/// is fully edge-verified and the second tuple element is `true`.  Returns the
+/// pivot pattern vertex ([`UNSET`] for full-set and fully-verified pools).
+/// Every strategy emits the pool ascending by data vertex id.
+#[allow(clippy::too_many_arguments)]
+fn fill_pool(
+    graph: &LabeledGraph,
+    index: &GraphIndex,
+    space: &CandidateSpace,
+    order: &MatchingOrder,
+    assignment: &[VertexId],
+    depth: usize,
+    pool: &mut Vec<VertexId>,
+    scratch: &mut Vec<u64>,
+) -> (VertexId, bool) {
+    pool.clear();
+    let u = order.order[depth];
+    let earlier = &order.earlier_neighbors[depth];
+    let pivot = earlier.iter().copied().min_by_key(|&pn| graph.degree(assignment[pn as usize]));
+    let Some(pn) = pivot else {
+        // Depth 0 is handled by the caller; this is a new pattern component.
+        pool.extend_from_slice(space.candidates(u));
+        return (UNSET, false);
+    };
+    let pi = assignment[pn as usize];
+    let cands = space.candidates(u);
+    if earlier.len() >= 2 {
+        let member = space.member_words(u);
+        let all_hubs = member.len() <= cands.len()
+            && earlier.iter().all(|&pn| index.adjacency_words(assignment[pn as usize]).is_some());
+        if all_hubs {
+            scratch.clear();
+            scratch.extend_from_slice(member);
+            for &pn in earlier {
+                let bits = index.adjacency_words(assignment[pn as usize]).expect("checked hub");
+                for (s, &b) in scratch.iter_mut().zip(bits) {
+                    *s &= b;
+                }
+            }
+            for (wi, &word) in scratch.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    pool.push((wi * 64 + bit) as VertexId);
+                    word &= word - 1;
+                }
+            }
+            return (UNSET, true);
+        }
+    }
+    if cands.len() <= graph.degree(pi) {
+        // Candidate side is smaller: test adjacency per candidate.
+        if let Some(bits) = index.adjacency_words(pi) {
+            pool.extend(
+                cands.iter().copied().filter(|&v| bits[v as usize / 64] >> (v % 64) & 1 != 0),
+            );
+        } else {
+            pool.extend(cands.iter().copied().filter(|&v| graph.has_edge(v, pi)));
+        }
+    } else if let Some(bits) = index.adjacency_words(pi) {
+        // Adjacency side is smaller and the pivot is a hub: AND its adjacency
+        // words with the candidate membership words, 64 vertices at a time.
+        for (wi, (&a, &c)) in bits.iter().zip(space.member_words(u)).enumerate() {
+            let mut word = a & c;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                pool.push((wi * 64 + bit) as VertexId);
+                word &= word - 1;
+            }
+        }
+    } else {
+        // Adjacency side is smaller, no hub bitset: scan the sorted adjacency
+        // list with O(1) membership tests.
+        pool.extend(graph.neighbors(pi).iter().copied().filter(|&w| space.contains(u, w)));
+    }
+    (pn, false)
+}
+
+/// Clear the assignment and used flags of the first `depth` matched depths (the
+/// early-exit path of a search — the exhausted path unwinds them one by one).
+fn release_prefix(
+    order: &MatchingOrder,
+    depth: usize,
+    assignment: &mut [VertexId],
+    used: &mut [bool],
+) {
+    for &pv in &order.order[..depth] {
+        let gv = assignment[pv as usize];
+        assignment[pv as usize] = UNSET;
+        used[gv as usize] = false;
+    }
+}
 
 /// One sequential enumeration run over (a root-restriction of) a candidate space.
 ///
@@ -111,13 +322,16 @@ const UNSET: VertexId = VertexId::MAX;
 /// Returns `true` if the search space was exhausted, `false` if the visitor stopped
 /// or `cancel` fired (cooperative cancellation, polled every [`CHECK_STRIDE`]
 /// scan steps).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_search<V: EmbeddingVisitor>(
     graph: &LabeledGraph,
+    index: &GraphIndex,
     space: &CandidateSpace,
     order: &MatchingOrder,
     induced: bool,
     root_pool: Option<&[VertexId]>,
     cancel: &CancelToken,
+    arena: &mut SearchArena,
     visitor: &mut V,
 ) -> bool {
     let n = order.order.len();
@@ -128,52 +342,21 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
     if cancel.is_cancelled() {
         return false;
     }
-    // `assignment[pv]` is the image of pattern vertex `pv` — exactly the embedding
-    // layout, so a complete assignment is visited without re-indexing.
-    let mut assignment: Vec<VertexId> = vec![UNSET; n];
-    let mut used = vec![false; graph.num_vertices()];
-    // Per-depth candidate pool (a borrowed slice) and the scan position within it.
-    let mut pools: Vec<&[VertexId]> = vec![&[]; n];
-    let mut pos: Vec<usize> = vec![0; n];
+    arena.prepare(n, graph.num_vertices());
+    let SearchArena { assignment, used, owner, pools, pool_pivot, pool_verified, scratch, pos, fs } =
+        arena;
 
-    // Pool selection at `depth`: the pivot is the earlier-matched pattern neighbour
-    // whose image has the fewest data neighbours; without one (depth 0 or a new
-    // pattern component) the pool is the full candidate set.
-    let pool_for = |depth: usize, assignment: &[VertexId]| -> &[VertexId] {
-        order.earlier_neighbors[depth]
-            .iter()
-            .copied()
-            .min_by_key(|&pn| graph.degree(assignment[pn as usize]))
-            .map(|pn| graph.neighbors(assignment[pn as usize]))
-            .unwrap_or_else(|| space.candidates(order.order[depth]))
-    };
+    // Failing-set machinery is a u64 mask over pattern vertices; wider patterns
+    // run plain backtracking (the miner never produces them).
+    let bj = n <= 64;
+    let bit = |pv: VertexId| 1u64 << (pv & 63);
+    const FULL: u64 = !0u64;
 
-    let feasible = |depth: usize, gv: VertexId, assignment: &[VertexId], used: &[bool]| -> bool {
-        if used[gv as usize] {
-            return false;
-        }
-        // Pivot pools come from raw adjacency lists; membership in the candidate
-        // set carries the label / degree / fingerprint / refinement checks.
-        if !space.contains(order.order[depth], gv) {
-            return false;
-        }
-        for &pn in &order.earlier_neighbors[depth] {
-            if !graph.has_edge(gv, assignment[pn as usize]) {
-                return false;
-            }
-        }
-        if induced {
-            for &pw in &order.earlier_non_neighbors[depth] {
-                if graph.has_edge(gv, assignment[pw as usize]) {
-                    return false;
-                }
-            }
-        }
-        true
-    };
+    pools[0].clear();
+    pools[0].extend_from_slice(root_pool.unwrap_or_else(|| space.candidates(order.order[0])));
+    pool_pivot[0] = UNSET;
+    pool_verified[0] = false;
 
-    pools[0] = root_pool.unwrap_or_else(|| space.candidates(order.order[0]));
-    pos[0] = 0;
     let mut depth = 0usize;
     let mut steps: u32 = 0;
     loop {
@@ -183,29 +366,95 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
             if steps >= CHECK_STRIDE {
                 steps = 0;
                 if cancel.is_cancelled() {
+                    release_prefix(order, depth, assignment, used);
                     return false;
                 }
             }
             let gv = pools[depth][pos[depth]];
             pos[depth] += 1;
-            if !feasible(depth, gv, &assignment, &used) {
+            let u = order.order[depth];
+            // Membership in C(u) and adjacency to the pool pivot are pool
+            // invariants; only injectivity and the remaining backward edges are
+            // checked here.  Each failure records its conflict pair in the
+            // depth's failing set.
+            if used[gv as usize] {
+                if bj {
+                    fs[depth] |= bit(u) | bit(owner[gv as usize]);
+                }
                 continue;
             }
-            let pv = order.order[depth];
+            let mut ok = true;
+            if !pool_verified[depth] {
+                for &pn in &order.earlier_neighbors[depth] {
+                    if pn == pool_pivot[depth] {
+                        continue;
+                    }
+                    if !graph.has_edge(gv, assignment[pn as usize]) {
+                        if bj {
+                            fs[depth] |= bit(u) | bit(pn);
+                        }
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && induced {
+                for &pw in &order.earlier_non_neighbors[depth] {
+                    if graph.has_edge(gv, assignment[pw as usize]) {
+                        if bj {
+                            fs[depth] |= bit(u) | bit(pw);
+                        }
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
             if depth + 1 == n {
                 // Complete embedding: report it and keep scanning this depth.
-                assignment[pv as usize] = gv;
-                let flow = visitor.visit(&assignment);
-                assignment[pv as usize] = UNSET;
+                // An embedding below any ancestor makes its subtree non-barren,
+                // so poison the failing set — no ancestor may backjump over it.
+                assignment[u as usize] = gv;
+                let flow = visitor.visit(assignment);
+                assignment[u as usize] = UNSET;
+                fs[depth] = FULL;
                 if flow == VisitFlow::Stop {
+                    release_prefix(order, depth, assignment, used);
                     return false;
                 }
             } else {
-                assignment[pv as usize] = gv;
+                assignment[u as usize] = gv;
                 used[gv as usize] = true;
+                owner[gv as usize] = u;
                 depth += 1;
-                pools[depth] = pool_for(depth, &assignment);
+                let (piv, verified) = fill_pool(
+                    graph,
+                    index,
+                    space,
+                    order,
+                    assignment,
+                    depth,
+                    &mut pools[depth],
+                    scratch,
+                );
+                pool_pivot[depth] = piv;
+                pool_verified[depth] = verified;
                 pos[depth] = 0;
+                // A pool implicitly filtered out candidates not adjacent to the
+                // images it was intersected with — the subtree's failure may
+                // depend on those choices, so they seed the failing set (the
+                // pivot alone, or every earlier neighbour for verified pools).
+                fs[depth] = if !bj {
+                    0
+                } else if verified {
+                    bit(order.order[depth]) | order.earlier_mask[depth]
+                } else if piv != UNSET {
+                    bit(order.order[depth]) | bit(piv)
+                } else {
+                    0
+                };
                 extended = true;
                 break;
             }
@@ -213,15 +462,27 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
         if extended {
             continue;
         }
-        // Pool exhausted: backtrack.
+        // Pool exhausted: backtrack, propagating the failing set.
         if depth == 0 {
             return true;
         }
+        let fail = fs[depth];
         depth -= 1;
         let pv = order.order[depth];
         let gv = assignment[pv as usize];
         assignment[pv as usize] = UNSET;
         used[gv as usize] = false;
+        if bj {
+            if fail & bit(pv) == 0 {
+                // The dead subtree's failure does not involve this depth's
+                // assignment: no sibling candidate can repair it.  Skip the
+                // remaining pool and hand the failing set to the next ancestor.
+                fs[depth] = fail;
+                pos[depth] = pools[depth].len();
+            } else {
+                fs[depth] |= fail;
+            }
+        }
     }
 }
 
@@ -236,15 +497,18 @@ mod tests {
         let index = GraphIndex::build(graph);
         let space = CandidateSpace::build(pattern, graph, &index);
         let order = MatchingOrder::build(pattern, &space);
+        let mut arena = SearchArena::new();
         let mut collect = CollectVisitor::with_limit(usize::MAX);
         if pattern.num_vertices() > 0 {
             let complete = run_search(
                 graph,
+                &index,
                 &space,
                 &order,
                 false,
                 None,
                 &CancelToken::default(),
+                &mut arena,
                 &mut collect,
             );
             assert!(complete);
@@ -310,25 +574,118 @@ mod tests {
         let index = GraphIndex::build(&g);
         let space = CandidateSpace::build(&p, &g, &index);
         let order = MatchingOrder::build(&p, &space);
+        let mut arena = SearchArena::new();
         let mut open = CollectVisitor::with_limit(usize::MAX);
-        run_search(&g, &space, &order, false, None, &CancelToken::default(), &mut open);
+        run_search(
+            &g,
+            &index,
+            &space,
+            &order,
+            false,
+            None,
+            &CancelToken::default(),
+            &mut arena,
+            &mut open,
+        );
         assert_eq!(open.embeddings.len(), 6);
         let mut induced = CollectVisitor::with_limit(usize::MAX);
-        run_search(&g, &space, &order, true, None, &CancelToken::default(), &mut induced);
+        run_search(
+            &g,
+            &index,
+            &space,
+            &order,
+            true,
+            None,
+            &CancelToken::default(),
+            &mut arena,
+            &mut induced,
+        );
         assert!(induced.embeddings.is_empty());
     }
 
     #[test]
-    fn visitor_stop_aborts_the_search() {
+    fn visitor_stop_aborts_the_search_and_leaves_the_arena_clean() {
         let g = LabeledGraph::from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
         let p = patterns::single_edge(Label(0), Label(0));
         let index = GraphIndex::build(&g);
         let space = CandidateSpace::build(&p, &g, &index);
         let order = MatchingOrder::build(&p, &space);
+        let mut arena = SearchArena::new();
         let mut collect = CollectVisitor::with_limit(2);
-        let complete =
-            run_search(&g, &space, &order, false, None, &CancelToken::default(), &mut collect);
+        let complete = run_search(
+            &g,
+            &index,
+            &space,
+            &order,
+            false,
+            None,
+            &CancelToken::default(),
+            &mut arena,
+            &mut collect,
+        );
         assert!(!complete);
         assert_eq!(collect.embeddings.len(), 2);
+        assert!(arena.used.iter().all(|&u| !u), "early exit must release used flags");
+        // The same arena serves the next (different) search unchanged.
+        let mut all = CollectVisitor::with_limit(usize::MAX);
+        let complete = run_search(
+            &g,
+            &index,
+            &space,
+            &order,
+            false,
+            None,
+            &CancelToken::default(),
+            &mut arena,
+            &mut all,
+        );
+        assert!(complete);
+        assert_eq!(all.embeddings.len(), 6);
+    }
+
+    #[test]
+    fn arena_reuse_across_patterns_changes_nothing() {
+        let g = LabeledGraph::from_edges(
+            &[0, 0, 0, 1, 1, 1],
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5), (3, 4)],
+        );
+        let index = GraphIndex::build(&g);
+        let shapes = [
+            patterns::triangle(Label(0), Label(0), Label(0)),
+            patterns::single_edge(Label(0), Label(1)),
+            patterns::path(&[Label(1), Label(0), Label(0)]),
+            patterns::uniform_path(3, Label(0)),
+        ];
+        let mut shared = SearchArena::new();
+        for pattern in &shapes {
+            let space = CandidateSpace::build(pattern, &g, &index);
+            let order = MatchingOrder::build(pattern, &space);
+            let mut with_shared = CollectVisitor::with_limit(usize::MAX);
+            run_search(
+                &g,
+                &index,
+                &space,
+                &order,
+                false,
+                None,
+                &CancelToken::default(),
+                &mut shared,
+                &mut with_shared,
+            );
+            let mut fresh = SearchArena::new();
+            let mut with_fresh = CollectVisitor::with_limit(usize::MAX);
+            run_search(
+                &g,
+                &index,
+                &space,
+                &order,
+                false,
+                None,
+                &CancelToken::default(),
+                &mut fresh,
+                &mut with_fresh,
+            );
+            assert_eq!(with_shared.embeddings, with_fresh.embeddings);
+        }
     }
 }

@@ -10,7 +10,18 @@
 //! * **neighbour-label fingerprints**: a 64-bit bitset per vertex with one (hashed)
 //!   bit per distinct neighbour label.  A pattern vertex can only map onto a data
 //!   vertex whose fingerprint is a superset of the pattern vertex's — hash
-//!   collisions only ever make the filter *more* permissive, never unsound.
+//!   collisions only ever make the filter *more* permissive, never unsound;
+//! * **hub adjacency bitsets**: for dense graphs (≤ [`HUB_MAX_VERTICES`] vertices),
+//!   every vertex of degree ≥ [`HUB_MIN_DEGREE`] additionally stores its adjacency
+//!   as a `V`-bit bitset, so the search loop can intersect a pivot's neighbourhood
+//!   with a candidate bitset 64 vertices at a time instead of walking the adjacency
+//!   list one vertex at a time.  The bitsets are redundant with the graph's sorted
+//!   adjacency lists (a pure accelerator), and the size gates bound their memory to
+//!   `O(hubs · V/64)` words.
+//!
+//! The index also exposes the summary statistics ([`GraphIndex::label_entropy`],
+//! label/degree bucket sizes) that the adaptive `EnumeratorBackend::Auto` heuristic
+//! consumes.
 //!
 //! ## Incremental maintenance
 //!
@@ -25,6 +36,14 @@
 
 use ffsm_graph::{GraphDelta, Label, LabeledGraph, VertexId};
 use std::collections::HashMap;
+
+/// Hub adjacency bitsets are only built for graphs with at most this many
+/// vertices, bounding each bitset to `HUB_MAX_VERTICES / 64` words.
+pub const HUB_MAX_VERTICES: usize = 8192;
+
+/// Minimum degree for a vertex to get a hub adjacency bitset.  Below this, a
+/// plain scan of the sorted adjacency list beats the word-parallel intersection.
+pub const HUB_MIN_DEGREE: usize = 32;
 
 /// Per-data-graph index consulted by the candidate-space builder.
 ///
@@ -42,6 +61,11 @@ pub struct GraphIndex {
     /// Degree of every vertex (copied out of the graph so bucket lookups need no
     /// graph reference).
     degrees: Vec<u32>,
+    /// Hub adjacency bitsets: `Some` iff the graph is small enough
+    /// (≤ [`HUB_MAX_VERTICES`]) and the vertex is dense enough
+    /// (degree ≥ [`HUB_MIN_DEGREE`]).  `adj_bits[v]` has `⌈V/64⌉` words with bit
+    /// `w` set iff `(v, w)` is an edge.
+    adj_bits: Vec<Option<Box<[u64]>>>,
 }
 
 impl GraphIndex {
@@ -64,7 +88,27 @@ impl GraphIndex {
                 (label, bucket)
             })
             .collect();
-        GraphIndex { label_index, degree_buckets, fingerprints, degrees }
+        let adj_bits = Self::build_adj_bits(graph);
+        GraphIndex { label_index, degree_buckets, fingerprints, degrees, adj_bits }
+    }
+
+    /// The adjacency bitset of one vertex under the hub policy.
+    fn adjacency_bitset(graph: &LabeledGraph, v: VertexId, words: usize) -> Option<Box<[u64]>> {
+        if graph.num_vertices() > HUB_MAX_VERTICES || graph.degree(v) < HUB_MIN_DEGREE {
+            return None;
+        }
+        let mut bits = vec![0u64; words].into_boxed_slice();
+        for &w in graph.neighbors(v) {
+            bits[w as usize / 64] |= 1u64 << (w % 64);
+        }
+        Some(bits)
+    }
+
+    /// All hub adjacency bitsets, from scratch.
+    fn build_adj_bits(graph: &LabeledGraph) -> Vec<Option<Box<[u64]>>> {
+        let n = graph.num_vertices();
+        let words = n.div_ceil(64);
+        (0..n).map(|v| Self::adjacency_bitset(graph, v as VertexId, words)).collect()
     }
 
     /// Number of vertices of the indexed graph.
@@ -115,6 +159,37 @@ impl GraphIndex {
         self.degrees[v as usize] as usize
     }
 
+    /// The hub adjacency bitset of `v` (`⌈V/64⌉` words, bit `w` set iff `(v, w)`
+    /// is an edge), or `None` when `v` is not a hub under the size gates.
+    pub fn adjacency_words(&self, v: VertexId) -> Option<&[u64]> {
+        self.adj_bits[v as usize].as_deref()
+    }
+
+    /// Shannon entropy (in bits) of the label distribution of the indexed graph.
+    ///
+    /// `0.0` for a single-label (or empty) graph, `log2(k)` for `k` equally
+    /// frequent labels.  Computed on demand in ascending label order so the value
+    /// is deterministic; one of the inputs to the `EnumeratorBackend::Auto`
+    /// heuristic.
+    pub fn label_entropy(&self) -> f64 {
+        let total = self.fingerprints.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<(Label, usize)> =
+            self.label_index.iter().map(|(&l, vs)| (l, vs.len())).collect();
+        counts.sort_by_key(|&(l, _)| l);
+        let total = total as f64;
+        -counts
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(_, c)| {
+                let p = c as f64 / total;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
     /// Repair this index in place after `graph` absorbed the update batch that
     /// produced `delta` (see the [module docs](self)).  `graph` must be the
     /// **post-batch** graph the index was tracking; the patched index equals
@@ -142,6 +217,32 @@ impl GraphIndex {
         for &v in &delta.dirty_new {
             self.fingerprints[v as usize] = Self::neighbor_fingerprint(graph, v);
             self.degrees[v as usize] = graph.degree(v) as u32;
+        }
+        // Hub adjacency bitsets.  A swap-removal renames the moved vertex inside
+        // its neighbours' adjacency sets *without* those neighbours being dirty
+        // (their labels/degrees/fingerprints are unchanged), so any batch that
+        // removed vertices recomputes the bitsets wholesale — still cheaper than a
+        // cold rebuild, which also pays the label scans and bucket sorts.  Pure
+        // add/relabel batches patch only the dirty slots.
+        if delta.vertices_removed > 0 {
+            self.adj_bits = Self::build_adj_bits(graph);
+        } else if n > HUB_MAX_VERTICES {
+            // Growth across the size gate disables every bitset, dirty or not.
+            self.adj_bits.clear();
+            self.adj_bits.resize(n, None);
+        } else {
+            let words = n.div_ceil(64);
+            self.adj_bits.resize(n, None);
+            for bits in self.adj_bits.iter_mut().flatten() {
+                if bits.len() != words {
+                    let mut grown = bits.to_vec();
+                    grown.resize(words, 0);
+                    *bits = grown.into_boxed_slice();
+                }
+            }
+            for &v in &delta.dirty_new {
+                self.adj_bits[v as usize] = Self::adjacency_bitset(graph, v, words);
+            }
         }
         // A label's lists change only when a member's membership, id or degree
         // changed — all such vertices are dirty and their labels are in
@@ -247,6 +348,58 @@ mod tests {
         assert!(index.vertices_with_label(Label(2)).is_empty());
         assert!(index.vertices_with_min_degree(Label(2), 0).is_empty());
         assert_eq!(index, GraphIndex::build(&graph));
+    }
+
+    #[test]
+    fn label_entropy_reflects_the_distribution() {
+        // Single label → 0 bits; two equal labels → 1 bit.
+        let one = LabeledGraph::from_edges(&[0, 0, 0, 0], &[(0, 1)]);
+        assert_eq!(GraphIndex::build(&one).label_entropy(), 0.0);
+        let two = LabeledGraph::from_edges(&[0, 0, 1, 1], &[(0, 2)]);
+        assert!((GraphIndex::build(&two).label_entropy() - 1.0).abs() < 1e-12);
+        // The sample graph (labels 1:5, 0:1, 2:1 over 7 vertices) sits in between.
+        let h = GraphIndex::build(&sample()).label_entropy();
+        assert!(h > 1.0 && h < std::f64::consts::LOG2_E * 2.0, "h = {h}");
+    }
+
+    #[test]
+    fn hub_bitsets_follow_the_degree_and_size_gates() {
+        // A star whose hub exceeds HUB_MIN_DEGREE gets a bitset; leaves do not.
+        let leaves = HUB_MIN_DEGREE + 3;
+        let labels = vec![0u32; leaves + 1];
+        let edges: Vec<(VertexId, VertexId)> = (1..=leaves).map(|l| (0, l as VertexId)).collect();
+        let g = LabeledGraph::from_edges(&labels, &edges);
+        let ix = GraphIndex::build(&g);
+        let bits = ix.adjacency_words(0).expect("hub gets a bitset");
+        assert_eq!(bits.len(), (leaves + 1).div_ceil(64));
+        for l in 1..=leaves {
+            assert_ne!(bits[l / 64] & (1u64 << (l % 64)), 0, "leaf {l} bit");
+            assert!(ix.adjacency_words(l as VertexId).is_none(), "leaves are not hubs");
+        }
+        assert_eq!(bits[0] & 1, 0, "no self-loop bit");
+    }
+
+    #[test]
+    fn apply_delta_repairs_hub_bitsets() {
+        use ffsm_graph::{apply_batch, GraphUpdate};
+        // Build a hub, then push it across the degree gate in both directions and
+        // through a swap-removal; the patched index must equal a rebuild each time.
+        let leaves = HUB_MIN_DEGREE;
+        let labels = vec![0u32; leaves + 2];
+        let edges: Vec<(VertexId, VertexId)> = (1..=leaves).map(|l| (0, l as VertexId)).collect();
+        let mut graph = LabeledGraph::from_edges(&labels, &edges);
+        let mut index = GraphIndex::build(&graph);
+        assert!(index.adjacency_words(0).is_some());
+        let batches: Vec<Vec<GraphUpdate>> = vec![
+            vec![GraphUpdate::RemoveEdge(0, 1)], // hub drops below the gate
+            vec![GraphUpdate::AddEdge(0, 1), GraphUpdate::AddEdge(0, leaves as VertexId + 1)],
+            vec![GraphUpdate::RemoveVertex(3)], // swap-removal renames a leaf
+        ];
+        for batch in batches {
+            let delta = apply_batch(&mut graph, &batch).expect("valid batch");
+            index.apply_delta(&graph, &delta);
+            assert_eq!(index, GraphIndex::build(&graph), "after {batch:?}");
+        }
     }
 
     #[test]

@@ -19,24 +19,32 @@
 //! ## Determinism contract
 //!
 //! For a fixed `(pattern, graph, IsoConfig)` the embedding sequence is fully
-//! deterministic: candidate sets are ascending by vertex id, the matching order
-//! depends only on the candidate space, and the parallel enumerator partitions the
-//! root candidates into contiguous chunks whose buffered results are concatenated
-//! in chunk order — so `threads` **never changes the output**, exactly like the
-//! mining engine's level partition and the overlap builder of `ffsm-core`.
+//! deterministic: every candidate pool is ascending by vertex id, the matching
+//! order depends only on the candidate space, failing-set backjumping skips only
+//! subtrees that provably contain no embedding, and the parallel enumerator
+//! partitions the root candidates into contiguous chunks whose buffered results
+//! are concatenated in chunk order — so `threads` **never changes the output**,
+//! exactly like the mining engine's level partition and the overlap builder of
+//! `ffsm-core`.
 //!
-//! The *naive* oracle may emit the same embedding multiset in a different order
-//! (it picks its matching order from label frequencies, not candidate sets);
-//! differential tests therefore compare sorted multisets.
+//! Across *backends* the contract is weaker, by design: the emission **multiset**
+//! is identical everywhere, the emission *order* is fixed per backend but not
+//! shared between them.  The naive oracle picks its matching order from label
+//! frequencies, not candidate sets, and `Auto` follows whichever engine it
+//! resolves to; differential tests therefore compare sorted multisets (all four
+//! support measures are order-independent, so they are bit-for-bit stable across
+//! backends).
 //!
 //! ## Backend dispatch
 //!
 //! [`enumerate`] dispatches on
 //! [`IsoConfig::backend`](ffsm_graph::isomorphism::IsoConfig): `Naive` runs the
 //! oracle, `CandidateSpace` runs this engine (building a throwaway [`GraphIndex`]
-//! when the caller has none).  `ffsm-core`'s `OccurrenceSet::enumerate` and the
-//! mining engine go through this function; sessions build the index once and pass
-//! it to every per-pattern call.
+//! when the caller has none), and `Auto` resolves per pattern via
+//! [`auto_backend`] from index statistics.  `ffsm-core`'s
+//! `OccurrenceSet::enumerate` and the mining engine go through this function;
+//! sessions build the index once and pass it to every per-pattern call, and hot
+//! call sites thread a reusable [`SearchArena`] through [`enumerate_with`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +55,7 @@ mod index;
 mod parallel;
 
 pub use candidates::CandidateSpace;
+pub use enumerate::SearchArena;
 pub use index::GraphIndex;
 
 use enumerate::MatchingOrder;
@@ -64,16 +73,18 @@ use ffsm_graph::{LabeledGraph, Pattern};
 pub struct Matcher<'a> {
     pattern: &'a Pattern,
     graph: &'a LabeledGraph,
+    index: &'a GraphIndex,
     space: CandidateSpace,
     order: MatchingOrder,
 }
 
 impl<'a> Matcher<'a> {
     /// Prepare `pattern` against `graph` using `index` (built from the same graph).
-    pub fn new(pattern: &'a Pattern, graph: &'a LabeledGraph, index: &GraphIndex) -> Self {
+    /// The index is retained: the search loop consults its hub adjacency bitsets.
+    pub fn new(pattern: &'a Pattern, graph: &'a LabeledGraph, index: &'a GraphIndex) -> Self {
         let space = CandidateSpace::build(pattern, graph, index);
         let order = MatchingOrder::build(pattern, &space);
-        Matcher { pattern, graph, space, order }
+        Matcher { pattern, graph, index, space, order }
     }
 
     /// The refined candidate space (for diagnostics: sizes, refinement rounds).
@@ -98,6 +109,17 @@ impl<'a> Matcher<'a> {
     /// path.  The budget `config.max_embeddings` is *not* applied — wrap the
     /// visitor if a budget is wanted (as [`Matcher::enumerate`] does).
     pub fn stream<V: EmbeddingVisitor>(&self, config: IsoConfig, visitor: &mut V) -> bool {
+        self.stream_with(config, &mut SearchArena::new(), visitor)
+    }
+
+    /// [`Matcher::stream`] reusing the caller's [`SearchArena`] — the hot-loop
+    /// variant for call sites that evaluate many patterns (one arena per worker).
+    pub fn stream_with<V: EmbeddingVisitor>(
+        &self,
+        config: IsoConfig,
+        arena: &mut SearchArena,
+        visitor: &mut V,
+    ) -> bool {
         if self.pattern.num_vertices() == 0 {
             return visitor.visit(&[]) == ffsm_graph::isomorphism::VisitFlow::Continue;
         }
@@ -106,11 +128,13 @@ impl<'a> Matcher<'a> {
         }
         enumerate::run_search(
             self.graph,
+            self.index,
             &self.space,
             &self.order,
             config.induced,
             None,
             &config.cancel,
+            arena,
             visitor,
         )
     }
@@ -118,6 +142,12 @@ impl<'a> Matcher<'a> {
     /// Materialise all embeddings (up to `config.max_embeddings`), in parallel when
     /// `config.threads != 1`.  The result is identical for every thread count.
     pub fn enumerate(&self, config: IsoConfig) -> EnumerationResult {
+        self.enumerate_with(config, &mut SearchArena::new())
+    }
+
+    /// [`Matcher::enumerate`] reusing the caller's [`SearchArena`].  Parallel runs
+    /// (`config.threads != 1`) give each chunk worker its own arena instead.
+    pub fn enumerate_with(&self, config: IsoConfig, arena: &mut SearchArena) -> EnumerationResult {
         if self.pattern.num_vertices() == 0 {
             return EnumerationResult { embeddings: vec![Vec::new()], complete: true };
         }
@@ -128,6 +158,7 @@ impl<'a> Matcher<'a> {
         if threads > 1 {
             let (embeddings, complete) = parallel::enumerate_parallel(
                 self.graph,
+                self.index,
                 &self.space,
                 &self.order,
                 config.induced,
@@ -138,7 +169,7 @@ impl<'a> Matcher<'a> {
             return EnumerationResult { embeddings, complete };
         }
         let mut collect = CollectVisitor::with_limit(config.max_embeddings);
-        let complete = self.stream(config, &mut collect);
+        let complete = self.stream_with(config, arena, &mut collect);
         EnumerationResult { embeddings: collect.embeddings, complete }
     }
 
@@ -155,6 +186,7 @@ impl<'a> Matcher<'a> {
         if threads > 1 {
             return parallel::count_parallel(
                 self.graph,
+                self.index,
                 &self.space,
                 &self.order,
                 config.induced,
@@ -182,13 +214,61 @@ impl<'a> Matcher<'a> {
     }
 }
 
+/// Resolve [`EnumeratorBackend::Auto`] for one pattern against one indexed graph:
+/// the backend the adaptive heuristic would run.
+///
+/// Inputs (all from [`GraphIndex`] statistics — no enumeration happens here):
+///
+/// * **pattern size** — patterns with at most one edge go naive: a candidate
+///   space cannot prune below what a label/degree scan already achieves, so its
+///   build cost is pure overhead;
+/// * **estimated candidate reduction** — the mean over pattern vertices of
+///   `|label/degree bucket| / V`.  Near 1.0 the initial filter keeps almost the
+///   whole graph per pattern vertex;
+/// * **label entropy** — low entropy (≤ ~1 bit: effectively ≤ 2 labels) means
+///   refinement has little signal to propagate.
+///
+/// A *small* pattern (≤ 3 vertices) on a dense, label-poor graph (reduction
+/// ≥ 0.5, entropy ≤ 1.05 bits) goes naive — the candidate space degenerates to
+/// near-whole label classes and the search trees coincide, so building the space
+/// is wasted work.  Larger patterns stay on the candidate-space engine even on
+/// dense graphs: its failing-set backjumping and intersected pools win the search
+/// itself.  The decision is deterministic for a `(pattern, index)` pair, and both
+/// backends emit identical embedding multisets, so `Auto` never changes a support
+/// value — only which engine computes it (the emission *order* may follow the
+/// naive enumerator's instead of this crate's).
+pub fn auto_backend(pattern: &Pattern, index: &GraphIndex) -> EnumeratorBackend {
+    let n_data = index.num_vertices();
+    let n_pat = pattern.num_vertices();
+    if n_data == 0 || n_pat == 0 {
+        return EnumeratorBackend::CandidateSpace;
+    }
+    if pattern.num_edges() <= 1 {
+        return EnumeratorBackend::Naive;
+    }
+    let reduction = pattern
+        .vertices()
+        .map(|u| {
+            index.vertices_with_min_degree(pattern.label(u), pattern.degree(u)).len() as f64
+                / n_data as f64
+        })
+        .sum::<f64>()
+        / n_pat as f64;
+    if n_pat <= 3 && reduction >= 0.5 && index.label_entropy() <= 1.05 {
+        return EnumeratorBackend::Naive;
+    }
+    EnumeratorBackend::CandidateSpace
+}
+
 /// Enumerate the occurrences of `pattern` in `graph`, dispatching on
 /// `config.backend`.
 ///
 /// * [`EnumeratorBackend::Naive`] — the recursive oracle of
 ///   `ffsm_graph::isomorphism` (always sequential);
 /// * [`EnumeratorBackend::CandidateSpace`] — this crate's engine, reusing `index`
-///   when given and building a throwaway [`GraphIndex`] otherwise.
+///   when given and building a throwaway [`GraphIndex`] otherwise;
+/// * [`EnumeratorBackend::Auto`] — resolves to one of the two per pattern via
+///   [`auto_backend`].
 ///
 /// This is the single entry point `ffsm-core` and the mining engine call; a mining
 /// session builds one index up front and passes it to every per-pattern call so the
@@ -199,17 +279,46 @@ pub fn enumerate(
     index: Option<&GraphIndex>,
     config: IsoConfig,
 ) -> EnumerationResult {
+    enumerate_with(pattern, graph, index, config, &mut SearchArena::new())
+}
+
+/// [`enumerate`] reusing the caller's [`SearchArena`] — the mining engine's level
+/// workers call this with one long-lived arena each.  (The naive backend has no
+/// arena to reuse; the parameter is simply unused there.)
+pub fn enumerate_with(
+    pattern: &Pattern,
+    graph: &LabeledGraph,
+    index: Option<&GraphIndex>,
+    config: IsoConfig,
+    arena: &mut SearchArena,
+) -> EnumerationResult {
+    let run_space = |index: &GraphIndex, arena: &mut SearchArena| {
+        Matcher::new(pattern, graph, index).enumerate_with(config.clone(), arena)
+    };
     match config.backend {
         EnumeratorBackend::Naive => {
             ffsm_graph::isomorphism::enumerate_embeddings(pattern, graph, config)
         }
         EnumeratorBackend::CandidateSpace => match index {
-            Some(index) => Matcher::new(pattern, graph, index).enumerate(config),
-            None => {
-                let index = GraphIndex::build(graph);
-                Matcher::new(pattern, graph, &index).enumerate(config)
-            }
+            Some(index) => run_space(index, arena),
+            None => run_space(&GraphIndex::build(graph), arena),
         },
+        EnumeratorBackend::Auto => {
+            let owned;
+            let index = match index {
+                Some(index) => index,
+                None => {
+                    owned = GraphIndex::build(graph);
+                    &owned
+                }
+            };
+            match auto_backend(pattern, index) {
+                EnumeratorBackend::Naive => {
+                    ffsm_graph::isomorphism::enumerate_embeddings(pattern, graph, config)
+                }
+                _ => run_space(index, arena),
+            }
+        }
     }
 }
 
@@ -377,6 +486,66 @@ mod tests {
         let shared = enumerate(&pattern, &graph, Some(&index), IsoConfig::default());
         assert_eq!(sorted(indexed.embeddings.clone()), sorted(naive.embeddings));
         assert_eq!(indexed.embeddings, shared.embeddings);
+    }
+
+    #[test]
+    fn auto_heuristic_is_deterministic_and_sound() {
+        // Dense, label-poor graph: tiny patterns resolve to naive, larger ones to
+        // the candidate-space engine.
+        let dense = generators::community_graph(2, 12, 0.8, 0.3, 2, 11);
+        let dense_ix = GraphIndex::build(&dense);
+        let edge = patterns::single_edge(Label(0), Label(1));
+        assert_eq!(auto_backend(&edge, &dense_ix), EnumeratorBackend::Naive);
+        let square = patterns::cycle(&[Label(0), Label(1), Label(0), Label(1)]);
+        assert_eq!(auto_backend(&square, &dense_ix), EnumeratorBackend::CandidateSpace);
+        // Label-rich graph: multi-edge patterns stay on the candidate space.
+        let sparse = generators::gnm_random(60, 90, 5, 3);
+        let sparse_ix = GraphIndex::build(&sparse);
+        let path = patterns::path(&[Label(0), Label(1), Label(2)]);
+        assert_eq!(auto_backend(&path, &sparse_ix), EnumeratorBackend::CandidateSpace);
+        // Auto dispatch returns the same multiset as both fixed backends.
+        for (graph, index) in [(&dense, &dense_ix), (&sparse, &sparse_ix)] {
+            for pattern in [&edge, &square, &path] {
+                let auto = enumerate(
+                    pattern,
+                    graph,
+                    Some(index),
+                    IsoConfig::default().with_backend(EnumeratorBackend::Auto),
+                );
+                let naive = enumerate(
+                    pattern,
+                    graph,
+                    Some(index),
+                    IsoConfig::default().with_backend(EnumeratorBackend::Naive),
+                );
+                assert!(auto.complete && naive.complete);
+                assert_eq!(sorted(auto.embeddings), sorted(naive.embeddings));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_through_the_dispatch_entry_point() {
+        let graph = generators::gnm_random(30, 70, 2, 5);
+        let index = GraphIndex::build(&graph);
+        let mut arena = SearchArena::new();
+        let shapes = [
+            patterns::single_edge(Label(0), Label(1)),
+            patterns::uniform_clique(3, Label(1)),
+            patterns::uniform_path(3, Label(0)),
+        ];
+        for backend in
+            [EnumeratorBackend::CandidateSpace, EnumeratorBackend::Auto, EnumeratorBackend::Naive]
+        {
+            for pattern in &shapes {
+                let config = IsoConfig::default().with_backend(backend);
+                let reused =
+                    enumerate_with(pattern, &graph, Some(&index), config.clone(), &mut arena);
+                let fresh = enumerate(pattern, &graph, Some(&index), config);
+                assert_eq!(reused.embeddings, fresh.embeddings, "backend={backend}");
+                assert_eq!(reused.complete, fresh.complete);
+            }
+        }
     }
 
     #[test]

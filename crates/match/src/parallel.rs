@@ -13,7 +13,8 @@
 //! the prefix the sequential run would have produced.
 
 use crate::candidates::CandidateSpace;
-use crate::enumerate::{run_search, MatchingOrder};
+use crate::enumerate::{run_search, MatchingOrder, SearchArena};
+use crate::index::GraphIndex;
 use ffsm_graph::cancel::CancelToken;
 use ffsm_graph::isomorphism::{CollectVisitor, Embedding};
 use ffsm_graph::{LabeledGraph, VertexId};
@@ -44,8 +45,10 @@ fn partition(pool: &[VertexId], chunks: usize) -> Vec<&[VertexId]> {
 
 /// Enumerate in parallel, merging per-chunk buffers in chunk order.  Returns the
 /// embeddings (truncated to `max_embeddings`) and whether enumeration completed.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn enumerate_parallel(
     graph: &LabeledGraph,
+    index: &GraphIndex,
     space: &CandidateSpace,
     order: &MatchingOrder,
     induced: bool,
@@ -61,9 +64,19 @@ pub(crate) fn enumerate_parallel(
             .iter()
             .map(|&chunk| {
                 scope.spawn(move || {
+                    let mut arena = SearchArena::new();
                     let mut collect = CollectVisitor::with_limit(max_embeddings);
-                    let complete =
-                        run_search(graph, space, order, induced, Some(chunk), cancel, &mut collect);
+                    let complete = run_search(
+                        graph,
+                        index,
+                        space,
+                        order,
+                        induced,
+                        Some(chunk),
+                        cancel,
+                        &mut arena,
+                        &mut collect,
+                    );
                     (collect.embeddings, complete)
                 })
             })
@@ -94,8 +107,10 @@ pub(crate) fn enumerate_parallel(
 /// it, instead of each worker exhausting its own full budget.  The check-then-add
 /// race can overshoot only past the budget, where the count is clamped and the
 /// enumeration is incomplete either way, so the returned pair stays deterministic.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn count_parallel(
     graph: &LabeledGraph,
+    index: &GraphIndex,
     space: &CandidateSpace,
     order: &MatchingOrder,
     induced: bool,
@@ -115,6 +130,7 @@ pub(crate) fn count_parallel(
             .map(|&chunk| {
                 let global = &global;
                 scope.spawn(move || {
+                    let mut arena = SearchArena::new();
                     let mut visit = |_: &[VertexId]| {
                         if global.load(Ordering::Relaxed) >= max_embeddings {
                             return VisitFlow::Stop;
@@ -122,7 +138,17 @@ pub(crate) fn count_parallel(
                         global.fetch_add(1, Ordering::Relaxed);
                         VisitFlow::Continue
                     };
-                    run_search(graph, space, order, induced, Some(chunk), cancel, &mut visit)
+                    run_search(
+                        graph,
+                        index,
+                        space,
+                        order,
+                        induced,
+                        Some(chunk),
+                        cancel,
+                        &mut arena,
+                        &mut visit,
+                    )
                 })
             })
             .collect();

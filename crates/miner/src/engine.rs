@@ -25,7 +25,7 @@ use crate::extension::{dedupe_with_codes, extensions, seed_patterns};
 use crate::prepared::PreparedGraph;
 use crate::stream::{LevelSummary, MiningEvent, RunSummary};
 use crate::types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
-use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SupportMeasure};
+use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SearchArena, SupportMeasure};
 use ffsm_graph::canonical::CanonicalCode;
 use ffsm_graph::isomorphism::IsoConfig;
 use ffsm_graph::{Pattern, VertexId};
@@ -98,6 +98,11 @@ impl Default for EvalOutcome {
 /// the prior epoch's cache without enumerating anything; the decision is
 /// per-candidate and deterministic, so the thread partition still never changes
 /// the result.
+///
+/// `arenas` holds one reusable [`SearchArena`] per worker (at least
+/// `config.threads` of them), owned by the engine state so the search buffers
+/// survive across levels — thousands of pattern evaluations share
+/// `config.threads` allocations instead of allocating each.
 fn evaluate_level(
     prepared: &PreparedGraph,
     index: Option<&GraphIndex>,
@@ -105,9 +110,12 @@ fn evaluate_level(
     measure: &Arc<dyn SupportMeasure>,
     config: &EngineConfig,
     mode: &CacheMode,
+    arenas: &mut [SearchArena],
 ) -> Vec<EvalOutcome> {
     let graph = prepared.graph();
-    let evaluate = |(pattern, code): &(Pattern, CanonicalCode)| -> EvalOutcome {
+    let evaluate = |(pattern, code): &(Pattern, CanonicalCode),
+                    arena: &mut SearchArena|
+     -> EvalOutcome {
         if let CacheMode::Delta(ctx) = mode {
             if let Some(cached) = ctx.prior.get(code) {
                 if cached.complete
@@ -125,11 +133,12 @@ fn evaluate_level(
             }
         }
         let occ = match index {
-            Some(index) => OccurrenceSet::enumerate_with_index(
+            Some(index) => OccurrenceSet::enumerate_with_arena(
                 pattern,
                 graph,
                 index,
                 config.iso_config.clone(),
+                arena,
             ),
             None => OccurrenceSet::enumerate(pattern, graph, config.iso_config.clone()),
         };
@@ -150,19 +159,20 @@ fn evaluate_level(
     };
     let workers = config.threads.min(candidates.len());
     if workers <= 1 {
-        return candidates.iter().map(evaluate).collect();
+        let (arena, _) = arenas.split_first_mut().expect("at least one arena");
+        return candidates.iter().map(|c| evaluate(c, arena)).collect();
     }
     let mut results = vec![EvalOutcome::default(); candidates.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for (w, arena) in arenas[..workers].iter_mut().enumerate() {
             let evaluate = &evaluate;
             handles.push(scope.spawn(move || {
                 candidates
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| i % workers == w)
-                    .map(|(i, p)| (i, evaluate(p)))
+                    .map(|(i, p)| (i, evaluate(p, arena)))
                     .collect::<Vec<(usize, EvalOutcome)>>()
             }));
         }
@@ -205,8 +215,12 @@ pub(crate) struct EngineState {
     prepared: PreparedGraph,
     measure: Arc<dyn SupportMeasure>,
     config: EngineConfig,
-    /// The prepared graph's shared index (`None` under the naive backend).
+    /// The prepared graph's shared index (`None` under the naive backend; `Auto`
+    /// needs it both for the candidate-space runs it resolves to and for the
+    /// per-pattern heuristic itself).
     index: Option<Arc<GraphIndex>>,
+    /// One reusable search arena per worker thread, surviving across levels.
+    arenas: Vec<SearchArena>,
     seen: HashSet<CanonicalCode>,
     frequent: Vec<FrequentPattern>,
     threshold: f64,
@@ -240,9 +254,12 @@ impl EngineState {
         mode: CacheMode,
     ) -> Self {
         let index = match config.iso_config.backend {
-            ffsm_core::EnumeratorBackend::CandidateSpace => Some(prepared.index()),
+            ffsm_core::EnumeratorBackend::CandidateSpace | ffsm_core::EnumeratorBackend::Auto => {
+                Some(prepared.index())
+            }
             ffsm_core::EnumeratorBackend::Naive => None,
         };
+        let arenas = (0..config.threads.max(1)).map(|_| SearchArena::new()).collect();
         let mut stats = MiningStats::default();
         let mut seen = HashSet::new();
         let seeds = seed_patterns(prepared.graph());
@@ -256,6 +273,7 @@ impl EngineState {
             threshold,
             config,
             index,
+            arenas,
             seen,
             frequent: Vec::new(),
             level,
@@ -331,6 +349,7 @@ impl EngineState {
             &self.measure,
             &self.config,
             &self.mode,
+            &mut self.arenas,
         );
         // An interruption during the evaluation may have truncated enumerations
         // arbitrarily; discard the whole level so the emitted patterns stay a

@@ -5,12 +5,14 @@
 //! * `stats <graph.lg>` — structural statistics of a labeled graph file;
 //! * `measure <graph.lg> --pattern <pattern.lg> [--measure NAME]` — compute one or all
 //!   support measures of a pattern in a data graph;
-//! * `match <graph.lg> --pattern <pattern.lg> [--naive] [--induced] [--threads K]
-//!   [--limit N]` — enumerate the pattern's embeddings with the candidate-space
-//!   engine (or the naive oracle), reporting candidate-space sizes and index
-//!   build / search timings;
+//! * `match <graph.lg> --pattern <pattern.lg> [--backend B] [--naive] [--induced]
+//!   [--threads K] [--limit N]` — enumerate the pattern's embeddings.  `--backend`
+//!   picks `naive`, `candidate-space` (default) or `auto` (resolved per pattern from
+//!   index statistics; the resolved engine is printed); `--naive` stays as shorthand
+//!   for `--backend naive`.  The candidate-space engine reports candidate-space
+//!   sizes and index build / search timings;
 //! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-//!   [--stream] [--deadline-ms MS]` — run the frequent-subgraph miner.  The default
+//!   [--backend B] [--stream] [--deadline-ms MS]` — run the frequent-subgraph miner.  The default
 //!   output is a table plus the run's typed completion status (complete vs which
 //!   budget cap vs deadline); `--stream` switches to NDJSON events (one JSON object
 //!   per line — `pattern`, `level`, `finished` — flushed as found), and
@@ -47,7 +49,7 @@ use ffsm::core::{
     FfsmError, MeasureProfile, OccurrenceSet, OverlapAnalysis, OverlapBuild, OverlapConfig,
     OverlapKind,
 };
-use ffsm::graph::isomorphism::IsoConfig;
+use ffsm::graph::isomorphism::{EnumeratorBackend, IsoConfig};
 use ffsm::graph::{datasets, generators, io, GraphStatistics, LabeledGraph, Pattern};
 use ffsm::matching::{GraphIndex, Matcher};
 use ffsm::miner::postprocess::maximal_patterns;
@@ -119,14 +121,17 @@ commands:
   stats    <graph.lg>                              structural statistics of a graph
   measure  <graph.lg> --pattern <p.lg> [--measure NAME]
                                                    support measures of a pattern
-  match    <graph.lg> --pattern <p.lg> [--naive] [--induced] [--threads K] [--limit N]
-                                                   enumerate embeddings (candidate-space
-                                                   engine; --naive runs the oracle)
+  match    <graph.lg> --pattern <p.lg> [--backend naive|candidate-space|auto]
+           [--naive] [--induced] [--threads K] [--limit N]
+                                                   enumerate embeddings (--backend auto
+                                                   picks the engine per pattern from
+                                                   index statistics; --naive is short
+                                                   for --backend naive)
   overlap  <graph.lg> --pattern <p.lg> [--kind NAME] [--naive] [--threads K]
                                                    overlap census / MIS per notion
                                                    (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-           [--stream] [--deadline-ms MS]
+           [--backend naive|candidate-space|auto] [--stream] [--deadline-ms MS]
                                                    frequent-subgraph mining
                                                    (--stream: NDJSON events, one per
                                                    line, flushed as found;
@@ -211,7 +216,8 @@ fn cmd_measure(args: &[String]) -> Result<(), CliError> {
 fn cmd_match(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
-            "ffsm match <graph.lg> --pattern <pattern.lg> [--naive] [--induced] [--threads K] [--limit N]"
+            "ffsm match <graph.lg> --pattern <pattern.lg> [--backend naive|candidate-space|auto] \
+             [--naive] [--induced] [--threads K] [--limit N]"
                 .into(),
         ));
     };
@@ -219,7 +225,20 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("--pattern <pattern.lg> is required".to_string()))?;
     let graph = load_graph(graph_path)?;
     let pattern: Pattern = load_graph(pattern_path)?;
-    let naive = args.iter().any(|a| a == "--naive");
+    let naive_flag = args.iter().any(|a| a == "--naive");
+    let backend = match flag_value(args, "--backend") {
+        Some(v) => {
+            let b: EnumeratorBackend = v.parse().map_err(CliError::Usage)?;
+            if naive_flag && b != EnumeratorBackend::Naive {
+                return Err(CliError::Usage(format!(
+                    "--naive conflicts with --backend {b} — drop one of the two"
+                )));
+            }
+            b
+        }
+        None if naive_flag => EnumeratorBackend::Naive,
+        None => EnumeratorBackend::CandidateSpace,
+    };
     let induced = args.iter().any(|a| a == "--induced");
     let threads = match flag_value(args, "--threads") {
         Some(v) => {
@@ -227,7 +246,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         }
         None => 1,
     };
-    if naive && flag_value(args, "--threads").is_some() {
+    if backend == EnumeratorBackend::Naive && flag_value(args, "--threads").is_some() {
         return Err(CliError::Usage(
             "--threads only applies to the candidate-space engine; the naive oracle is \
              sequential — drop one of --naive / --threads"
@@ -248,7 +267,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         graph.num_vertices(),
         graph.num_edges()
     );
-    if naive {
+    if backend == EnumeratorBackend::Naive {
         let (result, search_time) = ffsm_bench_free_timed(|| {
             ffsm::graph::isomorphism::enumerate_embeddings(&pattern, &graph, config)
         });
@@ -262,6 +281,23 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     let (index, index_time) = ffsm_bench_free_timed(|| GraphIndex::build(&graph));
+    if backend == EnumeratorBackend::Auto {
+        let resolved = ffsm::matching::auto_backend(&pattern, &index);
+        println!("engine:      auto -> {resolved}");
+        if resolved == EnumeratorBackend::Naive {
+            let (result, search_time) = ffsm_bench_free_timed(|| {
+                ffsm::graph::isomorphism::enumerate_embeddings(&pattern, &graph, config)
+            });
+            println!("index build: {index_time:?}");
+            println!(
+                "embeddings:  {}{}",
+                result.len(),
+                if result.complete { "" } else { " (truncated)" }
+            );
+            println!("search:      {search_time:?}");
+            return Ok(());
+        }
+    }
     let (matcher, space_time) = ffsm_bench_free_timed(|| Matcher::new(&pattern, &graph, &index));
     let (result, search_time) = ffsm_bench_free_timed(|| matcher.enumerate(config));
     println!(
@@ -431,7 +467,7 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
             "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] \
-             [--parallel] [--stream] [--deadline-ms MS]"
+             [--parallel] [--backend naive|candidate-space|auto] [--stream] [--deadline-ms MS]"
                 .into(),
         ));
     };
@@ -454,6 +490,10 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         })?)),
         None => None,
     };
+    let backend = match flag_value(args, "--backend") {
+        Some(v) => v.parse::<EnumeratorBackend>().map_err(CliError::Usage)?,
+        None => EnumeratorBackend::default(),
+    };
     // The CLI owns the loaded graph: move it into the prepared handle instead of
     // paying `MiningSession::on`'s defensive clone.
     let prepared = ffsm::miner::PreparedGraph::new(load_graph(graph_path)?);
@@ -461,7 +501,8 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         .measure(measure)
         .min_support(tau)
         .max_edges(max_edges)
-        .threads(threads);
+        .threads(threads)
+        .enumerator(backend);
     if let Some(d) = deadline {
         session = session.deadline(d);
     }

@@ -43,7 +43,7 @@ pub mod prelude {
         CancelToken, GraphDelta, GraphStatistics, GraphUpdate, Label, LabeledGraph, Pattern,
         VertexId,
     };
-    pub use ffsm_match::{CandidateSpace, GraphIndex, Matcher};
+    pub use ffsm_match::{auto_backend, CandidateSpace, GraphIndex, Matcher, SearchArena};
     pub use ffsm_miner::{
         Completion, EvalCache, FrequentPattern, MiningBudget, MiningEvent, MiningResult,
         MiningSession, MiningStats, PatternStream, PreparedGraph, SessionConfig,

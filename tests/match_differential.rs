@@ -130,6 +130,47 @@ proptest! {
         prop_assert_eq!(indexed.num_images(), naive.num_images());
     }
 
+    /// Dense-community regression (the matcher pathology this harness guards): high
+    /// average degree and only two labels, so the label filter prunes almost
+    /// nothing and the search lives or dies on intersected pools and backjumping.
+    /// All three backends — including `Auto`, whichever engine it resolves to —
+    /// must reproduce the oracle's embedding multiset, sequentially and in
+    /// parallel, in both semantics.
+    #[test]
+    fn dense_graphs_agree_across_all_backends(seed in 0u64..10_000, edges in 1usize..4) {
+        let graph = generators::community_graph(2, 12, 0.8, 0.25, 2, seed);
+        prop_assume!(graph.num_edges() * 4 >= graph.num_vertices() * 10); // avg degree >= 5
+        let Some((pattern, _)) = generators::sample_pattern(&graph, edges, seed ^ 0xdead) else {
+            return Ok(());
+        };
+        let index = GraphIndex::build(&graph);
+        let matcher = Matcher::new(&pattern, &graph, &index);
+        for induced in [false, true] {
+            let config = IsoConfig { induced, ..IsoConfig::default() };
+            let naive = enumerate_embeddings(&pattern, &graph, config.clone());
+            prop_assert!(naive.complete);
+            let oracle = sorted(naive.embeddings);
+            let context = format!("seed {seed}, {edges}-edge pattern, induced {induced}");
+            let sequential = matcher.enumerate(config.clone());
+            prop_assert!(sequential.complete, "dense sequential incomplete, {}", context);
+            prop_assert_eq!(sorted(sequential.embeddings.clone()), oracle.clone(),
+                "dense sequential vs oracle, {}", context);
+            for threads in [4usize, 0] {
+                let parallel = matcher.enumerate(IsoConfig { threads, ..config.clone() });
+                prop_assert_eq!(&parallel.embeddings, &sequential.embeddings,
+                    "dense parallel order diverged, {} threads, {}", threads, context);
+            }
+            let auto = OccurrenceSet::enumerate(
+                &pattern,
+                &graph,
+                config.clone().with_backend(EnumeratorBackend::Auto),
+            );
+            prop_assert!(auto.is_complete());
+            prop_assert_eq!(sorted(auto.embeddings().to_vec()), oracle,
+                "auto backend vs oracle, {}", context);
+        }
+    }
+
     /// MIS / MVC / MNI / MI session supports agree bit-for-bit across the
     /// enumerator backends, in the sequential, level-parallel and top-k modes.
     #[test]
@@ -150,6 +191,34 @@ proptest! {
                 pattern_supports(&graph, kind, EnumeratorBackend::CandidateSpace, 2, Some(k));
             prop_assert_eq!(&naive, &top_k,
                 "top-k indexed session diverges from naive {} run, seed {}", kind, seed);
+        }
+    }
+
+}
+
+proptest! {
+    // The mining runs below are the expensive kind (exact MIS on dense occurrence
+    // hypergraphs, five full sessions per measure), so this block runs fewer cases
+    // than the enumeration-level tests above.
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// The four measures on the dense workload, now including the `Auto` backend:
+    /// per measure, every (backend, thread-count) combination must match the naive
+    /// sequential run bit-for-bit.
+    #[test]
+    fn dense_session_supports_bit_for_bit_across_backends(seed in 0u64..10_000) {
+        let graph = generators::community_graph(2, 8, 0.65, 0.12, 2, seed);
+        prop_assume!(graph.num_edges() * 2 >= graph.num_vertices() * 4); // avg degree >= 4
+        for kind in [MeasureKind::Mis, MeasureKind::Mvc, MeasureKind::Mni, MeasureKind::Mi] {
+            let naive = pattern_supports(&graph, kind, EnumeratorBackend::Naive, 1, None);
+            for backend in [EnumeratorBackend::CandidateSpace, EnumeratorBackend::Auto] {
+                for threads in [1usize, 4] {
+                    let run = pattern_supports(&graph, kind, backend, threads, None);
+                    prop_assert_eq!(&naive, &run,
+                        "dense {} run diverges ({} backend, {} threads), seed {}",
+                        kind, backend, threads, seed);
+                }
+            }
         }
     }
 }
