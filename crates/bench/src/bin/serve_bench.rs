@@ -27,6 +27,7 @@ use ffsm_bench::report::json_string;
 use ffsm_core::MeasureKind;
 use ffsm_graph::generators;
 use ffsm_miner::{MiningEvent, MiningSession};
+use ffsm_obs::Histogram;
 use ffsm_serve::{events, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -90,14 +91,6 @@ fn client_loop(addr: SocketAddr, client: usize, tau: f64, until: Instant) -> Cli
         }
     }
     tally
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// One server-side mine, frame for frame (without the `done` terminator).
@@ -168,10 +161,17 @@ fn main() {
         workers.into_iter().map(|w| w.join().expect("client")).collect();
     let elapsed = started.elapsed();
 
-    let mut latencies: Vec<Duration> =
-        tallies.iter().flat_map(|t| t.mine_latencies.iter().copied()).collect();
-    latencies.sort();
-    let mines = latencies.len();
+    // Percentiles come from the shared observability histogram — the same
+    // log2-bucketed estimator the server's `metrics` op reports, so the bench
+    // numbers and a live scrape are directly comparable.
+    let histogram = Histogram::default();
+    for tally in &tallies {
+        for latency in &tally.mine_latencies {
+            histogram.record_duration_us(*latency);
+        }
+    }
+    let latency = histogram.snapshot();
+    let mines = latency.count as usize;
     let updates: usize = tallies.iter().map(|t| t.updates).sum();
     let rejections: usize = tallies.iter().map(|t| t.rejections).sum();
     let errors: usize = tallies.iter().map(|t| t.errors).sum();
@@ -179,8 +179,8 @@ fn main() {
     let completed = mines + updates;
     let qps = completed as f64 / elapsed.as_secs_f64();
     let rejection_rate = rejections as f64 / (offered.max(1)) as f64;
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    let p50 = Duration::from_micros(latency.quantile(0.50));
+    let p99 = Duration::from_micros(latency.quantile(0.99));
 
     // Fidelity gate: the loaded server still answers exactly like the library.
     let (server_frames, done) = server_mine_frames(addr, tau);

@@ -443,6 +443,7 @@ impl<'a> OverlapAnalysis<'a> {
         };
         let m = index.images.len();
         let mut stamp = vec![u32::MAX; m];
+        let mut probes = 0u64;
         for i in rows {
             for &item in &items[i] {
                 for &j in &buckets[item as usize] {
@@ -451,12 +452,16 @@ impl<'a> OverlapAnalysis<'a> {
                         continue;
                     }
                     stamp[j] = i as u32;
+                    probes += 1;
                     if self.candidate_overlaps(index, i, j, kind) {
                         out.push((i, j));
                     }
                 }
             }
         }
+        // One thread-local add per chunk, not per probe — the engine samples
+        // these totals around each worker's slice of a level.
+        ffsm_obs::tls::add_overlap_probes(probes);
     }
 
     /// The occurrence overlap graph under `kind` via the inverted index, built
@@ -490,6 +495,7 @@ impl<'a> OverlapAnalysis<'a> {
                 }
             }
         }
+        ffsm_obs::tls::add_overlap_probes((m * m.saturating_sub(1) / 2) as u64);
         SimpleGraph::from_edge_list(m, &pairs)
     }
 
@@ -500,9 +506,18 @@ impl<'a> OverlapAnalysis<'a> {
     /// `mcp_under`, `overlap_edge_count` and `overlap_census` — share one build per
     /// notion.
     pub fn overlap_graph(&self, kind: OverlapKind) -> Arc<SimpleGraph> {
-        self.cache.get_or_build(kind.index(), || match self.config.build {
-            OverlapBuild::Indexed => self.overlap_graph_parallel(kind, self.config.threads),
-            OverlapBuild::Naive => self.overlap_graph_naive(kind),
+        self.cache.get_or_build(kind.index(), || {
+            // Coarse span: one clock pair per overlap-graph build (cached
+            // rebuilds never re-enter this closure).
+            let start = std::time::Instant::now();
+            let graph = match self.config.build {
+                OverlapBuild::Indexed => self.overlap_graph_parallel(kind, self.config.threads),
+                OverlapBuild::Naive => self.overlap_graph_naive(kind),
+            };
+            ffsm_obs::tls::add_overlap_build_nanos(
+                start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+            graph
         })
     }
 

@@ -58,6 +58,7 @@ use crate::index::GraphIndex;
 use ffsm_graph::cancel::{CancelToken, CHECK_STRIDE};
 use ffsm_graph::isomorphism::{EmbeddingVisitor, VisitFlow};
 use ffsm_graph::{LabeledGraph, Pattern, VertexId};
+use ffsm_obs::{Phase, PhaseTimes, SearchCounters};
 
 /// The fixed matching order plus the per-depth backward adjacency it induces.
 #[derive(Debug, Clone)]
@@ -184,6 +185,15 @@ pub struct SearchArena {
     pos: Vec<usize>,
     /// Per depth: the failing set (`u64` mask over pattern vertices).
     fs: Vec<u64>,
+    /// Cumulative search counters — plain `u64` adds (the arena is owned by one
+    /// worker), scraped by the mining engine after each level.
+    counters: SearchCounters,
+    /// Cumulative fine-grained span times (candidate-space build, search),
+    /// recorded only while [`SearchArena::set_timing`] is on.
+    phase: PhaseTimes,
+    /// Fine-grained span sampling switch (off by default: an uninstrumented
+    /// run pays no clock read in the per-candidate path).
+    timing: bool,
 }
 
 impl SearchArena {
@@ -192,10 +202,58 @@ impl SearchArena {
         SearchArena::default()
     }
 
+    /// The cumulative [`SearchCounters`] of every search this arena has served.
+    pub fn counters(&self) -> SearchCounters {
+        self.counters
+    }
+
+    /// Cumulative fine-grained phase times (only advancing while timing is on).
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase
+    }
+
+    /// Enable/disable fine-grained span timing ([`Phase::CandidateSpace`] /
+    /// [`Phase::Search`]).  Counters are unaffected — they are always on.
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// `true` when fine-grained span timing is on.
+    pub fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// Record a fine-grained span measured by the caller (the dispatch layer
+    /// times candidate-space builds and searches around this arena).
+    pub fn record_phase(&mut self, phase: Phase, d: std::time::Duration) {
+        self.phase.record(phase, d);
+    }
+
+    /// Note `n` candidate-space refinement sweeps (always counted).
+    pub fn add_refine_rounds(&mut self, n: u64) {
+        self.counters.refine_rounds += n;
+    }
+
+    /// Current heap footprint of the arena's buffers in bytes — capacities only
+    /// ever grow, so this doubles as the arena's high-water mark.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.assignment.capacity() * size_of::<VertexId>()
+            + self.used.capacity() * size_of::<bool>()
+            + self.owner.capacity() * size_of::<VertexId>()
+            + self.pools.iter().map(|p| p.capacity() * size_of::<VertexId>()).sum::<usize>()
+            + self.pool_pivot.capacity() * size_of::<VertexId>()
+            + self.pool_verified.capacity() * size_of::<bool>()
+            + self.scratch.capacity() * size_of::<u64>()
+            + self.pos.capacity() * size_of::<usize>()
+            + self.fs.capacity() * size_of::<u64>()
+    }
+
     /// Size the buffers for a pattern of `n` vertices against a graph of
     /// `num_data_vertices`.  `used` must be (and stays) all-false between
     /// searches — searches clear exactly the flags they set on every exit path.
     fn prepare(&mut self, n: usize, num_data_vertices: usize) {
+        self.counters.searches += 1;
         self.assignment.clear();
         self.assignment.resize(n, UNSET);
         if self.used.len() < num_data_vertices {
@@ -343,8 +401,19 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
         return false;
     }
     arena.prepare(n, graph.num_vertices());
-    let SearchArena { assignment, used, owner, pools, pool_pivot, pool_verified, scratch, pos, fs } =
-        arena;
+    let SearchArena {
+        assignment,
+        used,
+        owner,
+        pools,
+        pool_pivot,
+        pool_verified,
+        scratch,
+        pos,
+        fs,
+        counters,
+        ..
+    } = arena;
 
     // Failing-set machinery is a u64 mask over pattern vertices; wider patterns
     // run plain backtracking (the miner never produces them).
@@ -363,8 +432,10 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
         let mut extended = false;
         while pos[depth] < pools[depth].len() {
             steps += 1;
+            counters.steps += 1;
             if steps >= CHECK_STRIDE {
                 steps = 0;
+                counters.cancel_polls += 1;
                 if cancel.is_cancelled() {
                     release_prefix(order, depth, assignment, used);
                     return false;
@@ -441,6 +512,10 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
                 );
                 pool_pivot[depth] = piv;
                 pool_verified[depth] = verified;
+                counters.pools_filled += 1;
+                if verified {
+                    counters.hub_verified_pools += 1;
+                }
                 pos[depth] = 0;
                 // A pool implicitly filtered out candidates not adjacent to the
                 // images it was intersected with — the subtree's failure may
@@ -477,6 +552,7 @@ pub(crate) fn run_search<V: EmbeddingVisitor>(
                 // The dead subtree's failure does not involve this depth's
                 // assignment: no sibling candidate can repair it.  Skip the
                 // remaining pool and hand the failing set to the next ancestor.
+                counters.backjumps += 1;
                 fs[depth] = fail;
                 pos[depth] = pools[depth].len();
             } else {
@@ -641,6 +717,43 @@ mod tests {
         );
         assert!(complete);
         assert_eq!(all.embeddings.len(), 6);
+    }
+
+    #[test]
+    fn counters_track_searches_and_steps() {
+        let g = LabeledGraph::from_edges(
+            &[0, 0, 0, 0, 0, 0],
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (2, 5)],
+        );
+        let p = patterns::triangle(Label(0), Label(0), Label(0));
+        let index = GraphIndex::build(&g);
+        let space = CandidateSpace::build(&p, &g, &index);
+        let order = MatchingOrder::build(&p, &space);
+        let mut arena = SearchArena::new();
+        assert_eq!(arena.counters(), SearchCounters::default());
+        for expected_searches in 1..=2u64 {
+            let mut collect = CollectVisitor::with_limit(usize::MAX);
+            run_search(
+                &g,
+                &index,
+                &space,
+                &order,
+                false,
+                None,
+                &CancelToken::default(),
+                &mut arena,
+                &mut collect,
+            );
+            let counters = arena.counters();
+            assert_eq!(counters.searches, expected_searches);
+            assert!(counters.steps >= 6 * expected_searches, "every embedding takes steps");
+            assert!(counters.pools_filled > 0);
+        }
+        assert!(arena.footprint_bytes() > 0);
+        // Counters never change search results — verified structurally by the
+        // arena-reuse tests; timing stays off unless explicitly enabled.
+        assert!(!arena.timing_enabled());
+        assert_eq!(arena.phase_times(), PhaseTimes::default());
     }
 
     #[test]

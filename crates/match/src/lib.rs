@@ -293,7 +293,20 @@ pub fn enumerate_with(
     arena: &mut SearchArena,
 ) -> EnumerationResult {
     let run_space = |index: &GraphIndex, arena: &mut SearchArena| {
-        Matcher::new(pattern, graph, index).enumerate_with(config.clone(), arena)
+        // Fine-grained spans are sampled only when the arena's owner opted in;
+        // refinement-round counting is always on (one add per pattern).
+        let space_start = arena.timing_enabled().then(std::time::Instant::now);
+        let matcher = Matcher::new(pattern, graph, index);
+        if let Some(t0) = space_start {
+            arena.record_phase(ffsm_obs::Phase::CandidateSpace, t0.elapsed());
+        }
+        arena.add_refine_rounds(matcher.space().refinement_rounds() as u64);
+        let search_start = arena.timing_enabled().then(std::time::Instant::now);
+        let result = matcher.enumerate_with(config.clone(), arena);
+        if let Some(t0) = search_start {
+            arena.record_phase(ffsm_obs::Phase::Search, t0.elapsed());
+        }
+        result
     };
     match config.backend {
         EnumeratorBackend::Naive => {

@@ -29,6 +29,7 @@ use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SearchArena, SupportMeas
 use ffsm_graph::canonical::CanonicalCode;
 use ffsm_graph::isomorphism::IsoConfig;
 use ffsm_graph::{Pattern, VertexId};
+use ffsm_obs::{tls, Phase, PhaseTimes, SearchCounters};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,6 +59,9 @@ pub(crate) struct EngineConfig {
     /// The effective wall-clock deadline: the tighter of the session's
     /// `.deadline(..)` and any deadline the caller attached to the token itself.
     pub deadline: Option<Instant>,
+    /// Fine-grained span sampling (per-candidate space/search times).  Never
+    /// changes results; counters and coarse timings are on regardless.
+    pub metrics: bool,
 }
 
 /// One evaluated (or cache-reused) candidate.
@@ -111,7 +115,7 @@ fn evaluate_level(
     config: &EngineConfig,
     mode: &CacheMode,
     arenas: &mut [SearchArena],
-) -> Vec<EvalOutcome> {
+) -> (Vec<EvalOutcome>, tls::ThreadTotals) {
     let graph = prepared.graph();
     let evaluate = |(pattern, code): &(Pattern, CanonicalCode),
                     arena: &mut SearchArena|
@@ -160,29 +164,40 @@ fn evaluate_level(
     let workers = config.threads.min(candidates.len());
     if workers <= 1 {
         let (arena, _) = arenas.split_first_mut().expect("at least one arena");
-        return candidates.iter().map(|c| evaluate(c, arena)).collect();
+        let before = tls::snapshot();
+        let results = candidates.iter().map(|c| evaluate(c, arena)).collect();
+        return (results, tls::snapshot().delta_since(&before));
     }
     let mut results = vec![EvalOutcome::default(); candidates.len()];
+    // Per-thread observability totals (overlap probes/build time) are sampled
+    // around each worker's slice and summed — each candidate's contribution is
+    // deterministic, so the sum never depends on the partition.
+    let mut measure_totals = tls::ThreadTotals::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for (w, arena) in arenas[..workers].iter_mut().enumerate() {
             let evaluate = &evaluate;
             handles.push(scope.spawn(move || {
-                candidates
+                let before = tls::snapshot();
+                let slice = candidates
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| i % workers == w)
                     .map(|(i, p)| (i, evaluate(p, arena)))
-                    .collect::<Vec<(usize, EvalOutcome)>>()
+                    .collect::<Vec<(usize, EvalOutcome)>>();
+                (slice, tls::snapshot().delta_since(&before))
             }));
         }
         for handle in handles {
-            for (i, r) in handle.join().expect("mining worker panicked") {
+            let (slice, delta) = handle.join().expect("mining worker panicked");
+            measure_totals.overlap_probes += delta.overlap_probes;
+            measure_totals.overlap_build_nanos += delta.overlap_build_nanos;
+            for (i, r) in slice {
                 results[i] = r;
             }
         }
     });
-    results
+    (results, measure_totals)
 }
 
 /// Insert `found` into the running top-k list (sorted by descending support, ties by
@@ -240,6 +255,10 @@ pub(crate) struct EngineState {
     mode: CacheMode,
     /// The cache recorded by this run (empty under [`CacheMode::Off`]).
     cache_out: EvalCache,
+    /// Engine-level phase accounting (index build, per-level support eval,
+    /// extension, overlap build) — merged with the arenas' fine-grained spans
+    /// into `stats.phase_timings` on every refresh.
+    engine_phase: PhaseTimes,
 }
 
 impl EngineState {
@@ -253,14 +272,23 @@ impl EngineState {
         quiet: bool,
         mode: CacheMode,
     ) -> Self {
+        let index_start = Instant::now();
         let index = match config.iso_config.backend {
             ffsm_core::EnumeratorBackend::CandidateSpace | ffsm_core::EnumeratorBackend::Auto => {
                 Some(prepared.index())
             }
             ffsm_core::EnumeratorBackend::Naive => None,
         };
-        let arenas = (0..config.threads.max(1)).map(|_| SearchArena::new()).collect();
-        let mut stats = MiningStats::default();
+        let mut engine_phase = PhaseTimes::new();
+        engine_phase.record(Phase::IndexBuild, index_start.elapsed());
+        let mut arenas: Vec<SearchArena> =
+            (0..config.threads.max(1)).map(|_| SearchArena::new()).collect();
+        if config.metrics {
+            for arena in &mut arenas {
+                arena.set_timing(true);
+            }
+        }
+        let mut stats = MiningStats { phase_timings: engine_phase, ..MiningStats::default() };
         let mut seen = HashSet::new();
         let seeds = seed_patterns(prepared.graph());
         stats.candidates_generated += seeds.len();
@@ -283,7 +311,25 @@ impl EngineState {
             quiet,
             mode,
             cache_out: EvalCache::default(),
+            engine_phase,
         }
+    }
+
+    /// Recompute the stats' observability block from the cumulative per-arena
+    /// counters/spans and the engine-level phase accounting.  Cheap (a few adds
+    /// per arena), called once per level and at finish.
+    fn refresh_observability(&mut self) {
+        let mut search = SearchCounters::default();
+        let mut timings = self.engine_phase;
+        let mut peak = 0u64;
+        for arena in &self.arenas {
+            search.merge(&arena.counters());
+            timings.merge(&arena.phase_times());
+            peak = peak.max(arena.footprint_bytes() as u64);
+        }
+        self.stats.counters.search = search;
+        self.stats.counters.arena_peak_bytes = peak;
+        self.stats.phase_timings = timings;
     }
 
     /// `Some(c)` once the run has stopped (the `Finished` event has been pushed).
@@ -305,6 +351,7 @@ impl EngineState {
 
     /// Stop the run: stamp the stats and push the final `Finished` event.
     fn finish(&mut self, completion: Completion, out: &mut VecDeque<MiningEvent>) {
+        self.refresh_observability();
         self.stats.elapsed = self.start.elapsed();
         self.stats.completion = completion;
         self.completion = Some(completion);
@@ -342,7 +389,8 @@ impl EngineState {
             return;
         }
 
-        let outcomes = evaluate_level(
+        let eval_start = Instant::now();
+        let (outcomes, measure_totals) = evaluate_level(
             &self.prepared,
             self.index.as_deref(),
             &self.level,
@@ -351,6 +399,9 @@ impl EngineState {
             &self.mode,
             &mut self.arenas,
         );
+        self.engine_phase.record(Phase::SupportEval, eval_start.elapsed());
+        self.engine_phase.add_nanos(Phase::OverlapBuild, measure_totals.overlap_build_nanos);
+        self.stats.counters.overlap_probes += measure_totals.overlap_probes;
         // An interruption during the evaluation may have truncated enumerations
         // arbitrarily; discard the whole level so the emitted patterns stay a
         // deterministic prefix of the full run (and never enter the cache).
@@ -386,6 +437,7 @@ impl EngineState {
                         if !self.quiet {
                             out.push_back(MiningEvent::Pattern(found.clone()));
                         }
+                        self.stats.counters.patterns_emitted += 1;
                         self.frequent.push(found);
                         accepted += 1;
                         survivors.push(pattern);
@@ -400,6 +452,7 @@ impl EngineState {
                         if !self.quiet {
                             out.push_back(MiningEvent::Pattern(found.clone()));
                         }
+                        self.stats.counters.patterns_emitted += 1;
                         self.threshold = insert_top_k(&mut self.frequent, found, k, self.floor);
                         accepted += 1;
                         survivors.push(pattern);
@@ -410,6 +463,7 @@ impl EngineState {
             }
         }
         self.stats.levels_completed += 1;
+        self.refresh_observability();
         if !self.quiet {
             out.push_back(MiningEvent::LevelCompleted(LevelSummary {
                 level: self.stats.levels_completed,
@@ -426,6 +480,7 @@ impl EngineState {
 
         // Next level: one-edge extensions of every surviving pattern.  Pruned
         // candidates are never extended — sound because the measure is anti-monotone.
+        let extension_start = Instant::now();
         let mut next: Vec<(Pattern, CanonicalCode)> = Vec::new();
         for pattern in &survivors {
             if pattern.num_edges() >= self.config.max_pattern_edges {
@@ -435,6 +490,7 @@ impl EngineState {
             self.stats.candidates_generated += candidates.len();
             next.extend(dedupe_with_codes(candidates, &mut self.seen));
         }
+        self.engine_phase.record(Phase::Extension, extension_start.elapsed());
         self.level = next;
     }
 

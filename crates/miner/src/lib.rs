@@ -116,6 +116,12 @@ pub use delta::{CachedEval, EvalCache};
 pub use prepared::PreparedGraph;
 pub use session::{MeasureSelection, MiningBudget, MiningSession, SessionConfig};
 pub use stream::{LevelSummary, MiningEvent, PatternStream, RunSummary};
-pub use types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
+pub use types::{
+    BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats, SessionCounters,
+};
+
+// Re-exported so downstream consumers of `MiningStats` can name the
+// observability types without depending on `ffsm-obs` directly.
+pub use ffsm_obs::{Phase, PhaseTimes, SearchCounters};
 
 pub use postprocess::{closed_patterns, maximal_patterns, PatternLattice};

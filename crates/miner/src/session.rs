@@ -134,6 +134,12 @@ pub struct SessionConfig {
     pub cancel: CancelToken,
     /// Wall-clock deadline for the run, measured from `stream()` / `run()` time.
     pub deadline: Option<Duration>,
+    /// Enable fine-grained span sampling (per-candidate candidate-space build
+    /// and search times).  Counters and coarse per-level phase timings are
+    /// always collected; this switch only adds the per-candidate clock reads.
+    /// Guaranteed not to change results — the differential gate in
+    /// `tests/obs_differential.rs` holds it to bit-for-bit identical output.
+    pub metrics: bool,
 }
 
 impl Default for SessionConfig {
@@ -148,6 +154,7 @@ impl Default for SessionConfig {
             top_k: None,
             cancel: CancelToken::default(),
             deadline: None,
+            metrics: false,
         }
     }
 }
@@ -273,6 +280,16 @@ impl MiningSession {
         self
     }
 
+    /// Enable fine-grained metrics sampling: per-candidate candidate-space and
+    /// search span times land in
+    /// [`MiningStats::phase_timings`](crate::MiningStats).  Counters and coarse
+    /// per-level phase timings are always on; this only adds the per-candidate
+    /// clock reads.  Results are bit-for-bit identical either way.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.config.metrics = on;
+        self
+    }
+
     /// Validate the configuration and open the lazy event stream.  No support is
     /// evaluated until the stream is pulled.
     ///
@@ -341,6 +358,7 @@ impl MiningSession {
             top_k: config.top_k,
             cancel: config.cancel,
             deadline: deadline_at,
+            metrics: config.metrics,
         };
         Ok(PatternStream::new(EngineState::new(prepared, measure, engine_config, quiet, mode)))
     }

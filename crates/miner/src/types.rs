@@ -1,6 +1,7 @@
 //! Result types shared by every mining mode.
 
 use ffsm_graph::Pattern;
+use ffsm_obs::{PhaseTimes, SearchCounters};
 use std::time::Duration;
 
 /// A frequent pattern found by the miner.
@@ -82,6 +83,47 @@ impl std::fmt::Display for Completion {
     }
 }
 
+/// The observability counter block of a mining run: the matcher's search
+/// counters (summed across the per-worker arenas — totals are invariant under
+/// the thread partition), the overlap builders' probe count, and the session's
+/// own emission counter.  Always collected; every increment is a plain `u64`
+/// add on thread-owned memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// The matcher's per-arena counters, summed across workers: search steps,
+    /// backjumps taken, pools filled, hub fast-path (fully edge-verified)
+    /// pools, arena reuses (`searches`), cancellation polls and
+    /// candidate-space refinement sweeps.
+    pub search: SearchCounters,
+    /// Candidate-pair probes made by the overlap builders inside support
+    /// evaluation (MI/MVC/MIS-family measures; 0 under MNI).
+    pub overlap_probes: u64,
+    /// Patterns emitted by the run so far — equals the number of
+    /// [`MiningEvent::Pattern`](crate::MiningEvent::Pattern) events a streaming
+    /// consumer sees (top-k runs count emissions, including patterns later
+    /// evicted from the final k).
+    pub patterns_emitted: u64,
+    /// High-water heap footprint of the largest search arena, in bytes
+    /// (arena capacities never shrink, so the current footprint is the peak).
+    /// The one field that legitimately varies with the thread count — a single
+    /// arena serving every candidate grows larger than each of several.
+    pub arena_peak_bytes: u64,
+}
+
+impl SessionCounters {
+    /// Field-wise `self − earlier` (per-level deltas from the cumulative
+    /// snapshots in [`LevelSummary`](crate::LevelSummary)).  `arena_peak_bytes`
+    /// is carried over, not subtracted — it is a high-water mark.
+    pub fn saturating_sub(&self, earlier: &SessionCounters) -> SessionCounters {
+        SessionCounters {
+            search: self.search.saturating_sub(&earlier.search),
+            overlap_probes: self.overlap_probes.saturating_sub(earlier.overlap_probes),
+            patterns_emitted: self.patterns_emitted.saturating_sub(earlier.patterns_emitted),
+            arena_peak_bytes: self.arena_peak_bytes,
+        }
+    }
+}
+
 /// Counters describing a mining run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MiningStats {
@@ -101,6 +143,17 @@ pub struct MiningStats {
     pub levels_completed: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// The observability counter block (always collected — see
+    /// [`SessionCounters`]).
+    pub counters: SessionCounters,
+    /// Per-phase wall-time accounting.  The coarse phases (index build,
+    /// support evaluation, extension) are always timed — one clock pair per
+    /// level; the fine-grained nested spans (candidate-space build, search)
+    /// advance only when the session enabled
+    /// [`MiningSession::metrics`](crate::MiningSession::metrics).  The
+    /// exclusive phases sum to the run's wall time (see
+    /// [`PhaseTimes::exclusive_total`]).
+    pub phase_timings: PhaseTimes,
     /// Why the run stopped.  Mid-run snapshots (e.g. in a
     /// [`crate::MiningEvent::LevelCompleted`] event) report
     /// [`Completion::Complete`] until the run actually stops.

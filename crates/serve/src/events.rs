@@ -15,6 +15,10 @@
 //! * `finished` — the typed end of one mining run ([`RunSummary`]);
 //! * `epoch` — one completed epoch of an incremental re-mine, or (on the server)
 //!   one committed update batch;
+//! * `metric` — one named metric from the server's registry (counter, gauge or
+//!   histogram), answering the `metrics` protocol op;
+//! * `trace` — one per-level observability snapshot (counter and phase-time
+//!   deltas), emitted by `ffsm mine --trace` / `ffsm update --trace`;
 //! * `error` — a typed [`FfsmError`], as a stable machine `code` plus the
 //!   human message;
 //! * `done` — the server's per-request terminator (exactly one per request).
@@ -33,7 +37,10 @@
 
 use ffsm_core::FfsmError;
 use ffsm_graph::io;
-use ffsm_miner::{FrequentPattern, LevelSummary, MiningResult, RunSummary};
+use ffsm_miner::{
+    FrequentPattern, LevelSummary, MiningResult, Phase, PhaseTimes, RunSummary, SessionCounters,
+};
+use ffsm_obs::HistogramSnapshot;
 use std::io::Write;
 
 /// An in-progress NDJSON frame: one JSON object, keys in insertion order.
@@ -159,6 +166,54 @@ pub fn epoch_frame(epoch: usize, result: &MiningResult) -> Frame {
         .raw("elapsed_ms", result.stats.elapsed.as_millis())
 }
 
+/// One counter from a metrics scrape.
+pub fn counter_frame(name: &str, value: u64) -> Frame {
+    Frame::event("metric").str("kind", "counter").str("name", name).raw("value", value)
+}
+
+/// One gauge from a metrics scrape.
+pub fn gauge_frame(name: &str, value: i64) -> Frame {
+    Frame::event("metric").str("kind", "gauge").str("name", name).raw("value", value)
+}
+
+/// One histogram from a metrics scrape.  Quantiles are the log₂-bucket upper
+/// bounds; `buckets` is the compact non-empty-bucket encoding of
+/// [`HistogramSnapshot::encode_buckets`] (`"bucket:count,…"`), which keeps the
+/// frame flat — the protocol has no nested values.
+pub fn histogram_frame(name: &str, snapshot: &HistogramSnapshot) -> Frame {
+    Frame::event("metric")
+        .str("kind", "histogram")
+        .str("name", name)
+        .raw("count", snapshot.count)
+        .raw("sum", snapshot.sum)
+        .raw("p50", snapshot.quantile(0.50))
+        .raw("p90", snapshot.quantile(0.90))
+        .raw("p99", snapshot.quantile(0.99))
+        .str("buckets", &snapshot.encode_buckets())
+}
+
+/// One per-level observability snapshot for the CLI's `--trace` streams.
+/// `counters` and `phases` are *deltas* over the previous level (computed with
+/// the `saturating_sub` helpers on [`SessionCounters`] / [`PhaseTimes`]), except
+/// `arena_peak_bytes`, which is the run's high-water mark so far.
+pub fn trace_frame(level: usize, counters: &SessionCounters, phases: &PhaseTimes) -> Frame {
+    let mut frame = Frame::event("trace")
+        .raw("level", level)
+        .raw("steps", counters.search.steps)
+        .raw("backjumps", counters.search.backjumps)
+        .raw("pools_filled", counters.search.pools_filled)
+        .raw("hub_verified_pools", counters.search.hub_verified_pools)
+        .raw("cancel_polls", counters.search.cancel_polls)
+        .raw("refine_rounds", counters.search.refine_rounds)
+        .raw("overlap_probes", counters.overlap_probes)
+        .raw("patterns_emitted", counters.patterns_emitted)
+        .raw("arena_peak_bytes", counters.arena_peak_bytes);
+    for phase in Phase::ALL {
+        frame = frame.raw(&format!("{}_us", phase.name()), phases.nanos(phase) / 1_000);
+    }
+    frame
+}
+
 /// The stable machine code naming an [`FfsmError`] variant on the wire.
 pub fn error_code(e: &FfsmError) -> &'static str {
     match e {
@@ -255,6 +310,44 @@ mod tests {
         assert!(!line.contains("epoch"));
         let line = pattern_frame(&sample_pattern(), Some(3)).finish();
         assert!(line.starts_with("{\"event\": \"pattern\", \"epoch\": 3, \"support\": 5"));
+    }
+
+    #[test]
+    fn metric_frames_stay_flat() {
+        assert_eq!(
+            counter_frame("steps", 7).finish(),
+            "{\"event\": \"metric\", \"kind\": \"counter\", \"name\": \"steps\", \"value\": 7}"
+        );
+        assert_eq!(
+            gauge_frame("queue_depth", -1).finish(),
+            "{\"event\": \"metric\", \"kind\": \"gauge\", \"name\": \"queue_depth\", \
+             \"value\": -1}"
+        );
+        let h = ffsm_obs::Histogram::default();
+        h.record(3);
+        h.record(100);
+        let line = histogram_frame("latency_mine_us", &h.snapshot()).finish();
+        assert!(line.contains("\"kind\": \"histogram\""));
+        assert!(line.contains("\"count\": 2"));
+        assert!(line.contains("\"sum\": 103"));
+        assert!(line.contains("\"buckets\": \"2:1,7:1\""), "{line}");
+        // Every value is a flat scalar — the protocol parser would reject
+        // nested arrays, so buckets ride as an encoded string.
+        assert!(!line.contains('['));
+    }
+
+    #[test]
+    fn trace_frame_carries_counter_and_phase_deltas() {
+        let mut counters = SessionCounters::default();
+        counters.search.steps = 42;
+        counters.overlap_probes = 7;
+        let mut phases = PhaseTimes::default();
+        phases.add_nanos(Phase::SupportEval, 3_000_000);
+        let line = trace_frame(2, &counters, &phases).finish();
+        assert!(line.starts_with("{\"event\": \"trace\", \"level\": 2, \"steps\": 42"));
+        assert!(line.contains("\"overlap_probes\": 7"));
+        assert!(line.contains("\"support_eval_us\": 3000"));
+        assert!(line.contains("\"extension_us\": 0"));
     }
 
     #[test]

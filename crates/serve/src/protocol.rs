@@ -15,6 +15,7 @@
 //! | `update`   | `graph`, `updates` (`.gu`-format text, `t` lines separate batches)        |
 //! | `list`     | —                                                                         |
 //! | `stat`     | [`graph`] (omitted: server-level statistics)                              |
+//! | `metrics`  | — (scrape the server's metrics registry: one `metric` frame per metric)   |
 //! | `shutdown` | — (begin graceful drain)                                                  |
 //!
 //! Every request may carry a numeric `id`, echoed verbatim in the request's
@@ -74,6 +75,9 @@ pub enum Request {
         /// The graph to describe, `None` for server-level statistics.
         graph: Option<String>,
     },
+    /// Scrape the server's metrics registry: counters, gauges and latency
+    /// histograms, one flat `metric` frame each.
+    Metrics,
     /// Begin graceful drain: stop admissions, cancel in-flight sessions, flush.
     Shutdown,
 }
@@ -319,10 +323,11 @@ pub fn parse_request(line: &str) -> Result<Envelope, FfsmError> {
         }
         "list" => Request::List,
         "stat" => Request::Stat { graph: fields.string("graph")?.map(str::to_string) },
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(protocol_err(format!(
-                "unknown op {other:?} (expected mine, update, list, stat or shutdown)"
+                "unknown op {other:?} (expected mine, update, list, stat, metrics or shutdown)"
             )))
         }
     };
@@ -388,6 +393,10 @@ mod tests {
             panic!("expected stat")
         };
         assert_eq!(graph.as_deref(), Some("g"));
+        assert!(matches!(
+            parse_request("{\"op\": \"metrics\", \"id\": 4}").unwrap().request,
+            Request::Metrics
+        ));
         assert!(matches!(
             parse_request("{\"op\": \"shutdown\", \"id\": 1}").unwrap().request,
             Request::Shutdown

@@ -31,7 +31,8 @@
 //! frame naming the deadline, and a `done` frame.
 
 use crate::events::{
-    error_frame, finished_frame, level_frame, pattern_frame, write_frame, Frame, FrameWrite,
+    counter_frame, error_frame, finished_frame, gauge_frame, histogram_frame, level_frame,
+    pattern_frame, write_frame, Frame, FrameWrite,
 };
 use crate::protocol::{parse_request, MineParams, Request};
 use crate::registry::{GraphRegistry, GraphStats};
@@ -39,7 +40,8 @@ use crate::scheduler::SessionScheduler;
 use ffsm_core::FfsmError;
 use ffsm_dynamic::EpochSnapshot;
 use ffsm_graph::CancelToken;
-use ffsm_miner::{MiningEvent, MiningSession};
+use ffsm_miner::{MiningEvent, MiningSession, MiningStats, Phase};
+use ffsm_obs::{Counter, Gauge, MetricsRegistry};
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,6 +68,11 @@ pub struct ServerConfig {
     pub retain_epochs: usize,
     /// A frame write stalling longer than this treats the client as gone.
     pub write_timeout: Duration,
+    /// Run mining sessions with fine-grained phase timing enabled
+    /// ([`MiningSession::metrics`]), so completed sessions fold per-phase
+    /// wall-time totals into the server's metrics registry.  On by default;
+    /// benchmarks turn it off to measure the timing overhead itself.
+    pub session_metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +84,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             retain_epochs: 4,
             write_timeout: Duration::from_secs(10),
+            session_metrics: true,
         }
     }
 }
@@ -102,6 +110,12 @@ struct ServerState {
     connections: AtomicU64,
     disconnects: AtomicU64,
     started: Instant,
+    /// Named metrics scraped by the `metrics` op.  The two hot handles below
+    /// are resolved once at bind time so the frame path never takes the
+    /// registry lock.
+    metrics: MetricsRegistry,
+    frames_written: Arc<Counter>,
+    active_sessions: Arc<Gauge>,
 }
 
 /// A handle for signalling the server from other threads (the CLI's SIGINT
@@ -148,6 +162,9 @@ impl Server {
         let listener = TcpListener::bind(addr)
             .map_err(|e| FfsmError::InvalidConfig(format!("cannot bind {addr}: {e}")))?;
         let workers = config.effective_workers();
+        let metrics = MetricsRegistry::new();
+        let frames_written = metrics.counter("frames_written");
+        let active_sessions = metrics.gauge("active_sessions");
         let state = Arc::new(ServerState {
             registry: GraphRegistry::new(config.retain_epochs),
             scheduler: SessionScheduler::new(workers, config.queue_capacity),
@@ -157,6 +174,9 @@ impl Server {
             connections: AtomicU64::new(0),
             disconnects: AtomicU64::new(0),
             started: Instant::now(),
+            metrics,
+            frames_written,
+            active_sessions,
         });
         Ok(Server { listener, state })
     }
@@ -257,24 +277,41 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
 }
 
 /// Serve one request line.  Returns `false` when the connection should close
-/// (the client disconnected mid-response).
+/// (the client disconnected mid-response).  Every request is counted and its
+/// wall time recorded into the per-op latency histogram (`latency_<op>_us`).
 fn handle_request(line: &str, writer: &mut TcpStream, state: &Arc<ServerState>) -> bool {
+    let started = Instant::now();
     let envelope = match parse_request(line) {
         Ok(envelope) => envelope,
-        Err(e) => return send_failure(writer, &e, None, state),
+        Err(e) => {
+            state.metrics.counter("requests_malformed").inc();
+            return send_failure(writer, &e, None, state);
+        }
     };
     let id = envelope.id;
-    match envelope.request {
+    let op = match &envelope.request {
+        Request::Mine(_) => "mine",
+        Request::Update { .. } => "update",
+        Request::List => "list",
+        Request::Stat { .. } => "stat",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    };
+    state.metrics.counter(&format!("requests_{op}")).inc();
+    let alive = match envelope.request {
         Request::Mine(params) => handle_mine(params, id, writer, state),
         Request::Update { graph, batches } => handle_update(&graph, &batches, id, writer, state),
         Request::List => handle_list(id, writer, state),
         Request::Stat { graph } => handle_stat(graph.as_deref(), id, writer, state),
+        Request::Metrics => handle_metrics(id, writer, state),
         Request::Shutdown => {
             let alive = send_done(writer, "complete", id, state);
             state.shutdown.store(true, Ordering::SeqCst);
             alive
         }
-    }
+    };
+    state.metrics.histogram(&format!("latency_{op}_us")).record_duration_us(started.elapsed());
+    alive
 }
 
 /// `error` frame + `done(status: "error")` frame.  Returns connection liveness.
@@ -306,7 +343,10 @@ fn send_done(
 /// Write one frame, counting a vanished client.  Returns connection liveness.
 fn send(writer: &mut TcpStream, frame: Frame, state: &Arc<ServerState>) -> bool {
     match write_frame(writer, &frame.finish()) {
-        Ok(FrameWrite::Written) => true,
+        Ok(FrameWrite::Written) => {
+            state.frames_written.inc();
+            true
+        }
         Ok(FrameWrite::Disconnected) | Err(_) => {
             state.disconnects.fetch_add(1, Ordering::Relaxed);
             false
@@ -335,6 +375,9 @@ fn handle_mine(
         let _ = done_tx.send(alive);
     });
     if let Err(e) = submitted {
+        if matches!(e, FfsmError::Overloaded { .. }) {
+            state.metrics.counter("admission_rejected").inc();
+        }
         return send_failure(writer, &e, id, state);
     }
     // Requests are answered in order per connection: wait for the session's
@@ -355,11 +398,14 @@ fn run_mine_session(
     writer: &mut TcpStream,
     state: &Arc<ServerState>,
 ) -> bool {
+    state.active_sessions.add(1);
+    let _active = GaugeGuard(Arc::clone(&state.active_sessions));
     let mut session = MiningSession::over(snapshot.prepared())
         .measure(params.measure)
         .min_support(params.tau)
         .max_edges(params.max_edges)
         .threads(state.config.session_threads)
+        .metrics(state.config.session_metrics)
         .cancel_token(token.clone());
     if let Some(k) = params.top_k {
         session = session.top_k(k);
@@ -379,6 +425,7 @@ fn run_mine_session(
             Ok(MiningEvent::LevelCompleted(level)) => level_frame(&level),
             Ok(MiningEvent::Finished(summary)) => {
                 status = summary.completion.name();
+                fold_session_stats(&summary.stats, state);
                 finished_frame(&summary)
             }
             Err(e) => {
@@ -395,6 +442,65 @@ fn run_mine_session(
         }
     }
     let done = Frame::event("done").str("status", status).raw("epoch", snapshot.epoch()).id(id);
+    send(writer, done, state)
+}
+
+/// Decrements its gauge when dropped — keeps `active_sessions` honest on every
+/// exit path of a session (completion, mid-stream disconnect, error).
+struct GaugeGuard(Arc<Gauge>);
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
+/// Fold a finished session's observability block into the server registry:
+/// per-phase wall-time totals (`phase_<name>_ns`) and the headline mining
+/// counters, summed across every session the server has completed.
+fn fold_session_stats(stats: &MiningStats, state: &Arc<ServerState>) {
+    for phase in Phase::ALL {
+        let nanos = stats.phase_timings.nanos(phase);
+        if nanos > 0 {
+            state.metrics.counter(&format!("phase_{}_ns", phase.name())).add(nanos);
+        }
+    }
+    let counters = &stats.counters;
+    state.metrics.counter("mine_steps").add(counters.search.steps);
+    state.metrics.counter("mine_backjumps").add(counters.search.backjumps);
+    state.metrics.counter("mine_pools_filled").add(counters.search.pools_filled);
+    state.metrics.counter("mine_hub_verified_pools").add(counters.search.hub_verified_pools);
+    state.metrics.counter("mine_overlap_probes").add(counters.overlap_probes);
+    state.metrics.counter("mine_patterns_emitted").add(counters.patterns_emitted);
+}
+
+/// Answer a `metrics` scrape: refresh the point-in-time gauges, then emit one
+/// flat `metric` frame per registered metric, sorted by kind then name.
+fn handle_metrics(id: Option<u64>, writer: &mut TcpStream, state: &Arc<ServerState>) -> bool {
+    let scheduler = state.scheduler.stats();
+    let active = state.active_sessions.value().max(0);
+    state.metrics.gauge("queue_depth").set((scheduler.inflight as i64 - active).max(0));
+    let snapshot = state.metrics.snapshot();
+    let mut emitted = 0usize;
+    for (name, value) in &snapshot.counters {
+        if !send(writer, counter_frame(name, *value).id(id), state) {
+            return false;
+        }
+        emitted += 1;
+    }
+    for (name, value) in &snapshot.gauges {
+        if !send(writer, gauge_frame(name, *value).id(id), state) {
+            return false;
+        }
+        emitted += 1;
+    }
+    for (name, histogram) in &snapshot.histograms {
+        if !send(writer, histogram_frame(name, histogram).id(id), state) {
+            return false;
+        }
+        emitted += 1;
+    }
+    let done = Frame::event("done").str("status", "complete").raw("metrics", emitted).id(id);
     send(writer, done, state)
 }
 
@@ -484,6 +590,7 @@ fn graph_stat_frame(stats: &GraphStats) -> Frame {
 
 fn server_stat_frame(state: &Arc<ServerState>) -> Frame {
     let scheduler = state.scheduler.stats();
+    let active = state.active_sessions.value().max(0);
     Frame::event("stat")
         .raw("graphs", state.registry.len())
         .raw("workers", state.workers)
@@ -492,6 +599,9 @@ fn server_stat_frame(state: &Arc<ServerState>) -> Frame {
         .raw("rejected", scheduler.rejected)
         .raw("finished", scheduler.finished)
         .raw("inflight", scheduler.inflight)
+        .raw("active_sessions", active)
+        .raw("queue_depth", (scheduler.inflight as i64 - active).max(0))
+        .raw("frames_written", state.frames_written.value())
         .raw("connections", state.connections.load(Ordering::Relaxed))
         .raw("disconnects", state.disconnects.load(Ordering::Relaxed))
         .raw("uptime_ms", state.started.elapsed().as_millis())
@@ -554,6 +664,28 @@ mod tests {
         let frames = request(addr, "{\"op\": \"stat\"}");
         assert!(frames[0].contains("\"graphs\": 1"));
         assert!(frames[0].contains("\"workers\": "));
+
+        handle.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_scrape_reports_counters_gauges_and_histograms() {
+        let (addr, handle, thread) = spawn_server(ServerConfig::default());
+        let frames = request(addr, "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 2}");
+        assert!(frames.iter().any(|f| f.contains("\"event\": \"finished\"")));
+
+        let frames = request(addr, "{\"op\": \"metrics\", \"id\": 5}");
+        let text = frames.join("\n");
+        assert!(text.contains("\"name\": \"requests_mine\", \"value\": 1"), "{text}");
+        assert!(text.contains("\"name\": \"frames_written\""));
+        assert!(text.contains("\"name\": \"queue_depth\""));
+        assert!(text.contains("\"kind\": \"histogram\", \"name\": \"latency_mine_us\""));
+        assert!(text.contains("\"name\": \"phase_support_eval_ns\""));
+        assert!(text.contains("\"name\": \"mine_steps\""));
+        let last = frames.last().unwrap();
+        assert!(last.starts_with("{\"event\": \"done\", \"status\": \"complete\", \"metrics\": "));
+        assert!(last.ends_with("\"id\": 5}"));
 
         handle.shutdown();
         thread.join().unwrap();

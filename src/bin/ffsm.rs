@@ -12,10 +12,12 @@
 //!   for `--backend naive`.  The candidate-space engine reports candidate-space
 //!   sizes and index build / search timings;
 //! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-//!   [--backend B] [--stream] [--deadline-ms MS]` — run the frequent-subgraph miner.  The default
-//!   output is a table plus the run's typed completion status (complete vs which
+//!   [--backend B] [--stream] [--trace] [--deadline-ms MS]` — run the frequent-subgraph miner.
+//!   The default output is a table plus the run's typed completion status (complete vs which
 //!   budget cap vs deadline); `--stream` switches to NDJSON events (one JSON object
-//!   per line — `pattern`, `level`, `finished` — flushed as found), and
+//!   per line — `pattern`, `level`, `finished` — flushed as found), `--trace` implies
+//!   `--stream` and follows each `level` frame with a `trace` frame of per-level
+//!   observability deltas (search counters, per-phase wall time), and
 //!   `--deadline-ms` bounds the run's wall-clock time;
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
 //! * `update <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
@@ -26,13 +28,15 @@
 //!   comparison) and printing one completion line per epoch; `--stream` switches to
 //!   NDJSON events (`pattern` per frequent pattern, `epoch` per completed epoch;
 //!   flushed per epoch — a delta re-mine answers most patterns from cache in one
-//!   step, so the epoch, not the level, is the streaming unit here).
+//!   step, so the epoch, not the level, is the streaming unit here); `--trace`
+//!   implies `--stream` and adds one `trace` frame per epoch, including the
+//!   update-apply (delta-repair) wall time.
 //!   A malformed or out-of-range updates file is a usage error (exit 1);
 //! * `serve --graph NAME=PATH [--graph ...] [--listen ADDR] [--workers N] [--queue N]
 //!   [--retain N] [--deadline-ms MS]` — run the multi-tenant mining server: the named
 //!   graphs become a registry of versioned [`DynamicGraph`](ffsm::dynamic::DynamicGraph)s,
 //!   clients speak the NDJSON-over-TCP protocol of `PROTOCOL.md` (ops `mine`, `update`,
-//!   `list`, `stat`, `shutdown`), and Ctrl-C or a `shutdown` request drains gracefully
+//!   `list`, `stat`, `metrics`, `shutdown`), and Ctrl-C or a `shutdown` request drains gracefully
 //!   (in-flight sessions are cancelled but still flush their terminal frames);
 //! * `generate <kind> <out.lg> [--seed S]` — write one of the synthetic datasets to a
 //!   `.lg` file (kinds: chemical, social, citation, protein, grid, star-overlap).
@@ -131,21 +135,27 @@ commands:
                                                    overlap census / MIS per notion
                                                    (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-           [--backend naive|candidate-space|auto] [--stream] [--deadline-ms MS]
+           [--backend naive|candidate-space|auto] [--stream] [--trace] [--deadline-ms MS]
                                                    frequent-subgraph mining
                                                    (--stream: NDJSON events, one per
                                                    line, flushed as found;
+                                                   --trace: implies --stream, adds a
+                                                   trace frame of per-level counter
+                                                   and phase-time deltas;
                                                    --deadline-ms: wall-clock bound —
                                                    a deadline/cancel stop exits 2)
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
                                                    top-k pattern mining
   update   <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
-           [--threads K] [--cold] [--stream]
+           [--threads K] [--cold] [--stream] [--trace]
                                                    apply update batches as epochs and
                                                    re-mine each one incrementally
                                                    (--cold: full re-mine per epoch;
                                                    --stream: NDJSON epoch/pattern
-                                                   events; bad update files exit 1)
+                                                   events; --trace: implies --stream,
+                                                   adds a trace frame per epoch incl.
+                                                   delta-repair time;
+                                                   bad update files exit 1)
   serve    --graph NAME=PATH [--graph NAME=PATH ...] [--listen ADDR] [--workers N]
            [--queue N] [--retain N] [--deadline-ms MS]
                                                    serve the named graphs over the
@@ -424,39 +434,57 @@ fn completion_exit(completion: Completion, deadline: Option<Duration>) -> Result
 /// Drive a session as NDJSON: one JSON object per line, flushed the moment the
 /// event happens, so a consumer sees patterns while the miner is still running.
 /// Frames come from the shared serializer in [`ffsm::serve::events`] — the exact
-/// bytes a server session writes to its socket.
-fn stream_ndjson(session: MiningSession) -> Result<Completion, CliError> {
+/// bytes a server session writes to its socket.  With `trace`, every `level`
+/// frame is followed by a `trace` frame carrying the level's observability
+/// deltas (search counters, per-phase wall time).
+fn stream_ndjson(session: MiningSession, trace: bool) -> Result<Completion, CliError> {
     // The token lets a vanished consumer stop the miner the same way a server
     // session does: cancel, don't unwind.
     let token = ffsm::graph::CancelToken::new();
+    let session = if trace { session.metrics(true) } else { session };
     let stream = session.cancel_token(token.clone()).stream()?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut completion = Completion::Complete;
+    // Level stats snapshots are cumulative; trace frames report per-level deltas.
+    let mut prev_counters = ffsm::miner::SessionCounters::default();
+    let mut prev_phases = ffsm::miner::PhaseTimes::default();
     for event in stream {
-        let frame = match event? {
-            MiningEvent::Pattern(p) => events::pattern_frame(&p, None),
-            MiningEvent::LevelCompleted(level) => events::level_frame(&level),
+        let mut frames: Vec<events::Frame> = Vec::with_capacity(2);
+        match event? {
+            MiningEvent::Pattern(p) => frames.push(events::pattern_frame(&p, None)),
+            MiningEvent::LevelCompleted(level) => {
+                frames.push(events::level_frame(&level));
+                if trace {
+                    let counters = level.stats.counters.saturating_sub(&prev_counters);
+                    let phases = level.stats.phase_timings.saturating_sub(&prev_phases);
+                    frames.push(events::trace_frame(level.level, &counters, &phases));
+                    prev_counters = level.stats.counters;
+                    prev_phases = level.stats.phase_timings;
+                }
+            }
             MiningEvent::Finished(summary) => {
                 completion = summary.completion;
-                events::finished_frame(&summary)
+                frames.push(events::finished_frame(&summary));
             }
-        };
-        match events::write_frame(&mut out, &frame.finish()) {
-            Ok(events::FrameWrite::Written) => {}
-            // A consumer closing the pipe early (`... --stream | head`) is a normal
-            // way to stop consuming, not a mining failure: cancel the session and
-            // end the stream cleanly so exit code 2 keeps meaning "run
-            // interrupted", nothing else.
-            Ok(events::FrameWrite::Disconnected) => {
-                token.cancel();
-                return Ok(Completion::Complete);
-            }
-            Err(e) => {
-                token.cancel();
-                return Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(
-                    e.to_string(),
-                ))));
+        }
+        for frame in frames {
+            match events::write_frame(&mut out, &frame.finish()) {
+                Ok(events::FrameWrite::Written) => {}
+                // A consumer closing the pipe early (`... --stream | head`) is a
+                // normal way to stop consuming, not a mining failure: cancel the
+                // session and end the stream cleanly so exit code 2 keeps meaning
+                // "run interrupted", nothing else.
+                Ok(events::FrameWrite::Disconnected) => {
+                    token.cancel();
+                    return Ok(Completion::Complete);
+                }
+                Err(e) => {
+                    token.cancel();
+                    return Err(CliError::Ffsm(FfsmError::Graph(ffsm::graph::GraphError::Io(
+                        e.to_string(),
+                    ))));
+                }
             }
         }
     }
@@ -467,7 +495,8 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
             "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] \
-             [--parallel] [--backend naive|candidate-space|auto] [--stream] [--deadline-ms MS]"
+             [--parallel] [--backend naive|candidate-space|auto] [--stream] [--trace] \
+             [--deadline-ms MS]"
                 .into(),
         ));
     };
@@ -506,8 +535,9 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     if let Some(d) = deadline {
         session = session.deadline(d);
     }
-    if args.iter().any(|a| a == "--stream") {
-        let completion = stream_ndjson(session)?;
+    let trace = args.iter().any(|a| a == "--trace");
+    if trace || args.iter().any(|a| a == "--stream") {
+        let completion = stream_ndjson(session, trace)?;
         return completion_exit(completion, deadline);
     }
     let result: MiningResult = session.run()?;
@@ -553,14 +583,16 @@ fn cmd_topk(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Report one mined epoch: human-readable line, or NDJSON `pattern` events plus
-/// one `epoch` event when streaming.  Returns `Ok(false)` when a streaming
-/// consumer closed the pipe (`... --stream | head`) — the caller then stops
-/// cleanly, exactly like `ffsm mine --stream`.
+/// one `epoch` event when streaming (with an extra `trace` frame before the
+/// `epoch` frame when `trace` carries the epoch's phase times).  Returns
+/// `Ok(false)` when a streaming consumer closed the pipe (`... --stream | head`)
+/// — the caller then stops cleanly, exactly like `ffsm mine --stream`.
 fn report_epoch(
     epoch: usize,
     delta_summary: Option<String>,
     result: &MiningResult,
     stream: bool,
+    trace: Option<&ffsm::miner::PhaseTimes>,
 ) -> Result<bool, CliError> {
     let stats = &result.stats;
     if !stream {
@@ -592,6 +624,14 @@ fn report_epoch(
             return Ok(false);
         }
     }
+    // Each epoch is its own run, so its stats are already per-epoch deltas; the
+    // caller's phase block additionally carries the update-apply (delta-repair)
+    // wall time, which happens outside the mining session.
+    if let Some(phases) = trace {
+        if !emit(events::trace_frame(epoch, &result.stats.counters, phases))? {
+            return Ok(false);
+        }
+    }
     emit(events::epoch_frame(epoch, result))
 }
 
@@ -599,7 +639,7 @@ fn cmd_update(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
             "ffsm update <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N] \
-             [--threads K] [--cold] [--stream]"
+             [--threads K] [--cold] [--stream] [--trace]"
                 .into(),
         ));
     };
@@ -617,7 +657,8 @@ fn cmd_update(args: &[String]) -> Result<(), CliError> {
         None => 1,
     };
     let cold = args.iter().any(|a| a == "--cold");
-    let stream = args.iter().any(|a| a == "--stream");
+    let trace = args.iter().any(|a| a == "--trace");
+    let stream = trace || args.iter().any(|a| a == "--stream");
     // Malformed update files are usage errors (exit 1), keeping exit 2 for
     // mining-side failures — the typed parse error still names the line.
     let batches = io::load_updates(Path::new(updates_path))
@@ -629,6 +670,7 @@ fn cmd_update(args: &[String]) -> Result<(), CliError> {
         .min_support(tau)
         .max_edges(max_edges)
         .threads(threads)
+        .metrics(trace)
         .config()
         .clone();
     let mut miner = ffsm::dynamic::IncrementalMiner::new(config);
@@ -641,22 +683,27 @@ fn cmd_update(args: &[String]) -> Result<(), CliError> {
         );
     }
     let mut last = miner.mine(store.current()).map_err(CliError::Ffsm)?;
-    if !report_epoch(0, None, &last, stream)? {
+    let phases = last.stats.phase_timings;
+    if !report_epoch(0, None, &last, stream, trace.then_some(&phases))? {
         return Ok(());
     }
     for batch in &batches {
         // Out-of-range updates are usage errors too: the file asked for an
         // impossible edit, mining never started for this epoch.
+        let apply_start = std::time::Instant::now();
         let snapshot = match store.apply(batch) {
             Ok(snapshot) => snapshot.clone(),
             Err(e) => return Err(CliError::Usage(format!("bad updates file {updates_path}: {e}"))),
         };
+        let apply_nanos = apply_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if cold {
             miner.reset();
         }
         last = miner.mine(&snapshot).map_err(CliError::Ffsm)?;
         let summary = snapshot.delta().map(|d| d.summary());
-        if !report_epoch(snapshot.epoch(), summary, &last, stream)? {
+        let mut phases = last.stats.phase_timings;
+        phases.add_nanos(ffsm::miner::Phase::DeltaRepair, apply_nanos);
+        if !report_epoch(snapshot.epoch(), summary, &last, stream, trace.then_some(&phases))? {
             return Ok(());
         }
         // Keep only what chaining needs; old epochs remain valid for readers.

@@ -343,3 +343,123 @@ fn graceful_shutdown_cancels_inflight_sessions_but_flushes_their_terminal_frames
         "listener closed after drain"
     );
 }
+
+/// Pull a numeric `"key": value` field out of a flat NDJSON frame.
+fn frame_field(frame: &str, key: &str) -> Option<i64> {
+    let tag = format!("\"{key}\": ");
+    let at = frame.find(&tag)? + tag.len();
+    let rest = &frame[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The `metric` frame of the given kind and name, if the scrape carried one.
+fn metric_frame<'a>(frames: &'a [String], kind: &str, name: &str) -> Option<&'a String> {
+    frames.iter().find(|f| {
+        f.starts_with("{\"event\": \"metric\"")
+            && f.contains(&format!("\"kind\": \"{kind}\""))
+            && f.contains(&format!("\"name\": \"{name}\""))
+    })
+}
+
+/// Sum of the exclusive-phase wall-time counters in a `metrics` scrape.  The
+/// exclusive phases partition a session's wall time, so across scrapes their
+/// delta accounts for the mining the server did in between.
+fn exclusive_phase_total_ns(frames: &[String]) -> i64 {
+    ["index_build", "support_eval", "extension", "delta_repair"]
+        .iter()
+        .map(|phase| {
+            metric_frame(frames, "counter", &format!("phase_{phase}_ns"))
+                .and_then(|f| frame_field(f, "value"))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_scrape_phase_totals_account_for_observed_mine_wall_time() {
+    let (addr, handle, server) = start_server(ServerConfig::default(), &[("g", heavy_graph())]);
+    let scrape = |addr| converse(addr, "{\"op\": \"metrics\"}");
+
+    // Warm-up mine: pays the one-time prepared-index build and the first-touch
+    // allocation noise outside the timed window below.
+    let warm =
+        converse(addr, "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 2, \"deadline_ms\": 300}");
+    assert!(warm.last().expect("warm done").starts_with("{\"event\": \"done\""), "{warm:?}");
+
+    // One deadline-bounded mine over an already-accepted connection, timed
+    // from request write to `done` receipt — a fresh connection would fold the
+    // accept loop's poll interval into the wall and blur the accounting.
+    let before = scrape(addr);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    std::thread::sleep(Duration::from_millis(20)); // let the accept poll pick us up
+    let start = Instant::now();
+    writeln!(
+        stream,
+        "{{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 2, \"max_edges\": 4, \"deadline_ms\": 700}}"
+    )
+    .expect("send");
+    let mut frames: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read frame") > 0, "server hung up");
+        let done = line.starts_with("{\"event\": \"done\"");
+        frames.push(line.trim_end().to_string());
+        if done {
+            break;
+        }
+    }
+    let wall = start.elapsed();
+    drop(stream);
+    // The scheduler deregisters the session's inflight token just *after* the
+    // done frame is flushed to the client, so an immediate scrape can catch
+    // `queue_depth: 1` for a microsecond.  Poll until the token drains before
+    // taking the authoritative scrape (the folded phase totals are written
+    // before the done frame, so they are already stable here).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let after = loop {
+        let frames = scrape(addr);
+        let drained = metric_frame(&frames, "gauge", "queue_depth")
+            .is_some_and(|q| frame_field(q, "value") == Some(0));
+        if drained {
+            break frames;
+        }
+        assert!(Instant::now() < deadline, "queue_depth never drained: {frames:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The per-phase totals folded from the session must account for the wall
+    // time the client observed, within 5%: the observability layer claims to
+    // explain where serving time goes, and an unexplained gap (work outside
+    // every phase span) or an overshoot (double-counted spans) breaks that.
+    let mined = (exclusive_phase_total_ns(&after) - exclusive_phase_total_ns(&before)) as f64;
+    let wall = wall.as_nanos() as f64;
+    assert!(
+        mined >= wall * 0.95 && mined <= wall * 1.05,
+        "exclusive phases explain {:.1}% of the observed {:.1}ms mine",
+        100.0 * mined / wall,
+        wall / 1e6
+    );
+
+    // The scrape also carries the serving-side instruments the dashboard needs:
+    // an idle queue, no sessions in flight, both mines in the latency
+    // histogram (with real buckets), and the folded mining counters.
+    let queue = metric_frame(&after, "gauge", "queue_depth").expect("queue_depth gauge");
+    assert_eq!(frame_field(queue, "value"), Some(0), "{queue}");
+    let active = metric_frame(&after, "gauge", "active_sessions").expect("active_sessions gauge");
+    assert_eq!(frame_field(active, "value"), Some(0), "{active}");
+    let latency = metric_frame(&after, "histogram", "latency_mine_us").expect("mine histogram");
+    assert_eq!(frame_field(latency, "count"), Some(2), "{latency}");
+    assert!(frame_field(latency, "p99").expect("p99") > 0, "{latency}");
+    assert!(!latency.contains("\"buckets\": \"\""), "bucket string is populated: {latency}");
+    let mines = metric_frame(&after, "counter", "requests_mine").expect("requests_mine");
+    assert_eq!(frame_field(mines, "value"), Some(2), "{mines}");
+    let steps = metric_frame(&after, "counter", "mine_steps").expect("mine_steps");
+    assert!(frame_field(steps, "value").expect("steps") > 0, "{steps}");
+    let written = metric_frame(&after, "counter", "frames_written").expect("frames_written");
+    assert!(frame_field(written, "value").expect("frames") > frames.len() as i64, "{written}");
+
+    handle.shutdown();
+    server.join().expect("server joins");
+}
