@@ -51,6 +51,11 @@ pub enum FfsmError {
     /// A malformed wire-protocol frame: not a JSON object, an unknown `op`, a
     /// missing or ill-typed field.  The message names the offending part.
     Protocol(String),
+    /// An invalid graph-partition specification (zero shards, a halo deeper
+    /// than the graph, a shard spill directory that cannot be written) or a
+    /// shard-store failure while spilling / reloading a shard.  The message
+    /// names the offending parameter or file.
+    Partition(String),
     /// The server is draining for shutdown and no longer admits requests.
     ShuttingDown,
 }
@@ -86,6 +91,7 @@ impl std::fmt::Display for FfsmError {
                 "server overloaded: admission queue (capacity {capacity}) is full — back off and retry"
             ),
             FfsmError::Protocol(message) => write!(f, "protocol error: {message}"),
+            FfsmError::Partition(message) => write!(f, "partition error: {message}"),
             FfsmError::ShuttingDown => {
                 write!(f, "server is shutting down and no longer admits requests")
             }
@@ -149,5 +155,7 @@ mod tests {
         let e = FfsmError::Protocol("missing field \"op\"".into());
         assert!(e.to_string().contains("missing field"));
         assert!(FfsmError::ShuttingDown.to_string().contains("shutting down"));
+        let e = FfsmError::Partition("shards must be at least 1 (got 0)".into());
+        assert!(e.to_string().contains("partition error") && e.to_string().contains("got 0"));
     }
 }

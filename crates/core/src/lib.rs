@@ -48,6 +48,12 @@ pub use ffsm_graph::CancelToken;
 // miner's delta-aware mode and the `ffsm-dynamic` store speak these types.
 pub use ffsm_graph::{GraphDelta, GraphUpdate, UpdateError};
 pub use ffsm_match::{GraphIndex, SearchArena};
+// Raw embedding enumeration (without the `OccurrenceSet` wrapper) is what the
+// partitioned miner needs: per-shard embeddings are remapped to global ids and
+// merged *before* one occurrence set is built, so the hypergraph and the support
+// value are computed over the exact global occurrence list.
+pub use ffsm_graph::isomorphism::EnumerationResult;
+pub use ffsm_match::enumerate_with;
 pub use measures::{
     MeasureConfig, MeasureKind, MiStrategy, MvcAlgorithm, SupportMeasure, SupportMeasures,
 };

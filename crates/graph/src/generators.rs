@@ -440,6 +440,79 @@ pub fn caterpillar(spine: usize, legs: usize) -> LabeledGraph {
     g
 }
 
+/// A molecule-like multi-label graph: `molecules` small components, each a ring or
+/// chain of `atoms_per_molecule` atoms with occasional pendant substituents, atom
+/// labels drawn from a skewed (Zipf-ish) distribution over `num_labels` symbols —
+/// a handful of "carbon"-like labels dominate, rarer "heteroatom" labels appear on
+/// a minority of vertices.  Models chemistry-style datasets: many small components
+/// with heavily repeated fragments, the workload where label-aware partitioning
+/// has the most signal.
+pub fn molecule_like(
+    molecules: usize,
+    atoms_per_molecule: usize,
+    num_labels: u32,
+    seed: u64,
+) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let atoms = atoms_per_molecule.max(1);
+    let mut g = LabeledGraph::with_capacity(molecules * (atoms + atoms / 3));
+    for _ in 0..molecules {
+        let backbone: Vec<VertexId> =
+            (0..atoms).map(|_| g.add_vertex(Label(zipf_label(num_labels, &mut rng)))).collect();
+        for w in backbone.windows(2) {
+            g.add_edge(w[0], w[1]).expect("backbone edge");
+        }
+        // Roughly half the molecules close into a ring (benzene-style).
+        if atoms >= 3 && rng.gen_bool(0.5) {
+            g.add_edge(backbone[0], backbone[atoms - 1]).expect("ring-closing edge");
+        }
+        // Pendant substituents on ~1/3 of the backbone atoms.
+        for &a in &backbone {
+            if rng.gen_bool(1.0 / 3.0) {
+                let sub = g.add_vertex(Label(zipf_label(num_labels, &mut rng)));
+                g.add_edge(a, sub).expect("substituent edge");
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert topology with Zipf-skewed labels instead of uniform ones: the
+/// power-law degree distribution of [`barabasi_albert`] combined with a label
+/// histogram where label 0 is the most common and frequency decays roughly as
+/// `1/(rank+1)`.  Skewed labels make label-aware shard assignment meaningfully
+/// different from vertex-range assignment, which uniform labels do not.
+pub fn barabasi_albert_skewed(
+    n: usize,
+    edges_per_node: usize,
+    num_labels: u32,
+    seed: u64,
+) -> LabeledGraph {
+    // Reuse the BA topology, then relabel deterministically from a second stream
+    // (same seed, offset) so topology and labels stay independently reproducible.
+    let mut g = barabasi_albert(n, edges_per_node, 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e_ed1a_be15_u64);
+    for v in 0..g.num_vertices() {
+        g.relabel(v as VertexId, Label(zipf_label(num_labels, &mut rng))).expect("relabel");
+    }
+    g
+}
+
+/// Draw a label from `0..num_labels` with probability proportional to
+/// `1/(rank+1)` — a harmonic (Zipf s=1) distribution, label 0 most frequent.
+fn zipf_label(num_labels: u32, rng: &mut StdRng) -> u32 {
+    let k = num_labels.max(1);
+    let total: f64 = (0..k).map(|r| 1.0 / (r as f64 + 1.0)).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for r in 0..k {
+        x -= 1.0 / (r as f64 + 1.0);
+        if x <= 0.0 {
+            return r;
+        }
+    }
+    k - 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +666,42 @@ mod tests {
         let bare = caterpillar(3, 0);
         assert_eq!(bare.num_edges(), 2);
         assert_eq!(caterpillar(0, 5).num_vertices(), 0);
+    }
+
+    #[test]
+    fn molecule_like_has_many_small_skewed_components() {
+        let g = molecule_like(40, 6, 8, 21);
+        // Backbone atoms plus some substituents; never fewer than the backbones.
+        assert!(g.num_vertices() >= 240);
+        // Molecules are disjoint: many components, none spanning two molecules.
+        assert!(g.num_components() >= 40);
+        // Zipf labels: label 0 strictly more common than the rarest label used.
+        let hist = g.label_histogram();
+        let c0 = hist.iter().find(|(l, _)| *l == Label(0)).map(|&(_, c)| c).unwrap_or(0);
+        let min = hist.iter().map(|&(_, c)| c).min().unwrap();
+        assert!(c0 > 2 * min, "label 0 count {c0} should dominate rarest {min}");
+        assert_eq!(molecule_like(40, 6, 8, 21), g); // deterministic
+        assert_ne!(molecule_like(40, 6, 8, 22), g);
+        assert_eq!(molecule_like(0, 6, 8, 21).num_vertices(), 0);
+        // Single-atom molecules: no backbone or ring edges, only possible pendants.
+        let tiny = molecule_like(3, 1, 8, 21);
+        assert!(tiny.num_edges() <= tiny.num_vertices());
+    }
+
+    #[test]
+    fn barabasi_albert_skewed_keeps_topology_and_skews_labels() {
+        let skewed = barabasi_albert_skewed(300, 2, 6, 17);
+        let plain = barabasi_albert(300, 2, 1, 17);
+        assert_eq!(skewed.num_vertices(), plain.num_vertices());
+        assert_eq!(skewed.num_edges(), plain.num_edges());
+        assert!(skewed.is_connected());
+        // Harmonic label distribution: label 0 carries roughly 1/H(6) ≈ 41% of
+        // vertices — far above the uniform 1/6 share.
+        let hist = skewed.label_histogram();
+        let c0 = hist.iter().find(|(l, _)| *l == Label(0)).map(|&(_, c)| c).unwrap_or(0);
+        assert!(c0 > 300 / 4, "label 0 count {c0} should exceed the uniform share");
+        assert!(hist.len() >= 3, "skew must not collapse the alphabet entirely");
+        assert_eq!(barabasi_albert_skewed(300, 2, 6, 17), skewed); // deterministic
     }
 
     #[test]

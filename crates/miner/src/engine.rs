@@ -201,8 +201,9 @@ fn evaluate_level(
 }
 
 /// Insert `found` into the running top-k list (sorted by descending support, ties by
-/// fewer edges first) and return the updated rising threshold.
-fn insert_top_k(
+/// fewer edges first) and return the updated rising threshold.  Shared with the
+/// sharded engine so the two top-k modes stay semantically identical.
+pub(crate) fn insert_top_k(
     best: &mut Vec<FrequentPattern>,
     found: FrequentPattern,
     k: usize,

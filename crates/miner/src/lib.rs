@@ -109,12 +109,14 @@ pub mod extension;
 pub mod postprocess;
 mod prepared;
 mod session;
+mod sharded;
 mod stream;
 mod types;
 
 pub use delta::{CachedEval, EvalCache};
 pub use prepared::PreparedGraph;
 pub use session::{MeasureSelection, MiningBudget, MiningSession, SessionConfig};
+pub use sharded::{ShardedRunStats, ShardedSession};
 pub use stream::{LevelSummary, MiningEvent, PatternStream, RunSummary};
 pub use types::{
     BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats, SessionCounters,

@@ -105,8 +105,12 @@ pub struct SessionCounters {
     pub patterns_emitted: u64,
     /// High-water heap footprint of the largest search arena, in bytes
     /// (arena capacities never shrink, so the current footprint is the peak).
-    /// The one field that legitimately varies with the thread count — a single
-    /// arena serving every candidate grows larger than each of several.
+    /// A **gauge** — the per-worker *maximum*, never a sum across workers: a
+    /// parallel run reports the biggest single arena, so the value answers
+    /// "how much memory does one worker's search state need" regardless of
+    /// thread count.  The one field that legitimately varies with the thread
+    /// count — a single arena serving every candidate grows larger than each
+    /// of several, so the parallel max is bounded above by the sequential one.
     pub arena_peak_bytes: u64,
 }
 

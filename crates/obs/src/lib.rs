@@ -13,9 +13,10 @@
 //!    pipeline.  The *exclusive* phases ([`Phase::IndexBuild`],
 //!    [`Phase::SupportEval`], [`Phase::Extension`], [`Phase::DeltaRepair`])
 //!    partition a run's wall time and therefore sum to it; the remaining phases
-//!    ([`Phase::CandidateSpace`], [`Phase::Search`], [`Phase::OverlapBuild`])
-//!    are *nested* inside [`Phase::SupportEval`] and decompose it without being
-//!    double-counted by [`PhaseTimes::exclusive_total`].
+//!    ([`Phase::CandidateSpace`], [`Phase::Search`], [`Phase::OverlapBuild`],
+//!    [`Phase::ShardLoad`]) are *nested* inside [`Phase::SupportEval`] and
+//!    decompose it without being double-counted by
+//!    [`PhaseTimes::exclusive_total`].
 //! 3. [`SearchCounters`] — the plain-`u64` counter block the matcher's search
 //!    arena embeds.  The innermost loop increments locals, never atomics; totals
 //!    are scraped from the per-worker arenas after each level, so merged shards
@@ -370,11 +371,14 @@ pub enum Phase {
     Extension,
     /// Patching indices / applying graph deltas between epochs.
     DeltaRepair,
+    /// Reloading spilled shards from a `ShardStore` during partitioned mining
+    /// (nested in [`Phase::SupportEval`]).
+    ShardLoad,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -385,6 +389,7 @@ impl Phase {
         Phase::SupportEval,
         Phase::Extension,
         Phase::DeltaRepair,
+        Phase::ShardLoad,
     ];
 
     /// Stable snake_case name (protocol frames, JSON reports).
@@ -397,6 +402,7 @@ impl Phase {
             Phase::SupportEval => "support_eval",
             Phase::Extension => "extension",
             Phase::DeltaRepair => "delta_repair",
+            Phase::ShardLoad => "shard_load",
         }
     }
 
@@ -419,6 +425,7 @@ impl Phase {
             Phase::SupportEval => 4,
             Phase::Extension => 5,
             Phase::DeltaRepair => 6,
+            Phase::ShardLoad => 7,
         }
     }
 }

@@ -229,6 +229,7 @@ pub fn error_code(e: &FfsmError) -> &'static str {
         FfsmError::Overloaded { .. } => "overloaded",
         FfsmError::Protocol(_) => "protocol",
         FfsmError::ShuttingDown => "shutting-down",
+        FfsmError::Partition(_) => "partition",
     }
 }
 
@@ -365,6 +366,7 @@ mod tests {
             error_code(&FfsmError::Overloaded { capacity: 0 }),
             error_code(&FfsmError::UnknownGraph(String::new())),
             error_code(&FfsmError::InvalidConfig(String::new())),
+            error_code(&FfsmError::Partition(String::new())),
         ];
         let distinct: std::collections::BTreeSet<_> = all.iter().collect();
         assert_eq!(distinct.len(), all.len());

@@ -1,0 +1,51 @@
+//! # ffsm-shard — partitioned data graphs for out-of-core mining
+//!
+//! Splits a [`LabeledGraph`](ffsm_graph::LabeledGraph) into `K` shards so that
+//! occurrence enumeration can run **per shard** with the whole-graph matcher
+//! machinery unchanged, and so that shards that are not currently being mined
+//! can be spilled to disk — the property that makes graphs larger than RAM
+//! mineable at all.
+//!
+//! ## The halo invariant
+//!
+//! A [`PartitionSpec`] assigns every vertex to exactly one shard's *interior*
+//! (by contiguous vertex range or label-aware greedy packing).  Each shard then
+//! materialises the induced subgraph over
+//!
+//! ```text
+//! V_i  =  { v : dist_G(v, interior_i) <= halo_depth }
+//! ```
+//!
+//! — the interior plus a *halo* of every vertex within `halo_depth` hops of it.
+//! A connected pattern with `e <= halo_depth` edges has diameter at most `e`,
+//! so **every embedding whose minimum image vertex (its anchor) lies in
+//! `interior_i` is entirely contained in shard `i`**: each image vertex is
+//! reachable from the anchor along at most `e` pattern-edge images.  Because the
+//! shard is an *induced* subgraph, both edges and non-edges among its vertices
+//! agree with the global graph, so non-induced and induced isomorphism semantics
+//! are preserved verbatim.
+//!
+//! ## The anchor-shard dedup rule
+//!
+//! An embedding that lies entirely inside the halo overlap of several shards is
+//! enumerated by each of them.  The driver keeps a per-shard embedding iff the
+//! shard *owns* the embedding's anchor — `assignment[min global image] == i`.
+//! Every global embedding has exactly one anchor and every anchor is interior to
+//! exactly one shard, so the union over shards of the kept embeddings is exactly
+//! the global embedding list, each exactly once.
+//!
+//! ## Spill
+//!
+//! [`PartitionedGraph::spill_to_disk`] writes every shard to a plain text shard
+//! file and caps residency at `max_resident` shards, evicted LRU.  Shards are
+//! immutable after build, so eviction is a pure drop — no write-back.  The
+//! store's resident-byte gauge is the peak-RSS proxy the shard bench asserts on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod partition;
+mod store;
+
+pub use partition::{PartitionSpec, PartitionStrategy, PartitionedGraph, ResidentShard};
+pub use store::{ShardStore, ShardStoreStats};

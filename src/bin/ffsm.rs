@@ -12,13 +12,21 @@
 //!   for `--backend naive`.  The candidate-space engine reports candidate-space
 //!   sizes and index build / search timings;
 //! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-//!   [--backend B] [--stream] [--trace] [--deadline-ms MS]` — run the frequent-subgraph miner.
+//!   [--backend B] [--stream] [--trace] [--deadline-ms MS] [--shards K [--max-resident M]
+//!   [--partition vertex-range|label-aware]]` — run the frequent-subgraph miner.
 //!   The default output is a table plus the run's typed completion status (complete vs which
 //!   budget cap vs deadline); `--stream` switches to NDJSON events (one JSON object
 //!   per line — `pattern`, `level`, `finished` — flushed as found), `--trace` implies
 //!   `--stream` and follows each `level` frame with a `trace` frame of per-level
 //!   observability deltas (search counters, per-phase wall time), and
-//!   `--deadline-ms` bounds the run's wall-clock time;
+//!   `--deadline-ms` bounds the run's wall-clock time.  `--shards K` mines through
+//!   the partitioned out-of-core engine ([`ffsm::shard`]): the graph is split into
+//!   K interior+halo shards (halo depth = `--max-edges`, so every pattern fits
+//!   inside one shard) and results are bit-for-bit identical to the unsharded run;
+//!   `--max-resident M` additionally spills shards to a temporary directory and
+//!   keeps at most M in memory.  Sharded runs are batch-only (no
+//!   `--stream`/`--trace`); invalid geometry (e.g. `--shards 0`) is a typed
+//!   partition error (exit 2);
 //! * `topk <graph.lg> --k <K> [--measure NAME] [--max-edges N]` — top-k mining;
 //! * `update <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
 //!   [--threads K] [--cold] [--stream]` — apply batches of graph updates (the `.gu`
@@ -136,6 +144,7 @@ commands:
                                                    (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
            [--backend naive|candidate-space|auto] [--stream] [--trace] [--deadline-ms MS]
+           [--shards K [--max-resident M] [--partition vertex-range|label-aware]]
                                                    frequent-subgraph mining
                                                    (--stream: NDJSON events, one per
                                                    line, flushed as found;
@@ -143,7 +152,11 @@ commands:
                                                    trace frame of per-level counter
                                                    and phase-time deltas;
                                                    --deadline-ms: wall-clock bound —
-                                                   a deadline/cancel stop exits 2)
+                                                   a deadline/cancel stop exits 2;
+                                                   --shards K: partitioned mining,
+                                                   identical results, batch only;
+                                                   --max-resident M: spill shards,
+                                                   keep at most M in memory)
   topk     <graph.lg> --k <K> [--measure NAME] [--max-edges N]
                                                    top-k pattern mining
   update   <graph.lg> --updates <u.gu> --tau <t> [--measure NAME] [--max-edges N]
@@ -523,6 +536,43 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         Some(v) => v.parse::<EnumeratorBackend>().map_err(CliError::Usage)?,
         None => EnumeratorBackend::default(),
     };
+    let trace = args.iter().any(|a| a == "--trace");
+    let stream = trace || args.iter().any(|a| a == "--stream");
+    if let Some(v) = flag_value(args, "--shards") {
+        let shards =
+            v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --shards {v:?}")))?;
+        if stream {
+            return Err(CliError::Usage(
+                "--shards is batch-only: it cannot be combined with --stream/--trace".into(),
+            ));
+        }
+        let max_resident = match flag_value(args, "--max-resident") {
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("invalid --max-resident {v:?}")))?,
+            ),
+            None => None,
+        };
+        let strategy = match flag_value(args, "--partition") {
+            Some(name) => name.parse::<ffsm::shard::PartitionStrategy>()?,
+            None => ffsm::shard::PartitionStrategy::VertexRange,
+        };
+        return mine_sharded(
+            graph_path,
+            tau,
+            measure,
+            max_edges,
+            threads,
+            backend,
+            deadline,
+            shards,
+            strategy,
+            max_resident,
+        );
+    }
+    if flag_value(args, "--max-resident").is_some() {
+        return Err(CliError::Usage("--max-resident requires --shards".into()));
+    }
     // The CLI owns the loaded graph: move it into the prepared handle instead of
     // paying `MiningSession::on`'s defensive clone.
     let prepared = ffsm::miner::PreparedGraph::new(load_graph(graph_path)?);
@@ -535,8 +585,7 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     if let Some(d) = deadline {
         session = session.deadline(d);
     }
-    let trace = args.iter().any(|a| a == "--trace");
-    if trace || args.iter().any(|a| a == "--stream") {
+    if stream {
         let completion = stream_ndjson(session, trace)?;
         return completion_exit(completion, deadline);
     }
@@ -550,6 +599,70 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     );
     // Why the run stopped — a capped run is no longer indistinguishable from a
     // complete one.
+    println!("status: {}", result.completion());
+    print_frequent(&result.patterns);
+    completion_exit(result.completion(), deadline)
+}
+
+/// The `--shards` path of `cmd_mine`: build the partition (halo depth =
+/// `max_edges`, so every minable pattern fits inside one shard), optionally
+/// spill to a temporary directory, and mine through [`ShardedSession`] — whose
+/// results are bit-for-bit identical to the unsharded engine's.
+#[allow(clippy::too_many_arguments)]
+fn mine_sharded(
+    graph_path: &str,
+    tau: f64,
+    measure: MeasureKind,
+    max_edges: usize,
+    threads: usize,
+    backend: EnumeratorBackend,
+    deadline: Option<Duration>,
+    shards: usize,
+    strategy: ffsm::shard::PartitionStrategy,
+    max_resident: Option<usize>,
+) -> Result<(), CliError> {
+    use ffsm::shard::{PartitionSpec, PartitionedGraph};
+    let graph = load_graph(graph_path)?;
+    let spec = PartitionSpec { num_shards: shards, halo_depth: max_edges, strategy };
+    let partitioned = PartitionedGraph::build(&graph, spec)?;
+    drop(graph); // from here on, the shards are the graph
+    let mut spill_dir = None;
+    if let Some(cap) = max_resident {
+        let dir = std::env::temp_dir().join(format!("ffsm-shards-{}", std::process::id()));
+        partitioned.spill_to_disk(&dir, cap)?;
+        spill_dir = Some(dir);
+    }
+    let partitioned = std::sync::Arc::new(partitioned);
+    let mut session = ffsm::miner::ShardedSession::over(&partitioned)
+        .measure(measure)
+        .min_support(tau)
+        .max_edges(max_edges)
+        .threads(threads)
+        .enumerator(backend);
+    if let Some(d) = deadline {
+        session = session.deadline(d);
+    }
+    let outcome = session.run_detailed();
+    if let Some(dir) = spill_dir {
+        let _ = std::fs::remove_dir_all(dir); // best-effort temp cleanup
+    }
+    let (result, run) = outcome?;
+    println!(
+        "{} frequent patterns under {measure} at tau = {tau} ({} maximal), {} candidates evaluated in {:?}",
+        result.len(),
+        maximal_patterns(&result).len(),
+        result.stats.candidates_evaluated,
+        result.stats.elapsed
+    );
+    println!(
+        "sharded over {} shards ({strategy}, halo {max_edges}): {} cross-shard occurrences \
+         deduplicated, {} shard loads, {} shards / {} bytes resident at peak",
+        partitioned.num_shards(),
+        run.cross_shard_occurrences,
+        run.store.loads,
+        run.store.resident_shards,
+        run.store.peak_resident_bytes,
+    );
     println!("status: {}", result.completion());
     print_frequent(&result.patterns);
     completion_exit(result.completion(), deadline)

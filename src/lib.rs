@@ -15,6 +15,9 @@
 //! * [`serve`] — the multi-tenant mining server: named-graph registry with an
 //!   epoch-keyed prepared cache, bounded session scheduler, the shared NDJSON
 //!   event serializer, and the NDJSON-over-TCP protocol behind `ffsm serve`.
+//! * [`shard`] — partitioned out-of-core mining: interior + halo graph shards,
+//!   an LRU spill store, and the exact cross-shard support merge behind
+//!   `ffsm mine --shards`.
 //!
 //! See `README.md` for a quickstart, the CLI reference and the measure-selection
 //! table.  [`miner::MiningSession`] is the single mining entry point; measures are
@@ -28,6 +31,7 @@ pub use ffsm_lp as lp;
 pub use ffsm_match as matching;
 pub use ffsm_miner as miner;
 pub use ffsm_serve as serve;
+pub use ffsm_shard as shard;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
@@ -46,7 +50,8 @@ pub mod prelude {
     pub use ffsm_match::{auto_backend, CandidateSpace, GraphIndex, Matcher, SearchArena};
     pub use ffsm_miner::{
         Completion, EvalCache, FrequentPattern, MiningBudget, MiningEvent, MiningResult,
-        MiningSession, MiningStats, PatternStream, PreparedGraph, SessionConfig,
+        MiningSession, MiningStats, PatternStream, PreparedGraph, SessionConfig, ShardedSession,
     };
     pub use ffsm_serve::{GraphRegistry, Server, ServerConfig, ServerHandle, SessionScheduler};
+    pub use ffsm_shard::{PartitionSpec, PartitionStrategy, PartitionedGraph};
 }

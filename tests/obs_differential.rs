@@ -148,7 +148,16 @@ proptest! {
     /// Merged per-worker counter shards == the single-threaded totals: the
     /// candidate partition changes which arena does the work, never how much
     /// work is done.  `arena_peak_bytes` is the documented exception and is
-    /// excluded; everything else — and the mined patterns — must be identical.
+    /// excluded from the equality; everything else — and the mined patterns —
+    /// must be identical.
+    ///
+    /// `arena_peak_bytes` itself is pinned to its *gauge* contract: the
+    /// reported value is the per-worker **maximum** arena footprint, never a
+    /// sum across workers.  A max over per-worker arenas (each serving a
+    /// subset of the candidates) cannot exceed the single arena that served
+    /// them all; a sum over W busy workers would.  The 2x slack keeps the
+    /// assertion from tipping over on allocator rounding while still failing
+    /// loudly if the merge ever turns additive.
     #[test]
     fn merged_worker_counters_equal_single_threaded_totals(seed in 0u64..10_000) {
         let graph = generators::gnm_random(28, 60, 2, seed);
@@ -166,6 +175,9 @@ proptest! {
                 .expect("mine")
         };
         let sequential = run(1);
+        // The naive backend never grows an arena, so a zero peak is legitimate
+        // — but then the parallel runs must report zero too (a max of zeros).
+        let sequential_peak = sequential.stats.counters.arena_peak_bytes;
         for threads in [3usize, 0] {
             let parallel = run(threads);
             let context = format!("seed {seed}, {measure} under {backend:?}, {threads} threads");
@@ -176,6 +188,12 @@ proptest! {
                 thread_invariant(&sequential.stats.counters),
                 "merged shards diverged from sequential totals, {}", &context
             );
+            let parallel_peak = parallel.stats.counters.arena_peak_bytes;
+            prop_assert_eq!(parallel_peak > 0, sequential_peak > 0,
+                "arena peak appeared or vanished in the merge, {}", &context);
+            prop_assert!(parallel_peak <= 2 * sequential_peak,
+                "arena_peak_bytes looks summed, not maxed: parallel {} vs sequential {}, {}",
+                parallel_peak, sequential_peak, &context);
         }
     }
 }
