@@ -1,0 +1,24 @@
+//! # ffsm-approx — certified approximate mining
+//!
+//! This crate turns the paper's bounding theory into a fast path.  The
+//! containment chain of Section 4.4 (`σMIS = σMIES ≤ νMIES = νMVC ≤ σMVC ≤
+//! σMI ≤ σMNI`), the cardinality statistics of the matching index and the LP
+//! relaxations of Section 4.3 each yield a cheap, *sound* bound on a pattern's
+//! support.  The [`BoundsEvaluator`] combines them into a certified
+//! [`SupportInterval`] `[lo, hi]` and decides frequent/infrequent immediately
+//! when the interval clears the threshold — occurrences are enumerated, and
+//! the NP-hard exact solvers run, only inside the uncertain band.
+//!
+//! Every interval carries a [`Certificate`] naming the argument that produced
+//! it, so downstream consumers (stream frames, the serve protocol, anytime
+//! sessions interrupted by a deadline) can report not just *what* is known
+//! about a pattern's support but *why* it is known.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+mod interval;
+
+pub use evaluator::{BoundsEvaluator, BoundsOutcome};
+pub use interval::{Certificate, SupportInterval};

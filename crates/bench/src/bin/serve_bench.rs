@@ -195,6 +195,7 @@ fn main() {
         .expect("direct stream")
         .map(|event| match event.expect("direct event") {
             MiningEvent::Pattern(p) => events::pattern_frame(&p, None).finish(),
+            MiningEvent::Undecided(u) => events::undecided_frame(&u).finish(),
             MiningEvent::LevelCompleted(level) => events::level_frame(&level).finish(),
             MiningEvent::Finished(summary) => events::finished_frame(&summary).finish(),
         })

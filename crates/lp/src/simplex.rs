@@ -1,9 +1,10 @@
 //! Two-phase primal simplex over a dense tableau.
 //!
 //! The implementation favours robustness over raw speed: Bland's anti-cycling rule is
-//! used for pivot selection (after an initial Dantzig phase), every pivot is performed
-//! with full row elimination, and a configurable iteration budget guards against
-//! pathological inputs.  The LPs solved in this project (covering / packing relaxations
+//! used for both entering and leaving pivot selection (after an initial Dantzig
+//! phase), every pivot is performed with full row elimination, and a configurable
+//! iteration budget guards against pathological inputs, surfacing as a typed
+//! [`LpError::IterationLimit`].  The LPs solved in this project (covering / packing relaxations
 //! of support measures) have at most a few thousand rows and columns, for which this is
 //! more than sufficient.
 
@@ -126,36 +127,43 @@ impl Tableau {
     }
 
     /// Ratio test: choose the leaving row for entering column `col`.
-    /// Returns `None` if the column is unbounded.  Near-tied ratios are broken in
+    /// Returns `None` if the column is unbounded.
+    ///
+    /// In the initial Dantzig phase (`bland == false`) near-tied ratios are broken in
     /// favour of the largest pivot element, which keeps the tableau numerically tame
     /// on the massively degenerate covering/packing LPs this solver exists for
     /// (index-based tie-breaking let rounding noise compound into garbage objectives).
-    /// The anti-cycling backstop is the `max_pivots` budget rather than Bland's
-    /// leaving rule.
+    /// Once the pivot count crosses `dantzig_pivots` the caller switches to Bland mode
+    /// (`bland == true`): ties are then broken by the *lowest basic-variable index*,
+    /// which together with Bland's entering rule guarantees termination on degenerate
+    /// LPs; the `max_pivots` budget remains the hard backstop and surfaces as
+    /// [`LpError::IterationLimit`].
     ///
     /// Only entries above `pivot_tol` qualify as pivots: dividing a row by a
     /// near-epsilon element multiplies every entry by its reciprocal, and a handful of
     /// such pivots is enough to blow the tableau up into garbage reduced costs.  The
     /// caller retries with the raw feasibility epsilon before concluding a column is
     /// an unbounded ray.
-    fn choose_leaving(&self, col: usize, pivot_tol: f64) -> Option<usize> {
+    fn choose_leaving(&self, col: usize, pivot_tol: f64, bland: bool) -> Option<usize> {
         let rhs_col = self.num_vars;
-        let mut best: Option<(usize, f64, f64)> = None;
+        // (row, ratio, pivot element, basic-variable index)
+        let mut best: Option<(usize, f64, f64, usize)> = None;
         for i in 0..self.rows.len() {
             let a = self.rows[i][col];
             if a > pivot_tol {
                 let ratio = self.rows[i][rhs_col] / a;
                 match best {
-                    None => best = Some((i, ratio, a)),
-                    Some((_, br, ba)) => {
-                        if ratio < br - EPS || (ratio < br + EPS && a > ba) {
-                            best = Some((i, ratio, a));
+                    None => best = Some((i, ratio, a, self.basis[i])),
+                    Some((_, br, ba, bb)) => {
+                        let better_tie = if bland { self.basis[i] < bb } else { a > ba };
+                        if ratio < br - EPS || (ratio < br + EPS && better_tie) {
+                            best = Some((i, ratio, a, self.basis[i]));
                         }
                     }
                 }
             }
         }
-        best.map(|(i, _, _)| i)
+        best.map(|(i, _, _, _)| i)
     }
 
     /// Perform a pivot on (row, col).
@@ -213,7 +221,8 @@ impl Tableau {
             let Some(col) = self.choose_entering(&usable, opts) else {
                 return Ok(SolveStatus::Optimal);
             };
-            match self.choose_leaving(col, PIVOT_TOL) {
+            let bland = self.pivots >= opts.dantzig_pivots;
+            match self.choose_leaving(col, PIVOT_TOL, bland) {
                 Some(row) => self.pivot(row, col),
                 None if self.obj[col] > -DUST => {
                     banned[col] = true;
@@ -222,7 +231,7 @@ impl Tableau {
                 // the preferred pivot tolerance.  Before declaring the LP unbounded,
                 // fall back to the raw feasibility threshold: a tiny pivot is better
                 // than a wrong verdict.
-                None => match self.choose_leaving(col, EPS) {
+                None => match self.choose_leaving(col, EPS, bland) {
                     Some(row) => self.pivot(row, col),
                     None => return Ok(SolveStatus::Unbounded),
                 },
@@ -357,6 +366,35 @@ mod tests {
         assert!((cover.objective - pack.objective).abs() < 1e-6);
         assert!(cover.objective > 0.0);
         assert!(cover.objective <= n_elem as f64 + 1e-9);
+    }
+
+    #[test]
+    fn iteration_cap_surfaces_as_typed_error() {
+        // A covering LP needs a handful of pivots; a one-pivot budget must not loop
+        // or panic but return the typed iteration-limit error.
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3], vec![0, 2]];
+        let mut p = crate::covering_lp(4, &sets);
+        p.set_options(crate::SimplexOptions { max_pivots: 1, dantzig_pivots: 0 });
+        assert!(matches!(p.solve(), Err(crate::LpError::IterationLimit)));
+    }
+
+    #[test]
+    fn bland_mode_solves_degenerate_problems() {
+        // Force Bland's entering *and* leaving rules from the very first pivot on
+        // Beale's cycling example: the run must terminate at the true optimum well
+        // inside the pivot budget instead of cycling.
+        let mut p = Problem::new(Objective::Minimize, 4);
+        p.set_objective(0, -0.75);
+        p.set_objective(1, 150.0);
+        p.set_objective(2, -0.02);
+        p.set_objective(3, 6.0);
+        p.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        p.set_options(crate::SimplexOptions { max_pivots: 10_000, dantzig_pivots: 0 });
+        let sol = solve(&p);
+        assert!((sol.objective - (-0.05)).abs() < 1e-6, "got {}", sol.objective);
+        assert!(sol.pivots < 1_000, "Bland mode took {} pivots", sol.pivots);
     }
 
     #[test]

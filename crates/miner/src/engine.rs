@@ -24,7 +24,10 @@ use crate::delta::{occurrences_touch, sorted_intersects, CacheMode, CachedEval, 
 use crate::extension::{dedupe_with_codes, extensions, seed_patterns};
 use crate::prepared::PreparedGraph;
 use crate::stream::{LevelSummary, MiningEvent, RunSummary};
-use crate::types::{BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats};
+use crate::types::{
+    BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats, UndecidedPattern,
+};
+use ffsm_approx::BoundsEvaluator;
 use ffsm_core::{CancelToken, GraphIndex, OccurrenceSet, SearchArena, SupportMeasure};
 use ffsm_graph::canonical::CanonicalCode;
 use ffsm_graph::isomorphism::IsoConfig;
@@ -62,11 +65,22 @@ pub(crate) struct EngineConfig {
     /// Fine-grained span sampling (per-candidate space/search times).  Never
     /// changes results; counters and coarse timings are on regardless.
     pub metrics: bool,
+    /// Bounds-first evaluation ([`crate::MiningSession::bounds_first`]): present
+    /// when the session enabled the mode *and* the measure kind admits sound
+    /// cheap bounds.  Decides candidates from certified intervals where
+    /// possible, enumerating occurrences and running the exact solver only
+    /// inside the uncertain band.
+    pub bounds: Option<Arc<BoundsEvaluator>>,
 }
 
-/// One evaluated (or cache-reused) candidate.
+/// One evaluated (or cache-reused, or bound-decided) candidate.
 #[derive(Debug, Clone)]
 struct EvalOutcome {
+    /// The value compared against the threshold.  Exact evaluations report the
+    /// exact support; a bound-decided candidate reports the interval side that
+    /// proves the decision (`lo` for frequent, `hi` for infrequent), so the
+    /// engine's `support >= threshold` test agrees with the certified verdict
+    /// by construction.
     support: f64,
     num_occurrences: usize,
     /// Sorted distinct image vertices — only populated when a cache is recorded
@@ -76,6 +90,16 @@ struct EvalOutcome {
     complete: bool,
     /// `true` when the value came out of the prior epoch's cache.
     reused: bool,
+    /// The certified interval + certificate, in bounds-first mode only.
+    interval: Option<ffsm_approx::SupportInterval>,
+    certificate: Option<ffsm_approx::Certificate>,
+    /// `true` when the bounds evaluator ran for this candidate.
+    bounded: bool,
+    /// `true` when a certified interval decided the candidate without an exact
+    /// support computation.
+    bound_decided: bool,
+    /// Nanoseconds spent computing bounds (0 unless fine-grained metrics are on).
+    bounds_nanos: u64,
 }
 
 impl Default for EvalOutcome {
@@ -86,6 +110,11 @@ impl Default for EvalOutcome {
             touched: Arc::from(Vec::new()),
             complete: false,
             reused: false,
+            interval: None,
+            certificate: None,
+            bounded: false,
+            bound_decided: false,
+            bounds_nanos: 0,
         }
     }
 }
@@ -107,17 +136,22 @@ impl Default for EvalOutcome {
 /// `config.threads` of them), owned by the engine state so the search buffers
 /// survive across levels — thousands of pattern evaluations share
 /// `config.threads` allocations instead of allocating each.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_level(
     prepared: &PreparedGraph,
     index: Option<&GraphIndex>,
     candidates: &[(Pattern, CanonicalCode)],
+    parent_hi: &[f64],
+    label_counts: &[(ffsm_graph::Label, usize)],
     measure: &Arc<dyn SupportMeasure>,
     config: &EngineConfig,
     mode: &CacheMode,
     arenas: &mut [SearchArena],
 ) -> (Vec<EvalOutcome>, tls::ThreadTotals) {
     let graph = prepared.graph();
-    let evaluate = |(pattern, code): &(Pattern, CanonicalCode),
+    let bounds = config.bounds.as_deref();
+    let evaluate = |i: usize,
+                    (pattern, code): &(Pattern, CanonicalCode),
                     arena: &mut SearchArena|
      -> EvalOutcome {
         if let CacheMode::Delta(ctx) = mode {
@@ -132,9 +166,40 @@ fn evaluate_level(
                         touched: cached.touched.clone(),
                         complete: true,
                         reused: true,
+                        ..EvalOutcome::default()
                     };
                 }
             }
+        }
+        // Bounds-first stage 1: a certified pre-enumeration cap (parent bound,
+        // index cardinality) can decide the candidate before a single
+        // occurrence is enumerated.
+        let mut bounds_nanos = 0u64;
+        let mut pre = None;
+        if let Some(evaluator) = bounds {
+            let clock = config.metrics.then(Instant::now);
+            let outcome = evaluator.pre_bounds(
+                pattern,
+                label_counts,
+                index,
+                parent_hi.get(i).copied().unwrap_or(f64::INFINITY),
+            );
+            if let Some(clock) = clock {
+                bounds_nanos += clock.elapsed().as_nanos() as u64;
+            }
+            if let Some(frequent) = outcome.decision {
+                return EvalOutcome {
+                    support: if frequent { outcome.interval.lo } else { outcome.interval.hi },
+                    complete: true,
+                    interval: Some(outcome.interval),
+                    certificate: Some(outcome.certificate),
+                    bounded: true,
+                    bound_decided: true,
+                    bounds_nanos,
+                    ..EvalOutcome::default()
+                };
+            }
+            pre = Some(outcome);
         }
         let occ = match index {
             Some(index) => OccurrenceSet::enumerate_with_arena(
@@ -153,19 +218,59 @@ fn evaluate_level(
         } else {
             Arc::from(Vec::new())
         };
+        // Bounds-first stage 2: containment chain, greedy packing and the LP
+        // envelope can still short-circuit the expensive exact solve.  Every
+        // bound is a function of the enumerated occurrence set, so the verdict
+        // brackets exactly the value the exact path would compute on it.
+        if let (Some(evaluator), Some(pre)) = (bounds, pre.as_ref()) {
+            if evaluator.post_stage() {
+                let clock = config.metrics.then(Instant::now);
+                let post = evaluator.post_bounds(&occ, pre);
+                if let Some(clock) = clock {
+                    bounds_nanos += clock.elapsed().as_nanos() as u64;
+                }
+                if let Some(frequent) = post.decision {
+                    return EvalOutcome {
+                        support: if frequent { post.interval.lo } else { post.interval.hi },
+                        num_occurrences: occ.num_occurrences(),
+                        touched,
+                        complete: occ.is_complete(),
+                        reused: false,
+                        interval: Some(post.interval),
+                        certificate: Some(post.certificate),
+                        bounded: true,
+                        bound_decided: true,
+                        bounds_nanos,
+                    };
+                }
+            }
+        }
+        let support = measure.support(&occ);
+        let (interval, certificate, bounded) = match bounds {
+            Some(evaluator) => {
+                let exact = evaluator.exact(support);
+                (Some(exact.interval), Some(exact.certificate), true)
+            }
+            None => (None, None, false),
+        };
         EvalOutcome {
-            support: measure.support(&occ),
+            support,
             num_occurrences: occ.num_occurrences(),
             touched,
             complete: occ.is_complete(),
             reused: false,
+            interval,
+            certificate,
+            bounded,
+            bound_decided: false,
+            bounds_nanos,
         }
     };
     let workers = config.threads.min(candidates.len());
     if workers <= 1 {
         let (arena, _) = arenas.split_first_mut().expect("at least one arena");
         let before = tls::snapshot();
-        let results = candidates.iter().map(|c| evaluate(c, arena)).collect();
+        let results = candidates.iter().enumerate().map(|(i, c)| evaluate(i, c, arena)).collect();
         return (results, tls::snapshot().delta_since(&before));
     }
     let mut results = vec![EvalOutcome::default(); candidates.len()];
@@ -183,7 +288,7 @@ fn evaluate_level(
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| i % workers == w)
-                    .map(|(i, p)| (i, evaluate(p, arena)))
+                    .map(|(i, p)| (i, evaluate(i, p, arena)))
                     .collect::<Vec<(usize, EvalOutcome)>>();
                 (slice, tls::snapshot().delta_since(&before))
             }));
@@ -242,6 +347,15 @@ pub(crate) struct EngineState {
     threshold: f64,
     floor: f64,
     level: Vec<(Pattern, CanonicalCode)>,
+    /// Parallel to `level`: each candidate's inherited upper bound (the parent's
+    /// certified `hi`, `+∞` for seeds).  Only meaningful in bounds-first mode;
+    /// empty otherwise.
+    level_parent_hi: Vec<f64>,
+    /// Per-label vertex counts of the data graph, for the bounds evaluator's
+    /// index-free cardinality cap (empty outside bounds-first mode).
+    label_counts: Vec<(ffsm_graph::Label, usize)>,
+    /// Candidates a bounds-first run left undecided at an interruption.
+    undecided: Vec<UndecidedPattern>,
     stats: MiningStats,
     start: Instant,
     /// Set exactly once, when the run stops.
@@ -294,6 +408,10 @@ impl EngineState {
         let seeds = seed_patterns(prepared.graph());
         stats.candidates_generated += seeds.len();
         let level = dedupe_with_codes(seeds, &mut seen);
+        let level_parent_hi =
+            if config.bounds.is_some() { vec![f64::INFINITY; level.len()] } else { Vec::new() };
+        let label_counts =
+            if config.bounds.is_some() { prepared.graph().label_histogram() } else { Vec::new() };
         let threshold = config.min_support;
         EngineState {
             prepared,
@@ -306,6 +424,9 @@ impl EngineState {
             seen,
             frequent: Vec::new(),
             level,
+            level_parent_hi,
+            label_counts,
+            undecided: Vec::new(),
             stats,
             start: Instant::now(),
             completion: None,
@@ -350,8 +471,36 @@ impl EngineState {
         None
     }
 
-    /// Stop the run: stamp the stats and push the final `Finished` event.
+    /// Stop the run: stamp the stats and push the final `Finished` event.  A
+    /// bounds-first run interrupted by deadline or cancellation first reports
+    /// every still-pending candidate as [`MiningEvent::Undecided`], with a
+    /// certified interval from pre-enumeration arguments only — never from a
+    /// possibly truncated enumeration.
     fn finish(&mut self, completion: Completion, out: &mut VecDeque<MiningEvent>) {
+        if matches!(completion, Completion::DeadlineExceeded | Completion::Cancelled) {
+            if let Some(evaluator) = self.config.bounds.clone() {
+                let index = self.index.clone();
+                let parent_hi = std::mem::take(&mut self.level_parent_hi);
+                for (i, (pattern, _)) in std::mem::take(&mut self.level).into_iter().enumerate() {
+                    let inherited = parent_hi.get(i).copied().unwrap_or(f64::INFINITY);
+                    let pre = evaluator.pre_bounds(
+                        &pattern,
+                        &self.label_counts,
+                        index.as_deref(),
+                        inherited,
+                    );
+                    let undecided = UndecidedPattern {
+                        pattern,
+                        interval: pre.interval,
+                        certificate: pre.certificate,
+                    };
+                    if !self.quiet {
+                        out.push_back(MiningEvent::Undecided(undecided.clone()));
+                    }
+                    self.undecided.push(undecided);
+                }
+            }
+        }
         self.refresh_observability();
         self.stats.elapsed = self.start.elapsed();
         self.stats.completion = completion;
@@ -360,6 +509,7 @@ impl EngineState {
             completion,
             final_threshold: self.threshold,
             num_patterns: self.frequent.len(),
+            num_undecided: self.undecided.len(),
             stats: self.stats.clone(),
         }));
     }
@@ -383,6 +533,7 @@ impl EngineState {
         let remaining = self.config.max_evaluations.saturating_sub(self.stats.candidates_evaluated);
         if self.level.len() > remaining {
             self.level.truncate(remaining);
+            self.level_parent_hi.truncate(remaining);
             budget_hit = Some(BudgetKind::Evaluations);
         }
         if self.level.is_empty() {
@@ -395,6 +546,8 @@ impl EngineState {
             &self.prepared,
             self.index.as_deref(),
             &self.level,
+            &self.level_parent_hi,
+            &self.label_counts,
             &self.measure,
             &self.config,
             &self.mode,
@@ -413,12 +566,36 @@ impl EngineState {
         let evaluated = self.level.len();
         self.stats.candidates_evaluated += evaluated;
 
-        // Apply the (possibly rising) threshold in candidate order.
+        // Fold the bounds-stage observability into the run stats (the span is
+        // nested inside SupportEval, so it is additive, not exclusive).
+        if self.config.bounds.is_some() {
+            let mut bounds_nanos = 0u64;
+            for outcome in &outcomes {
+                self.stats.counters.evaluations_bounded += outcome.bounded as u64;
+                self.stats.counters.bound_decided += outcome.bound_decided as u64;
+                bounds_nanos += outcome.bounds_nanos;
+            }
+            self.engine_phase.add_nanos(Phase::BoundsEval, bounds_nanos);
+        }
+
+        // Apply the (possibly rising) threshold in candidate order.  Each
+        // survivor carries its certified upper bound forward: by
+        // anti-monotonicity it caps every child in the next level.
         let mut accepted = 0usize;
-        let mut survivors: Vec<Pattern> = Vec::new();
+        let mut survivors: Vec<(Pattern, f64)> = Vec::new();
+        self.level_parent_hi.clear();
         for ((pattern, code), outcome) in std::mem::take(&mut self.level).into_iter().zip(outcomes)
         {
-            let EvalOutcome { support, num_occurrences, touched, complete, reused } = outcome;
+            let EvalOutcome {
+                support,
+                num_occurrences,
+                touched,
+                complete,
+                reused,
+                interval,
+                certificate,
+                ..
+            } = outcome;
             if reused {
                 self.stats.evaluations_reused += 1;
             }
@@ -426,6 +603,7 @@ impl EngineState {
                 self.cache_out
                     .insert(code, CachedEval { support, num_occurrences, touched, complete });
             }
+            let child_hi = interval.map_or(support, |iv| iv.hi);
             match self.config.top_k {
                 None => {
                     if support >= self.threshold {
@@ -433,30 +611,40 @@ impl EngineState {
                             budget_hit.get_or_insert(BudgetKind::Patterns);
                             continue;
                         }
-                        let found =
-                            FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
+                        let found = FrequentPattern {
+                            pattern: pattern.clone(),
+                            support,
+                            num_occurrences,
+                            support_interval: interval,
+                            certificate,
+                        };
                         if !self.quiet {
                             out.push_back(MiningEvent::Pattern(found.clone()));
                         }
                         self.stats.counters.patterns_emitted += 1;
                         self.frequent.push(found);
                         accepted += 1;
-                        survivors.push(pattern);
+                        survivors.push((pattern, child_hi));
                     } else {
                         self.stats.candidates_pruned += 1;
                     }
                 }
                 Some(k) => {
                     if support >= self.threshold {
-                        let found =
-                            FrequentPattern { pattern: pattern.clone(), support, num_occurrences };
+                        let found = FrequentPattern {
+                            pattern: pattern.clone(),
+                            support,
+                            num_occurrences,
+                            support_interval: interval,
+                            certificate,
+                        };
                         if !self.quiet {
                             out.push_back(MiningEvent::Pattern(found.clone()));
                         }
                         self.stats.counters.patterns_emitted += 1;
                         self.threshold = insert_top_k(&mut self.frequent, found, k, self.floor);
                         accepted += 1;
-                        survivors.push(pattern);
+                        survivors.push((pattern, child_hi));
                     } else {
                         self.stats.candidates_pruned += 1;
                     }
@@ -482,17 +670,23 @@ impl EngineState {
         // Next level: one-edge extensions of every surviving pattern.  Pruned
         // candidates are never extended — sound because the measure is anti-monotone.
         let extension_start = Instant::now();
+        let bounds_on = self.config.bounds.is_some();
         let mut next: Vec<(Pattern, CanonicalCode)> = Vec::new();
-        for pattern in &survivors {
+        let mut next_parent_hi: Vec<f64> = Vec::new();
+        for (pattern, hi) in &survivors {
             if pattern.num_edges() >= self.config.max_pattern_edges {
                 continue;
             }
             let candidates = extensions(pattern, self.prepared.alphabet());
             self.stats.candidates_generated += candidates.len();
             next.extend(dedupe_with_codes(candidates, &mut self.seen));
+            if bounds_on {
+                next_parent_hi.resize(next.len(), *hi);
+            }
         }
         self.engine_phase.record(Phase::Extension, extension_start.elapsed());
         self.level = next;
+        self.level_parent_hi = next_parent_hi;
     }
 
     /// Tear the state down into the batch result.  Only meaningful once the run
@@ -502,7 +696,12 @@ impl EngineState {
             // Defensive: a result must always carry a stamped completion.
             self.stats.elapsed = self.start.elapsed();
         }
-        MiningResult { patterns: self.frequent, final_threshold: self.threshold, stats: self.stats }
+        MiningResult {
+            patterns: self.frequent,
+            final_threshold: self.threshold,
+            undecided: self.undecided,
+            stats: self.stats,
+        }
     }
 
     /// Like [`EngineState::into_result`], also handing back the [`EvalCache`]

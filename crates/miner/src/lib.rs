@@ -120,10 +120,15 @@ pub use sharded::{ShardedRunStats, ShardedSession};
 pub use stream::{LevelSummary, MiningEvent, PatternStream, RunSummary};
 pub use types::{
     BudgetKind, Completion, FrequentPattern, MiningResult, MiningStats, SessionCounters,
+    UndecidedPattern,
 };
 
 // Re-exported so downstream consumers of `MiningStats` can name the
 // observability types without depending on `ffsm-obs` directly.
 pub use ffsm_obs::{Phase, PhaseTimes, SearchCounters};
+
+// Re-exported so bounds-first consumers can name the interval/certificate types
+// (and probe measure support) without depending on `ffsm-approx` directly.
+pub use ffsm_approx::{BoundsEvaluator, BoundsOutcome, Certificate, SupportInterval};
 
 pub use postprocess::{closed_patterns, maximal_patterns, PatternLattice};

@@ -140,6 +140,10 @@ pub struct SessionConfig {
     /// Guaranteed not to change results — the differential gate in
     /// `tests/obs_differential.rs` holds it to bit-for-bit identical output.
     pub metrics: bool,
+    /// Bounds-first evaluation (see [`MiningSession::bounds_first`]): decide
+    /// candidates from certified support intervals where a cheap argument
+    /// suffices, and evaluate exactly only inside the uncertain band.
+    pub bounds_first: bool,
 }
 
 impl Default for SessionConfig {
@@ -155,6 +159,7 @@ impl Default for SessionConfig {
             cancel: CancelToken::default(),
             deadline: None,
             metrics: false,
+            bounds_first: false,
         }
     }
 }
@@ -290,6 +295,32 @@ impl MiningSession {
         self
     }
 
+    /// Enable bounds-first evaluation: each candidate first gets a certified
+    /// support interval `[lo, hi]` from cheap arguments (the parent's bound,
+    /// index cardinality, the paper's containment chain, a greedy packing, the
+    /// covering LP with its dual), and the exact — potentially NP-hard —
+    /// support computation runs only when the interval straddles the
+    /// threshold.  The frequent-pattern *set* is identical to exact mining;
+    /// accepted patterns additionally carry
+    /// [`FrequentPattern::support_interval`](crate::FrequentPattern) and
+    /// [`FrequentPattern::certificate`](crate::FrequentPattern), and a run
+    /// interrupted by deadline or cancellation reports every still-pending
+    /// candidate as [`MiningEvent::Undecided`](crate::MiningEvent) with a
+    /// certified interval — the honest anytime answer.
+    ///
+    /// Bound-decided patterns report the deciding interval side as their
+    /// `support` (the exact value was never computed).  The mode applies to
+    /// built-in measure kinds with sound cheap bounds (the containment-chain
+    /// measures; MVC under its exact algorithm); other kinds and custom
+    /// measures silently take the plain exact path.  Incompatible with top-k
+    /// (its rising threshold would invalidate earlier decisions) and with the
+    /// caching runs (`run_recorded` / `run_delta` need exact supports) — those
+    /// combinations are rejected at `run()` / `stream()` time.
+    pub fn bounds_first(mut self, on: bool) -> Self {
+        self.config.bounds_first = on;
+        self
+    }
+
     /// Validate the configuration and open the lazy event stream.  No support is
     /// evaluated until the stream is pulled.
     ///
@@ -324,6 +355,20 @@ impl MiningSession {
         if let MeasureSelection::Kind(MeasureKind::MniK(0)) = config.measure {
             return Err(FfsmError::InvalidConfig("MNI-k needs k >= 1".into()));
         }
+        if config.bounds_first && config.top_k.is_some() {
+            return Err(FfsmError::InvalidConfig(
+                "bounds_first is incompatible with top_k: the rising threshold would \
+                 invalidate interval decisions made at the floor"
+                    .into(),
+            ));
+        }
+        if config.bounds_first && !matches!(mode, CacheMode::Off) {
+            return Err(FfsmError::InvalidConfig(
+                "bounds_first is incompatible with run_recorded/run_delta: the evaluation \
+                 cache needs exact supports, which bound-decided candidates never compute"
+                    .into(),
+            ));
+        }
         // Combine the session token with the deadline into the token the
         // enumerators poll, so interruption reaches inside a running level.
         // `with_deadline` keeps the earlier bound, so a deadline the caller
@@ -336,6 +381,15 @@ impl MiningSession {
         let deadline_at = run_token.deadline();
         let mut measure_config = config.measure_config.clone();
         measure_config.iso_config.cancel = run_token;
+        // Bounds-first: built-in kinds with sound cheap bounds get an evaluator;
+        // custom measures and unsupported kinds silently take the exact path.
+        let bounds = match (&config.measure, config.bounds_first) {
+            (MeasureSelection::Kind(kind), true) => {
+                ffsm_approx::BoundsEvaluator::new(*kind, &measure_config, config.min_support)
+                    .map(Arc::new)
+            }
+            _ => None,
+        };
         let measure: Arc<dyn SupportMeasure> = match config.measure {
             MeasureSelection::Kind(kind) => kind.measure(measure_config.clone()),
             MeasureSelection::Custom(measure) => measure,
@@ -359,6 +413,7 @@ impl MiningSession {
             cancel: config.cancel,
             deadline: deadline_at,
             metrics: config.metrics,
+            bounds,
         };
         Ok(PatternStream::new(EngineState::new(prepared, measure, engine_config, quiet, mode)))
     }
@@ -607,7 +662,7 @@ mod tests {
         for event in MiningSession::on(&graph).min_support(4.0).max_edges(3).stream().unwrap() {
             match event.unwrap() {
                 MiningEvent::Pattern(p) => streamed.push(p.pattern.num_edges()),
-                MiningEvent::LevelCompleted(_) => {}
+                MiningEvent::LevelCompleted(_) | MiningEvent::Undecided(_) => {}
                 MiningEvent::Finished(summary) => finished = Some(summary),
             }
         }

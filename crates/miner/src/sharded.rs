@@ -423,7 +423,15 @@ impl ShardedEngine {
             stats.elapsed = start.elapsed();
             stats.completion = completion;
             sharded.store = partitioned.store_stats();
-            (MiningResult { patterns: frequent, final_threshold: threshold, stats }, sharded)
+            (
+                MiningResult {
+                    patterns: frequent,
+                    final_threshold: threshold,
+                    undecided: Vec::new(),
+                    stats,
+                },
+                sharded,
+            )
         };
 
         loop {
@@ -518,6 +526,8 @@ impl ShardedEngine {
                                 pattern: pattern.clone(),
                                 support,
                                 num_occurrences,
+                                support_interval: None,
+                                certificate: None,
                             });
                             survivors.push(pattern);
                         } else {
@@ -533,6 +543,8 @@ impl ShardedEngine {
                                     pattern: pattern.clone(),
                                     support,
                                     num_occurrences,
+                                    support_interval: None,
+                                    certificate: None,
                                 },
                                 k,
                                 floor,

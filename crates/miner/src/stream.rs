@@ -18,7 +18,10 @@
 //!    still evict it from the final result);
 //! 2. one [`MiningEvent::LevelCompleted`] per fully processed level, carrying a
 //!    stats snapshot;
-//! 3. exactly one final [`MiningEvent::Finished`] carrying the typed
+//! 3. in a bounds-first session interrupted by deadline or cancellation, one
+//!    [`MiningEvent::Undecided`] per still-pending candidate, each carrying a
+//!    certified support interval (honest anytime semantics);
+//! 4. exactly one final [`MiningEvent::Finished`] carrying the typed
 //!    [`Completion`] status, after which the iterator yields `None`.
 //!
 //! Streaming and batch mining are the same computation:
@@ -34,7 +37,7 @@
 //! errors, because the prefix mined so far is still valid.
 
 use crate::engine::EngineState;
-use crate::types::{Completion, FrequentPattern, MiningResult, MiningStats};
+use crate::types::{Completion, FrequentPattern, MiningResult, MiningStats, UndecidedPattern};
 use ffsm_core::FfsmError;
 use std::collections::VecDeque;
 
@@ -65,6 +68,9 @@ pub struct RunSummary {
     /// Number of patterns in the final result (top-k mode: after evictions, so
     /// this can be smaller than the number of `Pattern` events).
     pub num_patterns: usize,
+    /// Candidates a bounds-first session left undecided at an interruption
+    /// (equals the number of [`MiningEvent::Undecided`] events; 0 otherwise).
+    pub num_undecided: usize,
     /// Final statistics.
     pub stats: MiningStats,
 }
@@ -78,6 +84,11 @@ pub enum MiningEvent {
     Pattern(FrequentPattern),
     /// A pattern-growth level was fully processed.
     LevelCompleted(LevelSummary),
+    /// A bounds-first session was interrupted (deadline or cancellation) before
+    /// deciding this candidate; the payload carries its certified support
+    /// interval.  Emitted between the last `LevelCompleted` and `Finished`,
+    /// in the engine's deterministic candidate order.
+    Undecided(UndecidedPattern),
     /// The run stopped; always the last event.
     Finished(RunSummary),
 }

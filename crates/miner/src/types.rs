@@ -1,5 +1,6 @@
 //! Result types shared by every mining mode.
 
+use ffsm_approx::{Certificate, SupportInterval};
 use ffsm_graph::Pattern;
 use ffsm_obs::{PhaseTimes, SearchCounters};
 use std::time::Duration;
@@ -9,10 +10,36 @@ use std::time::Duration;
 pub struct FrequentPattern {
     /// The pattern graph.
     pub pattern: Pattern,
-    /// Its support under the session's measure.
+    /// Its support under the session's measure.  In a bounds-first session a
+    /// bound-decided pattern reports the certified *lower* bound (the exact
+    /// value was never computed); `support_interval` carries the full interval.
     pub support: f64,
-    /// Number of occurrences enumerated while computing the support.
+    /// Number of occurrences enumerated while computing the support (0 when a
+    /// pre-enumeration bound decided the pattern).
     pub num_occurrences: usize,
+    /// The certified support interval, in bounds-first sessions
+    /// ([`crate::MiningSession::bounds_first`]); `None` otherwise.  Always
+    /// contains the exact support; a point interval means the support was
+    /// computed exactly.
+    pub support_interval: Option<SupportInterval>,
+    /// The argument that certified `support_interval`; `None` outside
+    /// bounds-first sessions.
+    pub certificate: Option<Certificate>,
+}
+
+/// A candidate pattern a bounds-first session could not decide before it was
+/// interrupted (deadline or cancellation): the honest anytime answer is the
+/// certified interval its support is known to lie in, rather than silence.
+#[derive(Debug, Clone)]
+pub struct UndecidedPattern {
+    /// The candidate pattern.
+    pub pattern: Pattern,
+    /// A certified interval containing the pattern's exact support, derived
+    /// from pre-enumeration arguments only (parent support, index cardinality)
+    /// — never from a truncated enumeration.
+    pub interval: SupportInterval,
+    /// The argument behind the interval's binding upper bound.
+    pub certificate: Certificate,
 }
 
 /// Which safety cap stopped a run early.
@@ -112,6 +139,13 @@ pub struct SessionCounters {
     /// count — a single arena serving every candidate grows larger than each
     /// of several, so the parallel max is bounded above by the sequential one.
     pub arena_peak_bytes: u64,
+    /// Candidates routed through the bounds evaluator of a bounds-first session
+    /// (always 0 otherwise).
+    pub evaluations_bounded: u64,
+    /// Of the bounded candidates, how many a certified interval decided without
+    /// an exact support computation — pre-enumeration skips and
+    /// containment-chain / greedy / LP short-circuits alike.
+    pub bound_decided: u64,
 }
 
 impl SessionCounters {
@@ -124,6 +158,10 @@ impl SessionCounters {
             overlap_probes: self.overlap_probes.saturating_sub(earlier.overlap_probes),
             patterns_emitted: self.patterns_emitted.saturating_sub(earlier.patterns_emitted),
             arena_peak_bytes: self.arena_peak_bytes,
+            evaluations_bounded: self
+                .evaluations_bounded
+                .saturating_sub(earlier.evaluations_bounded),
+            bound_decided: self.bound_decided.saturating_sub(earlier.bound_decided),
         }
     }
 }
@@ -170,6 +208,18 @@ impl MiningStats {
     pub fn truncated(&self) -> bool {
         !self.completion.is_complete()
     }
+
+    /// Candidates routed through the bounds evaluator (bounds-first sessions
+    /// only; see [`SessionCounters::evaluations_bounded`]).
+    pub fn evaluations_bounded(&self) -> u64 {
+        self.counters.evaluations_bounded
+    }
+
+    /// Of those, how many a certified interval decided without an exact
+    /// support computation (see [`SessionCounters::bound_decided`]).
+    pub fn bound_decided(&self) -> u64 {
+        self.counters.bound_decided
+    }
 }
 
 /// Result of a mining run: the frequent patterns plus statistics.
@@ -181,6 +231,10 @@ pub struct MiningResult {
     /// The support threshold in force when the run finished: the configured τ for
     /// threshold runs, or the risen k-th-best support for top-k runs.
     pub final_threshold: f64,
+    /// Candidates a bounds-first session could not decide before an
+    /// interruption, each with its certified interval (empty for complete runs
+    /// and outside bounds-first mode) — the anytime contract's honest remainder.
+    pub undecided: Vec<UndecidedPattern>,
     /// Run statistics.
     pub stats: MiningStats,
 }

@@ -374,11 +374,15 @@ pub enum Phase {
     /// Reloading spilled shards from a `ShardStore` during partitioned mining
     /// (nested in [`Phase::SupportEval`]).
     ShardLoad,
+    /// Computing certified support bounds in a bounds-first session — index
+    /// cardinality bounds, containment-chain bounds and LP relaxations (nested
+    /// in [`Phase::SupportEval`]).
+    BoundsEval,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -390,6 +394,7 @@ impl Phase {
         Phase::Extension,
         Phase::DeltaRepair,
         Phase::ShardLoad,
+        Phase::BoundsEval,
     ];
 
     /// Stable snake_case name (protocol frames, JSON reports).
@@ -403,6 +408,7 @@ impl Phase {
             Phase::Extension => "extension",
             Phase::DeltaRepair => "delta_repair",
             Phase::ShardLoad => "shard_load",
+            Phase::BoundsEval => "bounds_eval",
         }
     }
 
@@ -426,6 +432,7 @@ impl Phase {
             Phase::Extension => 5,
             Phase::DeltaRepair => 6,
             Phase::ShardLoad => 7,
+            Phase::BoundsEval => 8,
         }
     }
 }

@@ -10,7 +10,10 @@
 //!
 //! * `pattern` — one frequent pattern (support, sizes, occurrence count, the
 //!   `.lg` text of the pattern itself), optionally tagged with the epoch that
-//!   produced it (the `update` streaming path);
+//!   produced it (the `update` streaming path); bounds-first sessions add the
+//!   certified `support_lo`/`support_hi` interval and its `certificate`;
+//! * `undecided` — one candidate a bounds-first session could not decide before
+//!   an interruption, with its certified support interval;
 //! * `level` — one fully processed pattern-growth level;
 //! * `finished` — the typed end of one mining run ([`RunSummary`]);
 //! * `epoch` — one completed epoch of an incremental re-mine, or (on the server)
@@ -39,6 +42,7 @@ use ffsm_core::FfsmError;
 use ffsm_graph::io;
 use ffsm_miner::{
     FrequentPattern, LevelSummary, MiningResult, Phase, PhaseTimes, RunSummary, SessionCounters,
+    UndecidedPattern,
 };
 use ffsm_obs::HistogramSnapshot;
 use std::io::Write;
@@ -122,18 +126,39 @@ pub fn json_string(s: &str) -> String {
 
 /// One frequent pattern.  `epoch` tags the pattern with the epoch that produced
 /// it (the `update` streaming path); `None` omits the field (the `mine` path).
+/// A pattern from a bounds-first session additionally carries its certified
+/// `support_lo`/`support_hi` interval and the `certificate` that justified it;
+/// the fields are omitted otherwise, so plain sessions stay byte-identical.
 pub fn pattern_frame(p: &FrequentPattern, epoch: Option<usize>) -> Frame {
     let frame = Frame::event("pattern");
     let frame = match epoch {
         Some(epoch) => frame.raw("epoch", epoch),
         None => frame,
     };
+    let mut frame = frame.raw("support", p.support);
+    if let Some(interval) = p.support_interval {
+        frame = frame.raw("support_lo", interval.lo).raw("support_hi", interval.hi);
+    }
+    if let Some(certificate) = p.certificate {
+        frame = frame.str("certificate", certificate.name());
+    }
     frame
-        .raw("support", p.support)
         .raw("vertices", p.pattern.num_vertices())
         .raw("edges", p.pattern.num_edges())
         .raw("occurrences", p.num_occurrences)
         .str("pattern", io::to_lg_string(&p.pattern).trim_end())
+}
+
+/// One candidate a bounds-first session left undecided at an interruption: the
+/// certified interval its exact support is known to lie in.
+pub fn undecided_frame(u: &UndecidedPattern) -> Frame {
+    Frame::event("undecided")
+        .raw("support_lo", u.interval.lo)
+        .raw("support_hi", u.interval.hi)
+        .str("certificate", u.certificate.name())
+        .raw("vertices", u.pattern.num_vertices())
+        .raw("edges", u.pattern.num_edges())
+        .str("pattern", io::to_lg_string(&u.pattern).trim_end())
 }
 
 /// One fully processed pattern-growth level.
@@ -145,11 +170,19 @@ pub fn level_frame(level: &LevelSummary) -> Frame {
         .raw("threshold", level.threshold)
 }
 
-/// The typed end of one mining run.
+/// The typed end of one mining run.  `undecided` appears only when a
+/// bounds-first interruption left candidates undecided, so every other run's
+/// frame stays byte-identical.
 pub fn finished_frame(summary: &RunSummary) -> Frame {
-    Frame::event("finished")
+    let frame = Frame::event("finished")
         .str("completion", summary.completion.name())
-        .raw("patterns", summary.num_patterns)
+        .raw("patterns", summary.num_patterns);
+    let frame = if summary.num_undecided > 0 {
+        frame.raw("undecided", summary.num_undecided)
+    } else {
+        frame
+    };
+    frame
         .raw("final_threshold", summary.final_threshold)
         .raw("evaluated", summary.stats.candidates_evaluated)
         .raw("elapsed_ms", summary.stats.elapsed.as_millis())
@@ -207,6 +240,8 @@ pub fn trace_frame(level: usize, counters: &SessionCounters, phases: &PhaseTimes
         .raw("refine_rounds", counters.search.refine_rounds)
         .raw("overlap_probes", counters.overlap_probes)
         .raw("patterns_emitted", counters.patterns_emitted)
+        .raw("evaluations_bounded", counters.evaluations_bounded)
+        .raw("bound_decided", counters.bound_decided)
         .raw("arena_peak_bytes", counters.arena_peak_bytes);
     for phase in Phase::ALL {
         frame = frame.raw(&format!("{}_us", phase.name()), phases.nanos(phase) / 1_000);
@@ -287,6 +322,8 @@ mod tests {
             pattern: LabeledGraph::from_edges(&[0, 1], &[(0, 1)]),
             support: 5.0,
             num_occurrences: 12,
+            support_interval: None,
+            certificate: None,
         }
     }
 
@@ -311,6 +348,57 @@ mod tests {
         assert!(!line.contains("epoch"));
         let line = pattern_frame(&sample_pattern(), Some(3)).finish();
         assert!(line.starts_with("{\"event\": \"pattern\", \"epoch\": 3, \"support\": 5"));
+    }
+
+    #[test]
+    fn bounds_first_patterns_carry_interval_and_certificate() {
+        let mut p = sample_pattern();
+        p.support_interval = Some(ffsm_miner::SupportInterval::new(5.0, 9.0));
+        p.certificate = Some(ffsm_miner::Certificate::GreedyPacking);
+        let line = pattern_frame(&p, None).finish();
+        assert!(
+            line.starts_with(
+                "{\"event\": \"pattern\", \"support\": 5, \"support_lo\": 5, \
+                 \"support_hi\": 9, \"certificate\": \"greedy-packing\""
+            ),
+            "{line}"
+        );
+        // The plain shape stays byte-identical: no interval fields at all.
+        assert!(!pattern_frame(&sample_pattern(), None).finish().contains("support_lo"));
+    }
+
+    #[test]
+    fn undecided_frame_reports_the_certified_interval() {
+        let u = UndecidedPattern {
+            pattern: LabeledGraph::from_edges(&[0, 1], &[(0, 1)]),
+            interval: ffsm_miner::SupportInterval::new(0.0, 4.0),
+            certificate: ffsm_miner::Certificate::IndexDegree,
+        };
+        let line = undecided_frame(&u).finish();
+        assert!(
+            line.starts_with(
+                "{\"event\": \"undecided\", \"support_lo\": 0, \"support_hi\": 4, \
+                 \"certificate\": \"index-degree\""
+            ),
+            "{line}"
+        );
+        assert!(line.contains("\"pattern\": \"t 0"));
+    }
+
+    #[test]
+    fn finished_frame_reports_undecided_only_when_present() {
+        let mut summary = RunSummary {
+            completion: ffsm_miner::Completion::Complete,
+            final_threshold: 2.0,
+            num_patterns: 3,
+            num_undecided: 0,
+            stats: Default::default(),
+        };
+        assert!(!finished_frame(&summary).finish().contains("undecided"));
+        summary.num_undecided = 2;
+        summary.completion = ffsm_miner::Completion::DeadlineExceeded;
+        let line = finished_frame(&summary).finish();
+        assert!(line.contains("\"undecided\": 2"), "{line}");
     }
 
     #[test]
@@ -349,6 +437,9 @@ mod tests {
         assert!(line.contains("\"overlap_probes\": 7"));
         assert!(line.contains("\"support_eval_us\": 3000"));
         assert!(line.contains("\"extension_us\": 0"));
+        assert!(line.contains("\"evaluations_bounded\": 0"));
+        assert!(line.contains("\"bound_decided\": 0"));
+        assert!(line.contains("\"bounds_eval_us\": 0"));
     }
 
     #[test]

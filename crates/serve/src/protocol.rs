@@ -11,7 +11,8 @@
 //!
 //! | `op`        | fields                                                                   |
 //! |-------------|--------------------------------------------------------------------------|
-//! | `mine`      | `graph`, `tau`, [`measure`], [`max_edges`], [`top_k`], [`deadline_ms`]   |
+//! | `mine`      | `graph`, `tau`, [`measure`], [`max_edges`], [`top_k`], [`deadline_ms`],  |
+//! |             | [`bounds`] (boolean: bounds-first certified intervals)                   |
 //! | `update`    | `graph`, `updates` (`.gu`-format text, `t` lines separate batches)       |
 //! | `partition` | `graph`, `shards`, [`halo`] (default 3), [`strategy`] (default           |
 //! |             | `vertex-range`; also `label-aware`)                                      |
@@ -57,6 +58,11 @@ pub struct MineParams {
     /// Per-request wall-clock deadline; the server maps it onto the session's
     /// `CancelToken`.  `None` falls back to the server's default deadline.
     pub deadline_ms: Option<u64>,
+    /// Bounds-first mode ([`ffsm_miner::MiningSession::bounds_first`]):
+    /// `pattern` frames gain certified `support_lo`/`support_hi`/`certificate`
+    /// fields, and an interrupted session emits one `undecided` frame per
+    /// still-pending candidate.
+    pub bounds: bool,
 }
 
 /// One decoded request operation.
@@ -294,6 +300,16 @@ impl Fields {
             }
         }
     }
+
+    fn boolean(&self, key: &str) -> Result<Option<bool>, FfsmError> {
+        match self.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+            Some(other) => {
+                Err(protocol_err(format!("field {key:?} must be a boolean, got {other:?}")))
+            }
+        }
+    }
 }
 
 /// Parse one request line into its [`Envelope`].
@@ -320,7 +336,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, FfsmError> {
             let max_edges = fields.unsigned("max_edges")?.unwrap_or(3) as usize;
             let top_k = fields.unsigned("top_k")?.map(|k| k as usize);
             let deadline_ms = fields.unsigned("deadline_ms")?;
-            Request::Mine(MineParams { graph, tau, measure, max_edges, top_k, deadline_ms })
+            let bounds = fields.boolean("bounds")?.unwrap_or(false);
+            Request::Mine(MineParams { graph, tau, measure, max_edges, top_k, deadline_ms, bounds })
         }
         "update" => {
             let graph = fields.required_string("graph")?.to_string();
@@ -369,7 +386,7 @@ mod tests {
     fn parses_a_full_mine_request() {
         let env = parse_request(
             "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 2.5, \"measure\": \"MIS\", \
-             \"max_edges\": 4, \"deadline_ms\": 250, \"id\": 9}",
+             \"max_edges\": 4, \"deadline_ms\": 250, \"bounds\": true, \"id\": 9}",
         )
         .unwrap();
         assert_eq!(env.id, Some(9));
@@ -380,6 +397,7 @@ mod tests {
         assert_eq!(p.max_edges, 4);
         assert_eq!(p.top_k, None);
         assert_eq!(p.deadline_ms, Some(250));
+        assert!(p.bounds);
     }
 
     #[test]
@@ -392,6 +410,7 @@ mod tests {
         assert_eq!(p.measure, MeasureKind::Mni);
         assert_eq!(p.max_edges, 3);
         assert_eq!(p.deadline_ms, None);
+        assert!(!p.bounds);
     }
 
     #[test]
@@ -475,8 +494,9 @@ mod tests {
             "{\"graph\": \"g\"}",                           // missing op
             "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 1} trailing",
             "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 1, \"top_k\": -2}",
-            "{\"op\": [1]}", // nested value
-            "{\"op\": \"update\", \"graph\": \"g\", \"updates\": \"\"}", // empty batch
+            "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 1, \"bounds\": 1}", // ill-typed flag
+            "{\"op\": [1]}",                                                   // nested value
+            "{\"op\": \"update\", \"graph\": \"g\", \"updates\": \"\"}",       // empty batch
         ] {
             let err = parse_request(bad).unwrap_err();
             assert!(matches!(err, FfsmError::Protocol(_)), "{bad:?} -> {err:?}");

@@ -32,7 +32,7 @@
 
 use crate::events::{
     counter_frame, error_frame, finished_frame, gauge_frame, histogram_frame, level_frame,
-    pattern_frame, write_frame, Frame, FrameWrite,
+    pattern_frame, undecided_frame, write_frame, Frame, FrameWrite,
 };
 use crate::protocol::{parse_request, MineParams, Request};
 use crate::registry::{GraphRegistry, GraphStats};
@@ -408,6 +408,7 @@ fn run_mine_session(
         .max_edges(params.max_edges)
         .threads(state.config.session_threads)
         .metrics(state.config.session_metrics)
+        .bounds_first(params.bounds)
         .cancel_token(token.clone());
     if let Some(k) = params.top_k {
         session = session.top_k(k);
@@ -424,6 +425,7 @@ fn run_mine_session(
     for event in stream {
         let frame = match event {
             Ok(MiningEvent::Pattern(p)) => pattern_frame(&p, None),
+            Ok(MiningEvent::Undecided(u)) => undecided_frame(&u),
             Ok(MiningEvent::LevelCompleted(level)) => level_frame(&level),
             Ok(MiningEvent::Finished(summary)) => {
                 status = summary.completion.name();
@@ -474,6 +476,8 @@ fn fold_session_stats(stats: &MiningStats, state: &Arc<ServerState>) {
     state.metrics.counter("mine_hub_verified_pools").add(counters.search.hub_verified_pools);
     state.metrics.counter("mine_overlap_probes").add(counters.overlap_probes);
     state.metrics.counter("mine_patterns_emitted").add(counters.patterns_emitted);
+    state.metrics.counter("mine_evaluations_bounded").add(counters.evaluations_bounded);
+    state.metrics.counter("mine_bound_decided").add(counters.bound_decided);
 }
 
 /// Answer a `metrics` scrape: refresh the point-in-time gauges, then emit one

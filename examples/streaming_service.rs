@@ -62,6 +62,12 @@ fn main() {
                 "  level {} done: {} evaluated, {} accepted",
                 level.level, level.evaluated, level.accepted
             ),
+            MiningEvent::Undecided(u) => println!(
+                "  undecided: {} edges, support in [{}, {}]",
+                u.pattern.num_edges(),
+                u.interval.lo,
+                u.interval.hi
+            ),
             MiningEvent::Finished(summary) => println!(
                 "  finished: {} ({} patterns in {:?})",
                 summary.completion, summary.num_patterns, summary.stats.elapsed

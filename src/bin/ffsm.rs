@@ -12,10 +12,15 @@
 //!   for `--backend naive`.  The candidate-space engine reports candidate-space
 //!   sizes and index build / search timings;
 //! * `mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-//!   [--backend B] [--stream] [--trace] [--deadline-ms MS] [--shards K [--max-resident M]
-//!   [--partition vertex-range|label-aware]]` — run the frequent-subgraph miner.
+//!   [--backend B] [--bounds] [--stream] [--trace] [--deadline-ms MS] [--shards K
+//!   [--max-resident M] [--partition vertex-range|label-aware]]` — run the
+//!   frequent-subgraph miner.
 //!   The default output is a table plus the run's typed completion status (complete vs which
-//!   budget cap vs deadline); `--stream` switches to NDJSON events (one JSON object
+//!   budget cap vs deadline); `--bounds` turns on bounds-first evaluation
+//!   ([`MiningSession::bounds_first`]): certified support intervals decide patterns
+//!   cheaply where possible (streamed `pattern` frames carry `support_lo` /
+//!   `support_hi` / `certificate`, and a deadline-cut run emits one `undecided`
+//!   frame per unresolved pattern); `--stream` switches to NDJSON events (one JSON object
 //!   per line — `pattern`, `level`, `finished` — flushed as found), `--trace` implies
 //!   `--stream` and follows each `level` frame with a `trace` frame of per-level
 //!   observability deltas (search counters, per-phase wall time), and
@@ -143,10 +148,17 @@ commands:
                                                    overlap census / MIS per notion
                                                    (kinds: simple|harmful|structural|edge)
   mine     <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] [--parallel]
-           [--backend naive|candidate-space|auto] [--stream] [--trace] [--deadline-ms MS]
+           [--backend naive|candidate-space|auto] [--bounds] [--stream] [--trace]
+           [--deadline-ms MS]
            [--shards K [--max-resident M] [--partition vertex-range|label-aware]]
                                                    frequent-subgraph mining
-                                                   (--stream: NDJSON events, one per
+                                                   (--bounds: bounds-first evaluation —
+                                                   certified support intervals decide
+                                                   patterns without full enumeration
+                                                   when possible; interrupted runs
+                                                   report undecided patterns with
+                                                   their intervals;
+                                                   --stream: NDJSON events, one per
                                                    line, flushed as found;
                                                    --trace: implies --stream, adds a
                                                    trace frame of per-level counter
@@ -466,6 +478,7 @@ fn stream_ndjson(session: MiningSession, trace: bool) -> Result<Completion, CliE
         let mut frames: Vec<events::Frame> = Vec::with_capacity(2);
         match event? {
             MiningEvent::Pattern(p) => frames.push(events::pattern_frame(&p, None)),
+            MiningEvent::Undecided(u) => frames.push(events::undecided_frame(&u)),
             MiningEvent::LevelCompleted(level) => {
                 frames.push(events::level_frame(&level));
                 if trace {
@@ -508,8 +521,8 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let Some(graph_path) = args.first() else {
         return Err(CliError::Usage(
             "ffsm mine <graph.lg> --tau <t> [--measure NAME] [--max-edges N] [--threads K] \
-             [--parallel] [--backend naive|candidate-space|auto] [--stream] [--trace] \
-             [--deadline-ms MS]"
+             [--parallel] [--backend naive|candidate-space|auto] [--bounds] [--stream] \
+             [--trace] [--deadline-ms MS]"
                 .into(),
         ));
     };
@@ -538,7 +551,13 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     };
     let trace = args.iter().any(|a| a == "--trace");
     let stream = trace || args.iter().any(|a| a == "--stream");
+    let bounds = args.iter().any(|a| a == "--bounds");
     if let Some(v) = flag_value(args, "--shards") {
+        if bounds {
+            return Err(CliError::Usage(
+                "--bounds is unsharded-only: it cannot be combined with --shards".into(),
+            ));
+        }
         let shards =
             v.parse::<usize>().map_err(|_| CliError::Usage(format!("invalid --shards {v:?}")))?;
         if stream {
@@ -581,7 +600,8 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
         .min_support(tau)
         .max_edges(max_edges)
         .threads(threads)
-        .enumerator(backend);
+        .enumerator(backend)
+        .bounds_first(bounds);
     if let Some(d) = deadline {
         session = session.deadline(d);
     }
@@ -601,6 +621,21 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     // complete one.
     println!("status: {}", result.completion());
     print_frequent(&result.patterns);
+    // A bounds-first run cut short still knows what it was unsure about: one
+    // line per open candidate with its certified interval.
+    if !result.undecided.is_empty() {
+        println!("{} undecided patterns (certified support intervals):", result.undecided.len());
+        for u in &result.undecided {
+            println!(
+                "  [{}, {}] via {}: {} vertices, {} edges",
+                u.interval.lo,
+                u.interval.hi,
+                u.certificate,
+                u.pattern.num_vertices(),
+                u.pattern.num_edges()
+            );
+        }
+    }
     completion_exit(result.completion(), deadline)
 }
 

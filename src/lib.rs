@@ -9,6 +9,9 @@
 //! * [`lp`] — linear-programming solver used by the relaxed measures.
 //! * [`core`] — the paper's contribution: the occurrence/instance hypergraph framework
 //!   and the MNI, MI, MVC, MIS/MIES and relaxed support measures.
+//! * [`approx`] — certified support intervals for bounds-first anytime mining:
+//!   containment-chain, index-cardinality and LP-relaxation bounds behind
+//!   `MiningSession::bounds_first`.
 //! * [`miner`] — a single-graph frequent-subgraph miner with pluggable measures.
 //! * [`dynamic`] — the versioned dynamic-graph subsystem: typed update batches,
 //!   epoch snapshots with incremental index maintenance, and delta re-mining.
@@ -23,6 +26,7 @@
 //! table.  [`miner::MiningSession`] is the single mining entry point; measures are
 //! pluggable through the [`core::measures::SupportMeasure`] trait.
 
+pub use ffsm_approx as approx;
 pub use ffsm_core as core;
 pub use ffsm_dynamic as dynamic;
 pub use ffsm_graph as graph;

@@ -133,6 +133,7 @@ proptest! {
                         "level snapshot, seed {}, {:?}", seed, backend);
                 }
                 MiningEvent::Finished(s) => summary = Some(s),
+                MiningEvent::Undecided(_) => {}
             }
         }
         let summary = summary.expect("finished frame");

@@ -77,7 +77,7 @@ proptest! {
                 for event in stream {
                     match event.expect("in-process streams never error") {
                         MiningEvent::Pattern(p) => streamed.push(fingerprint(&p)),
-                        MiningEvent::LevelCompleted(_) => {}
+                        MiningEvent::LevelCompleted(_) | MiningEvent::Undecided(_) => {}
                         MiningEvent::Finished(summary) => finished = Some(summary),
                     }
                 }

@@ -76,6 +76,7 @@ fn direct_session_frames(graph: &LabeledGraph, tau: f64, max_edges: usize) -> Ve
     stream
         .map(|event| match event.expect("direct event") {
             MiningEvent::Pattern(p) => events::pattern_frame(&p, None).finish(),
+            MiningEvent::Undecided(u) => events::undecided_frame(&u).finish(),
             MiningEvent::LevelCompleted(level) => events::level_frame(&level).finish(),
             MiningEvent::Finished(summary) => events::finished_frame(&summary).finish(),
         })
@@ -459,6 +460,72 @@ fn metrics_scrape_phase_totals_account_for_observed_mine_wall_time() {
     assert!(frame_field(steps, "value").expect("steps") > 0, "{steps}");
     let written = metric_frame(&after, "counter", "frames_written").expect("frames_written");
     assert!(frame_field(written, "value").expect("frames") > frames.len() as i64, "{written}");
+
+    handle.shutdown();
+    server.join().expect("server joins");
+}
+
+/// The `bounds` request flag end to end: a bounds-first session streams the
+/// same frequent set as the exact session (pattern text and count), its
+/// `pattern` frames carry the certified interval fields, and the incompatible
+/// `bounds` + `top_k` combination is a typed `error` frame — never a silently
+/// wrong stream.
+#[test]
+fn bounds_flag_streams_certified_intervals_and_rejects_top_k() {
+    let (addr, handle, server) = start_server(ServerConfig::default(), &[("g", rich_graph())]);
+
+    let exact =
+        converse(addr, "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 4, \"max_edges\": 2}");
+    let bounded = converse(
+        addr,
+        "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 4, \"max_edges\": 2, \"bounds\": true}",
+    );
+
+    let patterns = |frames: &[String]| -> Vec<String> {
+        frames
+            .iter()
+            .filter(|f| f.starts_with("{\"event\": \"pattern\""))
+            .map(|f| f[f.find("\"pattern\": ").expect("pattern text")..].to_string())
+            .collect()
+    };
+    let exact_patterns = patterns(&exact);
+    assert!(!exact_patterns.is_empty(), "workload must produce patterns");
+    assert_eq!(patterns(&bounded), exact_patterns, "bounds changed the frequent set");
+    assert!(
+        bounded.last().expect("terminal frame").contains("\"status\": \"complete\""),
+        "bounds session did not complete: {:?}",
+        bounded.last()
+    );
+    // Every bounds-mode pattern frame carries the interval vocabulary; the
+    // exact frames never do (byte-compatibility with pre-bounds transcripts).
+    for frame in bounded.iter().filter(|f| f.starts_with("{\"event\": \"pattern\"")) {
+        assert!(
+            frame.contains("\"support_lo\": ") && frame.contains("\"support_hi\": "),
+            "bounds pattern frame lacks its interval: {frame}"
+        );
+        assert!(frame.contains("\"certificate\": \""), "no certificate: {frame}");
+    }
+    assert!(
+        exact.iter().all(|f| !f.contains("\"support_lo\"")),
+        "plain session leaked interval fields"
+    );
+
+    // Incompatible combination: typed error frame, conversation still closes
+    // in form (error, then done is skipped — error is terminal for the op).
+    let rejected = converse(
+        addr,
+        "{\"op\": \"mine\", \"graph\": \"g\", \"tau\": 4, \"top_k\": 3, \"bounds\": true}",
+    );
+    assert!(
+        rejected
+            .iter()
+            .any(|f| f.starts_with("{\"event\": \"error\"") && f.contains("invalid configuration")),
+        "expected a typed error frame, got {rejected:?}"
+    );
+    assert!(
+        !rejected.iter().any(|f| f.starts_with("{\"event\": \"pattern\"")),
+        "rejected session must not stream patterns"
+    );
 
     handle.shutdown();
     server.join().expect("server joins");
